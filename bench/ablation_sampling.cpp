@@ -1,0 +1,122 @@
+// E7 — ablation of Algorithm 2's sampling constants (12, 21).
+//
+// The paper fixes "each machine samples 12·log ℓ points" and "the sample at
+// rank 21·log ℓ" to make Lemma 2.3's Chernoff bounds go through.  This
+// ablation sweeps both coefficients and reports the trade-off the constants
+// buy: smaller coefficients mean fewer sample messages but more pruning
+// failures (retries in Las Vegas mode) and/or larger survivor sets; larger
+// ones waste messages.  A second table ablates the leader-election choice
+// (min-ID's k² messages vs the sublinear protocol's ~√k·log^{3/2} k).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "election/min_id.hpp"
+#include "election/sublinear.hpp"
+#include "sim/engine.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dknn;
+
+Task<void> min_id_program(Ctx& ctx) { (void)co_await elect_min_id(ctx); }
+Task<void> sublinear_program(Ctx& ctx) { (void)co_await elect_sublinear(ctx); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("ell", "neighbor count", "256");
+  cli.add_flag("k", "machine count", "32");
+  cli.add_flag("points-per-machine", "points per machine", "4096");
+  cli.add_flag("trials", "trials per configuration", "100");
+  cli.add_flag("seed", "experiment seed", "27");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::uint64_t ell = cli.get_uint("ell");
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("k"));
+  const auto trials = cli.get_uint("trials");
+
+  Rng rng(cli.get_uint("seed"));
+  auto values =
+      uniform_u64(static_cast<std::size_t>(cli.get_uint("points-per-machine") * k), rng);
+  auto shards = make_scalar_shards(std::move(values), k, PartitionScheme::RoundRobin, rng);
+
+  struct Config {
+    double sample_coeff;
+    double rank_coeff;
+  };
+  const std::vector<Config> grid = {
+      {3, 5}, {6, 10}, {12, 21} /* paper */, {24, 42}, {12, 12}, {12, 42},
+  };
+
+  Table table({"sample c", "rank c", "retry rate", "survivors/ell mean", "p95", "msgs mean",
+               "rounds mean"});
+  for (const auto& config : grid) {
+    KnnConfig knn;
+    knn.sample_coeff = config.sample_coeff;
+    knn.rank_coeff = config.rank_coeff;
+    SampleSet survivors, msgs, rounds;
+    std::uint64_t retried = 0;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      Rng qrng = rng.split(trial);
+      auto scored = score_scalar_shards(shards, qrng.between(0, (1ULL << 32) - 1));
+      EngineConfig engine;
+      engine.seed = cli.get_uint("seed") * 97 + trial;
+      engine.measure_compute = false;
+      const auto result = run_knn(scored, ell, KnnAlgo::DistKnn, engine, knn);
+      DKNN_REQUIRE(result.keys == expected_smallest(scored, ell), "ablation broke correctness");
+      survivors.add(static_cast<double>(result.candidates) / static_cast<double>(ell));
+      msgs.add(static_cast<double>(result.report.traffic.messages_sent()));
+      rounds.add(static_cast<double>(result.report.rounds));
+      retried += (result.attempts > 1);
+    }
+    table.row()
+        .cell(config.sample_coeff, 0)
+        .cell(config.rank_coeff, 0)
+        .cell(static_cast<double>(retried) / static_cast<double>(trials), 3)
+        .cell(survivors.mean(), 2)
+        .cell(survivors.percentile(95), 2)
+        .cell(msgs.mean(), 0)
+        .cell(rounds.mean(), 1);
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Sampling-coefficient ablation (paper uses 12/21), ell=%llu, k=%u",
+                static_cast<unsigned long long>(ell), k);
+  table.print(title);
+
+  // --- leader election ablation ------------------------------------------------
+  Table election({"k", "protocol", "messages mean", "rounds mean"});
+  for (std::uint32_t ek : {8u, 32u, 128u, 512u}) {
+    for (int proto = 0; proto < 2; ++proto) {
+      RunningStats msgs, rounds;
+      for (std::uint64_t trial = 0; trial < 20; ++trial) {
+        EngineConfig engine;
+        engine.world_size = ek;
+        engine.seed = cli.get_uint("seed") + trial;
+        engine.measure_compute = false;
+        Engine eng(engine);
+        const auto report = eng.run([proto](Ctx& ctx) {
+          return proto == 0 ? min_id_program(ctx) : sublinear_program(ctx);
+        });
+        msgs.add(static_cast<double>(report.traffic.messages_sent()));
+        rounds.add(static_cast<double>(report.rounds));
+      }
+      election.row()
+          .cell(std::to_string(ek))
+          .cell(proto == 0 ? "min-id (k^2 msgs)" : "sublinear [9]")
+          .cell(msgs.mean(), 0)
+          .cell(rounds.mean(), 1);
+    }
+  }
+  election.print("Leader-election ablation: message cost of min-ID vs the sublinear protocol");
+  std::printf("\nExpected shape: paper's (12,21) has ~zero retries with moderate survivor sets;\n"
+              "cheaper coefficients trade messages for retries. Sublinear election's messages\n"
+              "grow ~sqrt(k)·log^1.5(k) vs min-ID's k^2.\n");
+  return 0;
+}

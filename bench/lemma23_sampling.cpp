@@ -1,0 +1,76 @@
+// E4 — validates Lemma 2.3: the initial sampling reduces the candidate set
+// from kℓ to at most 11ℓ with probability >= 1 − 2/ℓ².
+//
+// Runs Algorithm 2 in Monte Carlo mode (no retry — the raw per-attempt
+// behaviour the lemma describes) over many trials per (ℓ, k) and reports
+// the empirical distribution of survivors/ℓ, the fraction of trials
+// exceeding 11ℓ, and the fraction that lost a true neighbor (prune-low
+// failures) next to the lemma's 2/ℓ² budget.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dknn;
+  Cli cli;
+  cli.add_flag("ells", "neighbor counts", "16,64,256,1024");
+  cli.add_flag("ks", "machine counts", "8,32,128");
+  cli.add_flag("points-per-machine", "points per machine", "4096");
+  cli.add_flag("trials", "trials per cell", "200");
+  cli.add_flag("seed", "experiment seed", "23");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto ells = cli.get_uint_list("ells");
+  const auto ks = cli.get_uint_list("ks");
+  const auto per_machine = cli.get_uint("points-per-machine");
+  const auto trials = cli.get_uint("trials");
+
+  Table table({"ell", "k", "survivors/ell mean", "p95", "max", "frac > 11*ell", "frac lost NN",
+               "lemma budget 2/ell^2"});
+
+  KnnConfig knn;
+  knn.las_vegas = false;  // raw per-attempt behaviour
+
+  for (auto ell : ells) {
+    for (auto k : ks) {
+      Rng rng(cli.get_uint("seed") + k * 17 + ell);
+      auto values = uniform_u64(static_cast<std::size_t>(per_machine * k), rng);
+      auto shards =
+          make_scalar_shards(std::move(values), static_cast<std::uint32_t>(k),
+                             PartitionScheme::RoundRobin, rng);
+      SampleSet ratio;
+      std::uint64_t over11 = 0, lost = 0;
+      for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        Rng qrng = rng.split(trial);
+        auto scored = score_scalar_shards(shards, qrng.between(0, (1ULL << 32) - 1));
+        EngineConfig engine;
+        engine.seed = cli.get_uint("seed") * 31337 + trial;
+        engine.measure_compute = false;
+        const auto result = run_knn(scored, ell, KnnAlgo::DistKnn, engine, knn);
+        ratio.add(static_cast<double>(result.candidates) / static_cast<double>(ell));
+        over11 += (result.candidates > 11 * ell);
+        lost += !result.prune_ok;
+      }
+      const double t = static_cast<double>(trials);
+      table.row()
+          .cell(std::to_string(ell))
+          .cell(std::to_string(k))
+          .cell(ratio.mean(), 2)
+          .cell(ratio.percentile(95), 2)
+          .cell(ratio.max(), 2)
+          .cell(static_cast<double>(over11) / t, 3)
+          .cell(static_cast<double>(lost) / t, 3)
+          .cell(2.0 / (static_cast<double>(ell) * static_cast<double>(ell)), 6);
+    }
+  }
+
+  table.print("Lemma 2.3: post-pruning candidates <= 11*ell w.h.p.");
+  std::printf("\nExpected shape: 'survivors/ell' concentrated well below 11 (typically 2-4);\n"
+              "violation fractions vanishing as ell grows, compatible with the 2/ell^2 budget.\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// E6 — google-benchmark micro kernels backing §3's "local computation"
+// discussion: the per-machine work that the k-machine model treats as free
+// but that dominates real wall-clock (the paper's own observation about
+// why speedup grows with machine count).
+//
+// Kernels:
+//   * local top-ℓ: bounded heap vs nth_element vs full sort
+//   * k-d tree build + query vs brute-force scan (related work [2, 6, 14])
+//   * scoring (distance computation) throughput
+//   * serialization and RNG throughput (the simulator's own hot paths)
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "data/ids.hpp"
+#include "data/key.hpp"
+#include "data/metric.hpp"
+#include "rng/rng.hpp"
+#include "rng/sampling.hpp"
+#include "seq/brute.hpp"
+#include "seq/kdtree.hpp"
+#include "seq/select.hpp"
+#include "serial/codec.hpp"
+
+namespace {
+
+using namespace dknn;
+
+std::vector<Key> make_keys(std::size_t n) {
+  Rng rng(42);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(Key{rng.next_u64() >> 16, i + 1});
+  return keys;
+}
+
+void BM_TopEll_Heap(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  const auto ell = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto out = top_ell_smallest(std::span<const Key>(keys), ell);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopEll_Heap)->Args({1 << 16, 16})->Args({1 << 16, 1024})->Args({1 << 20, 1024});
+
+void BM_TopEll_NthElement(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  const auto ell = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto copy = keys;
+    std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(ell), copy.end());
+    copy.resize(ell);
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopEll_NthElement)->Args({1 << 16, 16})->Args({1 << 16, 1024})->Args({1 << 20, 1024});
+
+void BM_TopEll_FullSort(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  const auto ell = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto copy = keys;
+    std::sort(copy.begin(), copy.end());
+    copy.resize(ell);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopEll_FullSort)->Args({1 << 16, 1024});
+
+void BM_Quickselect(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    auto out = quickselect(keys, keys.size() / 2, rng);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Quickselect)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MomSelect(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = mom_select(keys, keys.size() / 2);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MomSelect)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScoreScalar(benchmark::State& state) {
+  Rng rng(1);
+  const auto values = uniform_u64(static_cast<std::size_t>(state.range(0)), rng);
+  const auto ids = assign_random_ids(values.size(), rng);
+  for (auto _ : state) {
+    std::vector<Key> keys;
+    keys.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      keys.push_back(Key{scalar_distance(values[i], 123456789), ids[i]});
+    }
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScoreScalar)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScoreEuclidean(benchmark::State& state) {
+  Rng rng(2);
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), dim, 100.0, rng);
+  const auto ids = assign_random_ids(points.size(), rng);
+  const PointD query = uniform_points(1, dim, 100.0, rng)[0];
+  const EuclideanMetric metric;
+  for (auto _ : state) {
+    std::vector<Key> keys;
+    keys.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      keys.push_back(Key{encode_distance(metric(points[i], query)), ids[i]});
+    }
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScoreEuclidean)->Args({1 << 14, 4})->Args({1 << 14, 32});
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  Rng rng(3);
+  const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), 3, 100.0, rng);
+  const auto ids = assign_random_ids(points.size(), rng);
+  for (auto _ : state) {
+    KdTree tree(points, ids);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KdTreeQuery(benchmark::State& state) {
+  Rng rng(4);
+  const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), 3, 100.0, rng);
+  const auto ids = assign_random_ids(points.size(), rng);
+  const KdTree tree(points, ids);
+  const auto queries = uniform_points(64, 3, 100.0, rng);
+  const auto ell = static_cast<std::size_t>(state.range(1));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    auto out = tree.knn(queries[q++ % queries.size()], ell);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KdTreeQuery)->Args({1 << 16, 8})->Args({1 << 16, 256});
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  Rng rng(5);
+  const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), 3, 100.0, rng);
+  const auto ids = assign_random_ids(points.size(), rng);
+  const auto queries = uniform_points(64, 3, 100.0, rng);
+  const auto ell = static_cast<std::size_t>(state.range(1));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    auto out = brute_force_knn(std::span<const PointD>(points), ids,
+                               queries[q++ % queries.size()], EuclideanMetric{}, ell);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BruteForceQuery)->Args({1 << 16, 8})->Args({1 << 16, 256});
+
+void BM_SerializeKeys(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bytes = to_bytes(keys);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_SerializeKeys)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_DeserializeKeys(benchmark::State& state) {
+  const auto bytes = to_bytes(make_keys(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto keys = from_bytes<std::vector<Key>>(bytes);
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_DeserializeKeys)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000003));
+  }
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(7);
+  const auto population = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto out = sample_indices_without_replacement(population, count, rng);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Args({1 << 20, 64})->Args({1 << 20, 4096});
+
+}  // namespace

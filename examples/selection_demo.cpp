@@ -1,0 +1,70 @@
+// selection_demo — Algorithm 1 ("Finding-ℓ-Smallest-Points") by itself.
+//
+// The ℓ-NN problem "really boils down to the selection problem" (paper
+// §1.2).  This demo runs the distributed selection on raw values with all
+// four algorithms in the repo and prints a side-by-side cost table, making
+// the paper's complexity comparisons tangible on one screen:
+//
+//   Algorithm 2 / Algorithm 1 : O(log ℓ) rounds, randomized
+//   Saukas–Song               : O(log n) rounds, deterministic
+//   binary search             : O(word) rounds, non-comparison-based
+//   simple gather             : O(ℓ) rounds under B-bit links
+//
+//   ./selection_demo [--k=8] [--ell=256] [--n=65536] [--seed=3]
+
+#include <cstdio>
+
+#include "core/driver.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  dknn::Cli cli;
+  cli.add_flag("k", "number of simulated machines", "8");
+  cli.add_flag("ell", "rank to select (the ell smallest values win)", "256");
+  cli.add_flag("n", "total number of values", "65536");
+  cli.add_flag("seed", "experiment seed", "3");
+  cli.add_flag("bits-per-round", "link bandwidth B in bits per round", "256");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("k"));
+  const std::uint64_t ell = cli.get_uint("ell");
+  const std::size_t n = cli.get_uint("n");
+
+  dknn::Rng rng(cli.get_uint("seed"));
+  auto values = dknn::uniform_u64(n, rng);
+  auto shards = dknn::make_scalar_shards(std::move(values), k,
+                                         dknn::PartitionScheme::Random, rng);
+  // Selection = ℓ-NN with the query at 0 on raw values.
+  auto keys = dknn::score_scalar_shards(shards, 0);
+
+  dknn::EngineConfig engine;
+  engine.seed = cli.get_uint("seed") + 7;
+  engine.bandwidth = dknn::BandwidthPolicy::Chunked;  // make O(ell) rounds real
+  engine.bits_per_round = cli.get_uint("bits-per-round");
+
+  const auto reference = dknn::expected_smallest(keys, ell);
+
+  dknn::Table table({"algorithm", "rounds", "messages", "bits", "driver iters", "correct"});
+  for (dknn::KnnAlgo algo :
+       {dknn::KnnAlgo::DistKnn, dknn::KnnAlgo::SaukasSong, dknn::KnnAlgo::BinSearch,
+        dknn::KnnAlgo::Simple}) {
+    const auto result = dknn::run_knn(keys, ell, algo, engine);
+    table.row()
+        .cell(dknn::knn_algo_name(algo))
+        .cell(result.report.rounds)
+        .cell(result.report.traffic.messages_sent())
+        .cell(result.report.traffic.bits_sent())
+        .cell(static_cast<std::uint64_t>(result.iterations))
+        .cell(result.keys == reference ? "yes" : "NO");
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "distributed selection of the %llu smallest among %zu values, k=%u, B=%llu bits",
+                static_cast<unsigned long long>(ell), n, k,
+                static_cast<unsigned long long>(engine.bits_per_round));
+  table.print(title);
+  std::printf("\nNote how the simple gather's rounds scale with ell while algorithm-2 stays\n"
+              "logarithmic — this is the paper's exponential separation (Section 1.3).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "core/binsearch.hpp"
+
+#include <algorithm>
+
+#include "sim/collectives.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Keys as 128-bit integers so the midpoint is one shift (the __uint128_t
+/// builtin spelling avoids -Wpedantic, unlike `unsigned __int128`).
+using U128 = __uint128_t;
+
+U128 key_to_u128(const Key& k) {
+  return (static_cast<U128>(k.rank) << 64) | static_cast<U128>(k.id);
+}
+
+Key u128_to_key(U128 v) {
+  return Key{static_cast<std::uint64_t>(v >> 64), static_cast<std::uint64_t>(v)};
+}
+
+std::uint64_t count_leq(const std::vector<Key>& sorted, const Key& bound) {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), bound) - sorted.begin());
+}
+
+}  // namespace
+
+Task<BinSearchLocal> binsearch_select(Ctx& ctx, std::vector<Key> local_keys, std::uint64_t ell,
+                                      BinSearchConfig config) {
+  DKNN_REQUIRE(config.leader < ctx.world(), "leader id out of range");
+  const std::uint32_t k = ctx.world();
+  const bool is_leader = ctx.id() == config.leader;
+  std::sort(local_keys.begin(), local_keys.end());
+  DKNN_REQUIRE(std::adjacent_find(local_keys.begin(), local_keys.end()) == local_keys.end(),
+               "local keys must be distinct (use unique point ids)");
+
+  auto finalize = [&](const SelFinished& fin, std::uint32_t probes) {
+    BinSearchLocal out;
+    out.probes = probes;
+    out.any = fin.any;
+    out.bound = fin.bound;
+    if (fin.any) {
+      const auto end = std::upper_bound(local_keys.begin(), local_keys.end(), fin.bound);
+      out.selected.assign(local_keys.begin(), end);
+    }
+    return out;
+  };
+
+  if (!is_leader) {
+    ctx.send_value(config.leader, tags::kBsInit,
+                   SelInit{local_keys.size(),
+                           local_keys.empty() ? Key{} : local_keys.front(),
+                           local_keys.empty() ? Key{} : local_keys.back()});
+    std::uint32_t probes = 0;
+    std::vector<Tag> watched{tags::kBsProbe, tags::kBsFinished};
+    while (true) {
+      Envelope env = co_await recv_any(ctx, watched);
+      if (env.tag == tags::kBsFinished) {
+        co_return finalize(from_bytes<SelFinished>(env.payload), probes);
+      }
+      ++probes;
+      const auto probe = from_bytes<Key>(env.payload);
+      ctx.send_value(config.leader, tags::kBsCount, count_leq(local_keys, probe));
+    }
+  }
+
+  // --- leader ---------------------------------------------------------------
+  std::uint64_t total = local_keys.size();
+  Key global_min = local_keys.empty() ? Key::max_key() : local_keys.front();
+  Key global_max = local_keys.empty() ? Key::min_key() : local_keys.back();
+  bool any_points = !local_keys.empty();
+  if (k > 1) {
+    auto inits = co_await recv_n(ctx, tags::kBsInit, k - 1);
+    for (const auto& env : inits) {
+      const auto init = from_bytes<SelInit>(env.payload);
+      total += init.count;
+      if (init.count > 0) {
+        global_min = any_points ? std::min(global_min, init.min_key) : init.min_key;
+        global_max = any_points ? std::max(global_max, init.max_key) : init.max_key;
+        any_points = true;
+      }
+    }
+  }
+
+  const std::uint64_t target = std::min<std::uint64_t>(ell, total);
+  std::uint32_t probes = 0;
+  SelFinished fin;
+  if (target == 0) {
+    fin.any = false;
+  } else if (target == total) {
+    fin.any = true;
+    fin.bound = global_max;
+  } else {
+    // Find the smallest T in [min, max] with count(<= T) >= target; with
+    // distinct keys the count at that T is exactly `target`.
+    U128 lo = key_to_u128(global_min);  // invariant: count(< lo) < target
+    U128 hi = key_to_u128(global_max);  // invariant: count(<= hi) >= target
+    while (lo < hi) {
+      ++probes;
+      const U128 mid = lo + (hi - lo) / 2;
+      const Key probe = u128_to_key(mid);
+      for (MachineId m = 0; m < k; ++m) {
+        if (m != config.leader) ctx.send_value(m, tags::kBsProbe, probe);
+      }
+      std::uint64_t count = count_leq(local_keys, probe);
+      if (k > 1) {
+        auto replies = co_await recv_n(ctx, tags::kBsCount, k - 1);
+        for (const auto& env : replies) count += from_bytes<std::uint64_t>(env.payload);
+      }
+      if (count >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    fin.any = true;
+    fin.bound = u128_to_key(lo);
+  }
+  fin.iterations = probes;
+  for (MachineId m = 0; m < k; ++m) {
+    if (m != config.leader) ctx.send_value(m, tags::kBsFinished, fin);
+  }
+  co_return finalize(fin, probes);
+}
+
+}  // namespace dknn

@@ -1,0 +1,79 @@
+#pragma once
+/// \file dist_knn.hpp
+/// \brief Algorithm 2 — Distributed ℓ-NN computation (paper §2.2).
+///
+/// Input: each machine's points already scored against the query as
+/// (distance, id) keys.  The protocol:
+///
+///   1. each machine keeps only its local ℓ best (a single machine can hold
+///      at most the whole answer, so anything beyond rank ℓ locally is
+///      provably irrelevant);
+///   2. each machine samples ~12·ln ℓ of those survivors uniformly without
+///      replacement and ships them to the leader — one O(log n)-bit message
+///      per sample, matching the paper's message accounting;
+///   3. the leader sorts the ~12k·ln ℓ samples and broadcasts the sample at
+///      rank ~21·ln ℓ as the pruning radius r;
+///   4. machines discard keys beyond r — w.h.p. at most 11ℓ candidates
+///      survive globally and all true ℓ-NN survive (Lemma 2.3);
+///   5. Algorithm 1 selects the exact ℓ smallest among the survivors.
+///
+/// Rounds: O(log ℓ), independent of k (Theorem 2.4); messages O(k log ℓ).
+///
+/// Failure handling: with probability O(1/ℓ²) the radius lands below the
+/// true ℓ-th neighbor and step 4 prunes too far.  The leader detects this
+/// (surviving count < target) before running Algorithm 1 and — in the
+/// default Las Vegas mode — restarts from step 2 with fresh samples; in
+/// paper-faithful Monte Carlo mode it proceeds and the result records
+/// `prune_ok = false`.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dist_select.hpp"
+#include "data/key.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+struct KnnConfig {
+  MachineId leader = 0;
+  /// Per-machine sample count coefficient (paper: 12 · log ℓ).
+  double sample_coeff = 12.0;
+  /// Pruning-radius rank coefficient (paper: 21 · log ℓ).
+  double rank_coeff = 21.0;
+  /// Retry with fresh samples when pruning provably lost part of the answer
+  /// (Las Vegas).  False = paper-faithful Monte Carlo.
+  bool las_vegas = true;
+  /// Retry budget in Las Vegas mode; exhausting it falls back to no pruning
+  /// (radius = +∞), which is always correct.
+  std::uint32_t max_retries = 8;
+};
+
+/// Per-machine outcome of one ℓ-NN run.
+struct KnnLocal {
+  /// This machine's keys among the global ℓ nearest (ascending).
+  std::vector<Key> selected;
+  /// Sampling attempts used (1 = first try succeeded).
+  std::uint32_t attempts = 1;
+  /// Candidates that survived pruning, summed over machines (Lemma 2.3:
+  /// <= 11ℓ w.h.p.).  Same value on every machine.
+  std::uint64_t candidates = 0;
+  /// Pivot iterations of the inner Algorithm 1 run.
+  std::uint32_t select_iterations = 0;
+  /// False only in Monte Carlo mode when pruning lost true neighbors.
+  bool prune_ok = true;
+};
+
+/// Runs Algorithm 2 over this machine's scored keys.  Every machine calls
+/// with the same `ell` and `config`; `local_scored` need not be sorted.
+[[nodiscard]] Task<KnnLocal> dist_knn(Ctx& ctx, std::vector<Key> local_scored, std::uint64_t ell,
+                                      KnnConfig config = {});
+
+/// Per-machine sample count for a given ℓ (exposed for tests/benches).
+[[nodiscard]] std::uint64_t knn_sample_count(std::uint64_t ell, const KnnConfig& config);
+/// 1-indexed radius rank for a given ℓ (exposed for tests/benches).
+[[nodiscard]] std::uint64_t knn_radius_rank(std::uint64_t ell, const KnnConfig& config);
+
+}  // namespace dknn

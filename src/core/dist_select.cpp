@@ -1,0 +1,210 @@
+#include "core/dist_select.hpp"
+
+#include <algorithm>
+
+#include "sim/collectives.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+namespace detail {
+
+std::pair<std::size_t, std::size_t> range_window(const std::vector<Key>& sorted,
+                                                 const KeyRange& range) {
+  const auto begin = sorted.begin();
+  const auto first = range.has_lo ? std::upper_bound(begin, sorted.end(), range.lo) : begin;
+  const auto last = std::upper_bound(first, sorted.end(), range.hi);
+  return {static_cast<std::size_t>(first - begin), static_cast<std::size_t>(last - begin)};
+}
+
+std::uint64_t count_in_range(const std::vector<Key>& sorted, const KeyRange& range) {
+  const auto [first, last] = range_window(sorted, range);
+  return last - first;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// The leader's view of the search: range, per-machine in-range counts, and
+/// the remaining selection target.
+struct LeaderState {
+  KeyRange range;                      // current (lo, hi]
+  std::vector<std::uint64_t> counts;   // per-machine in-range counts
+  std::uint64_t in_range = 0;          // Σ counts
+  std::uint64_t remaining = 0;         // ℓ adjusted for accepted prefixes
+};
+
+SelInit local_init(const std::vector<Key>& sorted) {
+  SelInit init;
+  init.count = sorted.size();
+  if (!sorted.empty()) {
+    init.min_key = sorted.front();
+    init.max_key = sorted.back();
+  }
+  return init;
+}
+
+Key pick_local_pivot(const std::vector<Key>& sorted, const KeyRange& range, Rng& rng) {
+  const auto [first, last] = detail::range_window(sorted, range);
+  DKNN_ASSERT(first < last, "pivot requested from a machine with no in-range keys");
+  const std::size_t index = first + static_cast<std::size_t>(rng.below(last - first));
+  return sorted[index];
+}
+
+Task<SelectLocal> run_leader(Ctx& ctx, const std::vector<Key>& sorted, std::uint64_t ell,
+                             SelectConfig config) {
+  const std::uint32_t k = ctx.world();
+
+  // Step 2-3 of the pseudocode: collect (n_i, m_i, M_i) from everyone.
+  for (MachineId m = 0; m < k; ++m) {
+    if (m != config.leader) ctx.send(m, tags::kSelInit, Bytes{});
+  }
+  LeaderState state;
+  state.counts.assign(k, 0);
+  SelInit own = local_init(sorted);
+  state.counts[config.leader] = own.count;
+  state.in_range = own.count;
+  Key global_max = own.count > 0 ? own.max_key : Key::min_key();
+  bool any_points = own.count > 0;
+  if (k > 1) {
+    auto replies = co_await recv_n(ctx, tags::kSelInitReply, k - 1);
+    for (const auto& env : replies) {
+      const auto init = from_bytes<SelInit>(env.payload);
+      state.counts[env.src] = init.count;
+      state.in_range += init.count;
+      if (init.count > 0) {
+        global_max = any_points ? std::max(global_max, init.max_key) : init.max_key;
+        any_points = true;
+      }
+    }
+  }
+
+  SelFinished fin;
+  state.remaining = std::min<std::uint64_t>(ell, state.in_range);
+  state.range = KeyRange{/*has_lo=*/false, Key{}, global_max};
+
+  if (state.remaining == 0) {
+    fin.any = false;  // ℓ == 0 or no points at all
+  } else {
+    // Invariant: the answer is {keys <= lo-prefix} ∪ (`remaining` more keys
+    // from (lo, hi]), and state.in_range == |(lo, hi]| > 0.
+    while (state.in_range > state.remaining) {
+      ++fin.iterations;
+
+      // Pivot: machine weighted by in-range count, then uniform local key.
+      const auto pivot_machine = static_cast<MachineId>(ctx.rng().weighted_index(state.counts));
+      Key pivot;
+      if (pivot_machine == config.leader) {
+        pivot = pick_local_pivot(sorted, state.range, ctx.rng());
+      } else {
+        ctx.send_value(pivot_machine, tags::kSelPivotReq, state.range);
+        pivot = co_await recv_value_from<Key>(ctx, pivot_machine, tags::kSelPivotReply);
+      }
+
+      // Count keys in (lo, pivot] on every machine.
+      const KeyRange probe{state.range.has_lo, state.range.lo, pivot};
+      for (MachineId m = 0; m < k; ++m) {
+        if (m != config.leader) ctx.send_value(m, tags::kSelCountReq, probe);
+      }
+      std::vector<std::uint64_t> below(k, 0);
+      below[config.leader] = detail::count_in_range(sorted, probe);
+      std::uint64_t s = below[config.leader];
+      if (k > 1) {
+        auto replies = co_await recv_n(ctx, tags::kSelCountReply, k - 1);
+        for (const auto& env : replies) {
+          below[env.src] = from_bytes<std::uint64_t>(env.payload);
+          s += below[env.src];
+        }
+      }
+
+      if (s == state.remaining) {
+        state.range.hi = pivot;  // exact hit: bound is the pivot
+        state.in_range = s;
+        for (MachineId m = 0; m < k; ++m) state.counts[m] = below[m];
+        break;
+      }
+      if (s < state.remaining) {
+        // Accept (lo, pivot] into the answer and keep searching above it.
+        state.remaining -= s;
+        state.range.has_lo = true;
+        state.range.lo = pivot;
+        for (MachineId m = 0; m < k; ++m) state.counts[m] -= below[m];
+        state.in_range -= s;
+      } else {
+        // Discard everything above the pivot.
+        state.range.hi = pivot;
+        for (MachineId m = 0; m < k; ++m) state.counts[m] = below[m];
+        state.in_range = s;
+      }
+      DKNN_ASSERT(state.in_range >= state.remaining, "selection range lost the answer");
+      DKNN_ASSERT(state.in_range > 0, "selection range emptied");
+    }
+    fin.any = true;
+    fin.bound = state.range.hi;
+  }
+
+  for (MachineId m = 0; m < k; ++m) {
+    if (m != config.leader) ctx.send_value(m, tags::kSelFinished, fin);
+  }
+
+  SelectLocal out;
+  out.iterations = fin.iterations;
+  out.any = fin.any;
+  out.bound = fin.bound;
+  if (fin.any) {
+    const auto end = std::upper_bound(sorted.begin(), sorted.end(), fin.bound);
+    out.selected.assign(sorted.begin(), end);
+  }
+  co_return out;
+}
+
+Task<SelectLocal> run_follower(Ctx& ctx, const std::vector<Key>& sorted, SelectConfig config) {
+  // Hoisted out of the co_await expression (GCC 12 miscompiles brace-init
+  // lists whose backing array must live across a suspension point).
+  std::vector<Tag> watched{tags::kSelInit, tags::kSelPivotReq, tags::kSelCountReq,
+                           tags::kSelFinished};
+  while (true) {
+    Envelope env = co_await recv_any(ctx, watched);
+    DKNN_ASSERT(env.src == config.leader, "selection control message from non-leader");
+    if (env.tag == tags::kSelInit) {
+      ctx.send_value(config.leader, tags::kSelInitReply, local_init(sorted));
+    } else if (env.tag == tags::kSelPivotReq) {
+      const auto range = from_bytes<KeyRange>(env.payload);
+      ctx.send_value(config.leader, tags::kSelPivotReply,
+                     pick_local_pivot(sorted, range, ctx.rng()));
+    } else if (env.tag == tags::kSelCountReq) {
+      const auto range = from_bytes<KeyRange>(env.payload);
+      ctx.send_value(config.leader, tags::kSelCountReply, detail::count_in_range(sorted, range));
+    } else {
+      const auto fin = from_bytes<SelFinished>(env.payload);
+      SelectLocal out;
+      out.iterations = fin.iterations;
+      out.any = fin.any;
+      out.bound = fin.bound;
+      if (fin.any) {
+        const auto end = std::upper_bound(sorted.begin(), sorted.end(), fin.bound);
+        out.selected.assign(sorted.begin(), end);
+      }
+      co_return out;
+    }
+  }
+}
+
+}  // namespace
+
+Task<SelectLocal> dist_select(Ctx& ctx, std::vector<Key> local_keys, std::uint64_t ell,
+                              SelectConfig config) {
+  DKNN_REQUIRE(config.leader < ctx.world(), "leader id out of range");
+  if (!std::is_sorted(local_keys.begin(), local_keys.end())) {
+    std::sort(local_keys.begin(), local_keys.end());
+  }
+  DKNN_REQUIRE(std::adjacent_find(local_keys.begin(), local_keys.end()) == local_keys.end(),
+               "local keys must be distinct (use unique point ids)");
+  if (ctx.id() == config.leader) {
+    co_return co_await run_leader(ctx, local_keys, ell, config);
+  }
+  co_return co_await run_follower(ctx, local_keys, config);
+}
+
+}  // namespace dknn

@@ -1,0 +1,74 @@
+#pragma once
+/// \file dist_select.hpp
+/// \brief Algorithm 1 — "Finding-ℓ-Smallest-Points" (paper §2.1).
+///
+/// Distributed randomized selection in the k-machine model.  A leader
+/// maintains a half-open search range (lo, hi] over the global key set and
+/// repeatedly:
+///
+///   1. picks a machine with probability proportional to its in-range count
+///      (Lemma 2.1: together with step 2 this makes the pivot uniform over
+///      all in-range keys),
+///   2. asks it for a uniformly random in-range local key p (the pivot),
+///   3. asks every machine for its count of keys in (lo, p],
+///   4. compares the global count s with the remaining target ℓ:
+///        s == ℓ  →  done, answer bound = p;
+///        s <  ℓ  →  accept (lo, p] into the answer: ℓ -= s, lo = p;
+///        s >  ℓ  →  discard above p: hi = p.
+///
+/// Rounds: O(log n) w.h.p. (Theorem 2.2); messages O(k log n).
+///
+/// Implementation notes (all verified by tests):
+///  * The pseudocode's inclusive [min, max] with `min ← p` would recount
+///    the pivot; the half-open (lo, hi] range realizes the evident intent.
+///    Keys are globally distinct ((distance, id) pairs), so exact-ℓ
+///    termination is well-defined.
+///  * Machines keep their keys locally sorted, so per-query work is
+///    O(log n_i) after an O(n_i log n_i) one-off sort — a pure local-compute
+///    optimization; the message/round pattern is exactly the paper's.
+///  * The leader tracks per-machine in-range counts incrementally (init
+///    counts, then each count reply updates them), so the weighted machine
+///    choice needs no extra communication.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "data/key.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+struct SelectConfig {
+  MachineId leader = 0;
+};
+
+/// Per-machine outcome of one selection run.
+struct SelectLocal {
+  /// This machine's keys that belong to the global ℓ smallest (ascending).
+  std::vector<Key> selected;
+  /// Pivot iterations the leader needed (same value on every machine).
+  std::uint32_t iterations = 0;
+  /// The final answer bound: selected == { local keys <= bound }.
+  Key bound{};
+  /// False only when ℓ == 0 (nothing selected anywhere).
+  bool any = false;
+};
+
+/// Runs Algorithm 1 over this machine's `local_keys` (need not be sorted;
+/// globally distinct).  Every machine must call this with the same `ell`
+/// and `config`.  Selects min(ell, Σ|local_keys|) keys globally.
+[[nodiscard]] Task<SelectLocal> dist_select(Ctx& ctx, std::vector<Key> local_keys,
+                                            std::uint64_t ell, SelectConfig config = {});
+
+namespace detail {
+/// Count of keys in (range.lo, range.hi] within an ascending-sorted vector.
+[[nodiscard]] std::uint64_t count_in_range(const std::vector<Key>& sorted, const KeyRange& range);
+/// Index window [first, last) of in-range keys within a sorted vector.
+[[nodiscard]] std::pair<std::size_t, std::size_t> range_window(const std::vector<Key>& sorted,
+                                                               const KeyRange& range);
+}  // namespace detail
+
+}  // namespace dknn

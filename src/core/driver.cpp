@@ -1,0 +1,244 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/binsearch.hpp"
+#include "core/saukas_song.hpp"
+#include "core/simple_knn.hpp"
+#include "seq/select.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Per-machine slot the programs write into; merged after the run.
+struct Slot {
+  std::vector<Key> selected;
+  std::uint32_t iterations = 0;
+  std::uint32_t attempts = 1;
+  std::uint64_t candidates = 0;
+  bool prune_ok = true;
+};
+
+Task<void> knn_program(Ctx& ctx, const std::vector<std::vector<Key>>* shards, std::uint64_t ell,
+                       KnnAlgo algo, KnnConfig knn_config, std::vector<Slot>* slots) {
+  std::vector<Key> mine = (*shards)[ctx.id()];
+  Slot& slot = (*slots)[ctx.id()];
+  switch (algo) {
+    case KnnAlgo::DistKnn: {
+      KnnLocal local = co_await dist_knn(ctx, std::move(mine), ell, knn_config);
+      slot.selected = std::move(local.selected);
+      slot.iterations = local.select_iterations;
+      slot.attempts = local.attempts;
+      slot.candidates = local.candidates;
+      slot.prune_ok = local.prune_ok;
+      break;
+    }
+    case KnnAlgo::CappedSelect: {
+      // §2.2's direct variant: zero pruning attempts drop straight into
+      // Algorithm 1 over the kℓ capped points.
+      KnnConfig direct = knn_config;
+      direct.max_retries = 0;
+      KnnLocal local = co_await dist_knn(ctx, std::move(mine), ell, direct);
+      slot.selected = std::move(local.selected);
+      slot.iterations = local.select_iterations;
+      slot.candidates = local.candidates;
+      break;
+    }
+    case KnnAlgo::Simple: {
+      SimpleKnnLocal local =
+          co_await simple_knn(ctx, std::move(mine), ell, SimpleKnnConfig{knn_config.leader, true});
+      slot.selected = std::move(local.selected);
+      break;
+    }
+    case KnnAlgo::SaukasSong: {
+      SaukasSongLocal local =
+          co_await saukas_song_select(ctx, std::move(mine), ell, SaukasSongConfig{knn_config.leader});
+      slot.selected = std::move(local.selected);
+      slot.iterations = local.iterations;
+      break;
+    }
+    case KnnAlgo::BinSearch: {
+      BinSearchLocal local =
+          co_await binsearch_select(ctx, std::move(mine), ell, BinSearchConfig{knn_config.leader});
+      slot.selected = std::move(local.selected);
+      slot.iterations = local.probes;
+      break;
+    }
+  }
+}
+
+Task<void> select_program(Ctx& ctx, const std::vector<std::vector<Key>>* shards,
+                          std::uint64_t ell, SelectConfig select_config,
+                          std::vector<Slot>* slots) {
+  SelectLocal local = co_await dist_select(ctx, (*shards)[ctx.id()], ell, select_config);
+  (*slots)[ctx.id()].selected = std::move(local.selected);
+  (*slots)[ctx.id()].iterations = local.iterations;
+}
+
+GlobalRunResult merge_slots(std::vector<Slot> slots, RunReport report, MachineId leader) {
+  GlobalRunResult out;
+  out.report = std::move(report);
+  for (auto& slot : slots) {
+    out.keys.insert(out.keys.end(), slot.selected.begin(), slot.selected.end());
+  }
+  std::sort(out.keys.begin(), out.keys.end());
+  const Slot& lead = slots[leader];
+  out.iterations = lead.iterations;
+  out.attempts = lead.attempts;
+  out.candidates = lead.candidates;
+  out.prune_ok = lead.prune_ok;
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScalarShard> make_scalar_shards(std::vector<Value> values, std::uint32_t k,
+                                            PartitionScheme scheme, Rng& rng) {
+  std::vector<PointId> ids = assign_random_ids(values.size(), rng);
+  std::vector<std::pair<Value, PointId>> tagged;
+  tagged.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) tagged.emplace_back(values[i], ids[i]);
+  auto parts = partition(std::move(tagged), k, scheme, rng);
+  std::vector<ScalarShard> shards(k);
+  for (std::uint32_t m = 0; m < k; ++m) {
+    shards[m].values.reserve(parts[m].size());
+    shards[m].ids.reserve(parts[m].size());
+    for (const auto& [v, id] : parts[m]) {
+      shards[m].values.push_back(v);
+      shards[m].ids.push_back(id);
+    }
+  }
+  return shards;
+}
+
+std::vector<VectorShard> make_vector_shards(std::vector<PointD> points, std::uint32_t k,
+                                            PartitionScheme scheme, Rng& rng) {
+  std::vector<PointId> ids = assign_random_ids(points.size(), rng);
+  std::vector<std::pair<std::size_t, PointId>> tagged;  // index + id (points not ordered)
+  tagged.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) tagged.emplace_back(i, ids[i]);
+  auto parts = partition(std::move(tagged), k, scheme, rng);
+  std::vector<VectorShard> shards(k);
+  for (std::uint32_t m = 0; m < k; ++m) {
+    shards[m].points.reserve(parts[m].size());
+    shards[m].ids.reserve(parts[m].size());
+    for (const auto& [index, id] : parts[m]) {
+      shards[m].points.push_back(std::move(points[index]));
+      shards[m].ids.push_back(id);
+    }
+  }
+  return shards;
+}
+
+std::vector<Key> score_scalar_shard(const ScalarShard& shard, Value query) {
+  DKNN_REQUIRE(shard.values.size() == shard.ids.size(), "shard values/ids must align");
+  std::vector<Key> keys;
+  keys.reserve(shard.values.size());
+  for (std::size_t i = 0; i < shard.values.size(); ++i) {
+    keys.push_back(Key{scalar_distance(shard.values[i], query), shard.ids[i]});
+  }
+  return keys;
+}
+
+std::vector<std::vector<Key>> score_scalar_shards(const std::vector<ScalarShard>& shards,
+                                                  Value query) {
+  std::vector<std::vector<Key>> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(score_scalar_shard(shard, query));
+  return out;
+}
+
+std::vector<Key> score_hamming_shard(const ScalarShard& shard, Value query) {
+  DKNN_REQUIRE(shard.values.size() == shard.ids.size(), "shard values/ids must align");
+  std::vector<Key> keys;
+  keys.reserve(shard.values.size());
+  for (std::size_t i = 0; i < shard.values.size(); ++i) {
+    keys.push_back(Key{hamming_distance(shard.values[i], query), shard.ids[i]});
+  }
+  return keys;
+}
+
+std::vector<std::vector<Key>> score_hamming_shards(const std::vector<ScalarShard>& shards,
+                                                   Value query) {
+  std::vector<std::vector<Key>> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(score_hamming_shard(shard, query));
+  return out;
+}
+
+std::vector<std::vector<Key>> quantize_scored_shards(std::vector<std::vector<Key>> shards,
+                                                     unsigned drop_bits) {
+  for (auto& shard : shards) {
+    for (auto& key : shard) key.rank = quantize_rank(key.rank, drop_bits);
+  }
+  return shards;
+}
+
+const char* knn_algo_name(KnnAlgo algo) {
+  switch (algo) {
+    case KnnAlgo::DistKnn: return "algorithm-2";
+    case KnnAlgo::CappedSelect: return "capped-select";
+    case KnnAlgo::Simple: return "simple";
+    case KnnAlgo::SaukasSong: return "saukas-song";
+    case KnnAlgo::BinSearch: return "binary-search";
+  }
+  return "unknown";
+}
+
+GlobalRunResult run_knn(const std::vector<std::vector<Key>>& scored_shards, std::uint64_t ell,
+                        KnnAlgo algo, const EngineConfig& engine_config,
+                        const KnnConfig& knn_config) {
+  DKNN_REQUIRE(!scored_shards.empty(), "need at least one shard");
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(scored_shards.size());
+  Engine engine(config);
+  std::vector<Slot> slots(scored_shards.size());
+  RunReport report = engine.run([&](Ctx& ctx) {
+    return knn_program(ctx, &scored_shards, ell, algo, knn_config, &slots);
+  });
+  return merge_slots(std::move(slots), std::move(report), knn_config.leader);
+}
+
+GlobalRunResult run_selection(const std::vector<std::vector<Key>>& key_shards, std::uint64_t ell,
+                              const EngineConfig& engine_config,
+                              const SelectConfig& select_config) {
+  DKNN_REQUIRE(!key_shards.empty(), "need at least one shard");
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(key_shards.size());
+  Engine engine(config);
+  std::vector<Slot> slots(key_shards.size());
+  RunReport report = engine.run([&](Ctx& ctx) {
+    return select_program(ctx, &key_shards, ell, select_config, &slots);
+  });
+  return merge_slots(std::move(slots), std::move(report), select_config.leader);
+}
+
+QuantileResult run_quantile(const std::vector<std::vector<Key>>& key_shards, double phi,
+                            const EngineConfig& engine_config,
+                            const SelectConfig& select_config) {
+  DKNN_REQUIRE(phi > 0.0 && phi <= 1.0, "quantile phi must be in (0, 1]");
+  std::uint64_t total = 0;
+  for (const auto& shard : key_shards) total += shard.size();
+  DKNN_REQUIRE(total > 0, "quantile of an empty dataset");
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(total))));
+
+  QuantileResult result;
+  result.rank = std::min(rank, total);
+  result.total = total;
+  result.run = run_selection(key_shards, result.rank, engine_config, select_config);
+  DKNN_ASSERT(result.run.keys.size() == result.rank, "selection returned wrong count");
+  result.value = result.run.keys.back();
+  return result;
+}
+
+std::vector<Key> expected_smallest(const std::vector<std::vector<Key>>& shards,
+                                   std::uint64_t ell) {
+  std::vector<Key> all;
+  for (const auto& shard : shards) all.insert(all.end(), shard.begin(), shard.end());
+  return top_ell_smallest(std::span<const Key>(all), static_cast<std::size_t>(ell));
+}
+
+}  // namespace dknn

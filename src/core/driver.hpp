@@ -1,0 +1,164 @@
+#pragma once
+/// \file driver.hpp
+/// \brief One-call runners: wire a sharded dataset into an Engine, execute a
+///        distributed algorithm on every machine, and assemble the global
+///        answer plus the run's cost report.
+///
+/// This is the public API most users (and all benches/examples) touch:
+///
+///   auto ds = make_scalar_shards(values, k, PartitionScheme::RoundRobin, rng);
+///   auto scored = score_scalar_shards(ds, query);
+///   auto result = run_knn(scored, ell, KnnAlgo::DistKnn, engine_config, {});
+///
+/// Everything below is deterministic given (dataset, seeds, config).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist_knn.hpp"
+#include "core/dist_select.hpp"
+#include "data/generators.hpp"
+#include "data/ids.hpp"
+#include "data/key.hpp"
+#include "data/metric.hpp"
+#include "data/partition.hpp"
+#include "data/point.hpp"
+#include "sim/engine.hpp"
+
+namespace dknn {
+
+/// One machine's share of a scalar dataset (paper §3 setting).
+struct ScalarShard {
+  std::vector<Value> values;
+  std::vector<PointId> ids;  ///< unique tie-breaking ids, aligned with values
+};
+
+/// One machine's share of a d-dimensional dataset.
+struct VectorShard {
+  std::vector<PointD> points;
+  std::vector<PointId> ids;
+};
+
+/// Shards `values` over k machines and assigns globally unique random ids.
+[[nodiscard]] std::vector<ScalarShard> make_scalar_shards(std::vector<Value> values,
+                                                          std::uint32_t k,
+                                                          PartitionScheme scheme, Rng& rng);
+
+/// Shards `points` over k machines and assigns globally unique random ids.
+[[nodiscard]] std::vector<VectorShard> make_vector_shards(std::vector<PointD> points,
+                                                          std::uint32_t k,
+                                                          PartitionScheme scheme, Rng& rng);
+
+/// Scores one scalar shard against a query: keys are (|v − q|, id).
+[[nodiscard]] std::vector<Key> score_scalar_shard(const ScalarShard& shard, Value query);
+
+/// Scores all shards (the per-machine local computation before any
+/// distributed algorithm runs).
+[[nodiscard]] std::vector<std::vector<Key>> score_scalar_shards(
+    const std::vector<ScalarShard>& shards, Value query);
+
+/// Hamming-space scoring (paper §1: "commonly used metrics include
+/// Euclidean distance or Hamming distance"): shard values are 64-bit
+/// patterns, distance = popcount(v XOR query).  Distances lie in [0, 64],
+/// so ties are everywhere — the unique-id tie-breaking does all the work.
+[[nodiscard]] std::vector<Key> score_hamming_shard(const ScalarShard& shard, Value query);
+[[nodiscard]] std::vector<std::vector<Key>> score_hamming_shards(
+    const std::vector<ScalarShard>& shards, Value query);
+
+/// Applies the paper's footnote-4 distance scaling to pre-scored shards:
+/// clears the low `drop_bits` of every rank (ids untouched).  See
+/// quantize_rank in data/key.hpp for the approximation guarantee.
+[[nodiscard]] std::vector<std::vector<Key>> quantize_scored_shards(
+    std::vector<std::vector<Key>> shards, unsigned drop_bits);
+
+/// Scores a vector shard under any metric.
+template <MetricFor M>
+[[nodiscard]] std::vector<Key> score_vector_shard(const VectorShard& shard, const PointD& query,
+                                                  const M& metric) {
+  std::vector<Key> keys;
+  keys.reserve(shard.points.size());
+  for (std::size_t i = 0; i < shard.points.size(); ++i) {
+    keys.push_back(Key{encode_distance(metric(shard.points[i], query)), shard.ids[i]});
+  }
+  return keys;
+}
+
+template <MetricFor M>
+[[nodiscard]] std::vector<std::vector<Key>> score_vector_shards(
+    const std::vector<VectorShard>& shards, const PointD& query, const M& metric) {
+  std::vector<std::vector<Key>> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(score_vector_shard(shard, query, metric));
+  return out;
+}
+
+/// Which distributed ℓ-NN / selection algorithm to run.
+enum class KnnAlgo : std::uint8_t {
+  DistKnn,      ///< the paper's Algorithm 2 (sampling + Algorithm 1)
+  CappedSelect, ///< the paper's §2.2 intermediate: Algorithm 1 directly on
+                ///< the kℓ locally-capped points, no sampling — O(log ℓ +
+                ///< log k) rounds (the log k the sampling step removes)
+  Simple,       ///< the paper's experimental baseline (gather everything)
+  SaukasSong,   ///< deterministic weighted-median selection [16]
+  BinSearch,    ///< binary search over the distance domain [3, 18]
+};
+
+[[nodiscard]] const char* knn_algo_name(KnnAlgo algo);
+
+/// Global result of one distributed run.
+struct GlobalRunResult {
+  /// The selected keys, globally merged and ascending; size = min(ℓ, n).
+  std::vector<Key> keys;
+  /// Engine cost report (rounds, messages, bits, compute).
+  RunReport report;
+  /// Pivot / median / probe iterations of the algorithm's driver loop.
+  std::uint32_t iterations = 0;
+  /// Algorithm 2 only: sampling attempts, post-prune candidate total,
+  /// whether pruning preserved the answer.
+  std::uint32_t attempts = 1;
+  std::uint64_t candidates = 0;
+  bool prune_ok = true;
+};
+
+/// Runs `algo` over pre-scored shards (shards.size() machines; shard i is
+/// machine i's local input).  `ell` is the paper's ℓ.
+[[nodiscard]] GlobalRunResult run_knn(const std::vector<std::vector<Key>>& scored_shards,
+                                      std::uint64_t ell, KnnAlgo algo,
+                                      const EngineConfig& engine_config,
+                                      const KnnConfig& knn_config = {});
+
+/// Runs plain distributed selection (Algorithm 1) over raw key shards —
+/// the ℓ-smallest-points problem of §2.1.
+[[nodiscard]] GlobalRunResult run_selection(const std::vector<std::vector<Key>>& key_shards,
+                                            std::uint64_t ell,
+                                            const EngineConfig& engine_config,
+                                            const SelectConfig& select_config = {});
+
+/// Reference answer: the min(ℓ, n) smallest keys across all shards.
+[[nodiscard]] std::vector<Key> expected_smallest(const std::vector<std::vector<Key>>& shards,
+                                                 std::uint64_t ell);
+
+/// Distributed quantiles — the paper's §1.2 framing ("the ℓ-nearest
+/// neighbors problem really boils down to the selection problem") as a
+/// first-class API: the φ-quantile of n distributed keys is the
+/// ⌈φ·n⌉-th smallest, found by Algorithm 1 in O(log n) rounds.
+struct QuantileResult {
+  Key value{};                ///< the φ-quantile key
+  std::uint64_t rank = 0;     ///< its 1-based rank (= ⌈φ·n⌉)
+  std::uint64_t total = 0;    ///< n
+  GlobalRunResult run;        ///< cost report (run.keys holds the ℓ prefix)
+};
+
+/// φ ∈ (0, 1]; requires at least one key across the shards.
+[[nodiscard]] QuantileResult run_quantile(const std::vector<std::vector<Key>>& key_shards,
+                                          double phi, const EngineConfig& engine_config,
+                                          const SelectConfig& select_config = {});
+
+/// Median = 0.5-quantile (lower median).
+[[nodiscard]] inline QuantileResult run_median(const std::vector<std::vector<Key>>& key_shards,
+                                               const EngineConfig& engine_config,
+                                               const SelectConfig& select_config = {}) {
+  return run_quantile(key_shards, 0.5, engine_config, select_config);
+}
+
+}  // namespace dknn

@@ -1,0 +1,149 @@
+#include "core/mlapi.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/protocol.hpp"
+#include "sim/collectives.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Generic payload collector: after dist_knn, each machine annotates its
+/// winning keys with a 64-bit payload word (label or bit-cast target) and
+/// ships them to the leader; the leader ends up with exactly the global
+/// winners' payloads.
+struct MlSlot {
+  std::vector<Key> selected;
+  std::uint32_t iterations = 0;
+  std::uint32_t attempts = 1;
+  std::uint64_t candidates = 0;
+  bool prune_ok = true;
+  std::vector<std::pair<Key, std::uint64_t>> winners;  ///< leader only
+};
+
+using KeyedPayload = std::pair<Key, std::uint64_t>;
+
+template <typename Lookup>
+Task<void> ml_program(Ctx& ctx, const std::vector<std::vector<Key>>* scored, std::uint64_t ell,
+                      KnnConfig knn_config, Lookup lookup, std::vector<MlSlot>* slots) {
+  MlSlot& slot = (*slots)[ctx.id()];
+  KnnLocal local = co_await dist_knn(ctx, (*scored)[ctx.id()], ell, knn_config);
+  slot.selected = local.selected;
+  slot.iterations = local.select_iterations;
+  slot.attempts = local.attempts;
+  slot.candidates = local.candidates;
+  slot.prune_ok = local.prune_ok;
+
+  std::vector<KeyedPayload> mine;
+  mine.reserve(local.selected.size());
+  for (const Key& key : local.selected) mine.emplace_back(key, lookup(ctx.id(), key.id));
+
+  // Gather winners at the leader (one message per non-leader machine; the
+  // winners number ℓ in total so the volume is O(ℓ log n) bits).
+  auto gathered = co_await gather<std::vector<KeyedPayload>>(ctx, knn_config.leader,
+                                                             tags::kMlPayload, mine);
+  if (ctx.id() == knn_config.leader) {
+    std::vector<KeyedPayload> winners;
+    for (auto& part : gathered) winners.insert(winners.end(), part.begin(), part.end());
+    std::sort(winners.begin(), winners.end());
+    slot.winners = std::move(winners);
+  }
+}
+
+GlobalRunResult make_run_result(std::vector<MlSlot>& slots, RunReport report, MachineId leader) {
+  GlobalRunResult run;
+  run.report = std::move(report);
+  for (auto& slot : slots) run.keys.insert(run.keys.end(), slot.selected.begin(), slot.selected.end());
+  std::sort(run.keys.begin(), run.keys.end());
+  run.iterations = slots[leader].iterations;
+  run.attempts = slots[leader].attempts;
+  run.candidates = slots[leader].candidates;
+  run.prune_ok = slots[leader].prune_ok;
+  return run;
+}
+
+}  // namespace
+
+ClassifyResult classify_distributed(const std::vector<LabeledKeyShard>& shards, std::uint64_t ell,
+                                    const EngineConfig& engine_config,
+                                    const KnnConfig& knn_config, VoteRule rule) {
+  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
+  std::vector<std::vector<Key>> scored;
+  scored.reserve(shards.size());
+  for (const auto& shard : shards) scored.push_back(shard.scored);
+
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(shards.size());
+  Engine engine(config);
+  std::vector<MlSlot> slots(shards.size());
+  auto lookup = [&shards](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& labels = shards[machine].labels;
+    const auto it = labels.find(id);
+    DKNN_REQUIRE(it != labels.end(), "winner id has no label on its machine");
+    return it->second;
+  };
+  RunReport report = engine.run(
+      [&](Ctx& ctx) { return ml_program(ctx, &scored, ell, knn_config, lookup, &slots); });
+
+  ClassifyResult result;
+  result.run = make_run_result(slots, std::move(report), knn_config.leader);
+  // Weighted vote; ties resolved toward the smallest label (deterministic).
+  std::map<std::uint32_t, double> tally;
+  for (const auto& [key, payload] : slots[knn_config.leader].winners) {
+    const auto label = static_cast<std::uint32_t>(payload);
+    result.votes.emplace_back(key, label);
+    double weight = 1.0;
+    if (rule == VoteRule::InverseDistance) {
+      // Ranks from make_labeled_key_shards are encode_distance-encoded.
+      weight = 1.0 / (decode_distance(key.rank) + 1e-9);
+    }
+    tally[label] += weight;
+  }
+  DKNN_REQUIRE(!result.votes.empty(), "classification needs at least one neighbor (ell >= 1)");
+  double best_weight = -1.0;
+  for (const auto& [label, weight] : tally) {
+    if (weight > best_weight) {  // map iterates ascending: first max wins ties
+      best_weight = weight;
+      result.label = label;
+    }
+  }
+  return result;
+}
+
+RegressResult regress_distributed(const std::vector<TargetKeyShard>& shards, std::uint64_t ell,
+                                  const EngineConfig& engine_config, const KnnConfig& knn_config) {
+  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
+  std::vector<std::vector<Key>> scored;
+  scored.reserve(shards.size());
+  for (const auto& shard : shards) scored.push_back(shard.scored);
+
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(shards.size());
+  Engine engine(config);
+  std::vector<MlSlot> slots(shards.size());
+  auto lookup = [&shards](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& targets = shards[machine].targets;
+    const auto it = targets.find(id);
+    DKNN_REQUIRE(it != targets.end(), "winner id has no target on its machine");
+    return std::bit_cast<std::uint64_t>(it->second);
+  };
+  RunReport report = engine.run(
+      [&](Ctx& ctx) { return ml_program(ctx, &scored, ell, knn_config, lookup, &slots); });
+
+  RegressResult result;
+  result.run = make_run_result(slots, std::move(report), knn_config.leader);
+  DKNN_REQUIRE(!slots[knn_config.leader].winners.empty(),
+               "regression needs at least one neighbor (ell >= 1)");
+  double sum = 0.0;
+  for (const auto& [key, payload] : slots[knn_config.leader].winners) {
+    const double y = std::bit_cast<double>(payload);
+    result.contributions.emplace_back(key, y);
+    sum += y;
+  }
+  result.prediction = sum / static_cast<double>(result.contributions.size());
+  return result;
+}
+
+}  // namespace dknn

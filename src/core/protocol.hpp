@@ -1,0 +1,101 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Shared message tags and wire structs for the core algorithms.
+///
+/// Tag blocks (collision-free with election's 0x10xx block):
+///   0x20xx  Algorithm 1 (distributed selection)
+///   0x21xx  Algorithm 2 (distributed ℓ-NN)
+///   0x22xx  simple gather baseline
+///   0x23xx  Saukas–Song deterministic selection
+///   0x24xx  binary-search-on-distance kNN
+///   0x25xx  ML facade (label/target collection)
+
+#include <cstdint>
+
+#include "data/key.hpp"
+#include "net/types.hpp"
+#include "serial/codec.hpp"
+
+namespace dknn {
+namespace tags {
+
+// Algorithm 1 — Finding-ℓ-Smallest-Points
+inline constexpr Tag kSelInit = 0x2001;        ///< leader asks (n_i, m_i, M_i)
+inline constexpr Tag kSelInitReply = 0x2002;
+inline constexpr Tag kSelPivotReq = 0x2003;    ///< leader asks machine i for a pivot
+inline constexpr Tag kSelPivotReply = 0x2004;
+inline constexpr Tag kSelCountReq = 0x2005;    ///< leader asks |{x : x ∈ (lo, p]}|
+inline constexpr Tag kSelCountReply = 0x2006;
+inline constexpr Tag kSelFinished = 0x2007;    ///< leader broadcasts the final bound
+
+// Algorithm 2 — Distributed ℓ-NN
+inline constexpr Tag kKnnSampleHeader = 0x2100;  ///< per-machine sample count + |S_i|
+inline constexpr Tag kKnnSample = 0x2101;      ///< machines send sampled keys
+inline constexpr Tag kKnnRadius = 0x2102;      ///< leader broadcasts pruning key r
+inline constexpr Tag kKnnCount = 0x2103;       ///< machines report surviving counts
+inline constexpr Tag kKnnDecision = 0x2104;    ///< proceed / retry / all-input
+
+// Simple baseline
+inline constexpr Tag kSimpleShip = 0x2201;     ///< machines ship their local ℓ-NN
+inline constexpr Tag kSimpleDone = 0x2202;     ///< leader broadcasts the threshold
+
+// Saukas–Song
+inline constexpr Tag kSsSummary = 0x2301;      ///< (local median, active count)
+inline constexpr Tag kSsMedian = 0x2302;       ///< weighted median broadcast
+inline constexpr Tag kSsCounts = 0x2303;       ///< (less, less-or-equal) counts
+inline constexpr Tag kSsDecision = 0x2304;     ///< drop-high / drop-low / finished
+
+// Binary search
+inline constexpr Tag kBsInit = 0x2401;         ///< (count, min, max) gather
+inline constexpr Tag kBsProbe = 0x2402;        ///< threshold broadcast
+inline constexpr Tag kBsCount = 0x2403;        ///< count reply
+inline constexpr Tag kBsFinished = 0x2404;
+
+// ML facade
+inline constexpr Tag kMlPayload = 0x2501;      ///< (key, label/target) of winners
+inline constexpr Tag kMlAnswer = 0x2502;       ///< leader broadcasts prediction
+
+}  // namespace tags
+
+/// Init reply of Algorithm 1: this machine's in-play count and extrema.
+/// Machines holding zero points send counted = 0 with ignored extrema.
+struct SelInit {
+  std::uint64_t count = 0;
+  Key min_key{};
+  Key max_key{};
+};
+
+inline void encode(Writer& w, const SelInit& v) {
+  w.put_varint(v.count);
+  encode(w, v.min_key);
+  encode(w, v.max_key);
+}
+inline SelInit decode_impl(Reader& r, std::type_identity<SelInit>) {
+  SelInit v;
+  v.count = r.get_varint();
+  v.min_key = decode<Key>(r);
+  v.max_key = decode<Key>(r);
+  return v;
+}
+
+/// Final broadcast of Algorithm 1.
+struct SelFinished {
+  bool any = false;        ///< false: select nothing (ℓ == 0)
+  Key bound{};             ///< answer = all keys <= bound (when any)
+  std::uint32_t iterations = 0;  ///< pivot iterations the leader used
+};
+
+inline void encode(Writer& w, const SelFinished& v) {
+  w.put_bool(v.any);
+  encode(w, v.bound);
+  w.put_u32(v.iterations);
+}
+inline SelFinished decode_impl(Reader& r, std::type_identity<SelFinished>) {
+  SelFinished v;
+  v.any = r.get_bool();
+  v.bound = decode<Key>(r);
+  v.iterations = r.get_u32();
+  return v;
+}
+
+}  // namespace dknn

@@ -1,0 +1,225 @@
+#include "core/saukas_song.hpp"
+
+#include <algorithm>
+
+#include "seq/weighted_median.hpp"
+#include "sim/collectives.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Per-iteration machine summary: lower median of the active window, the
+/// window size, and the window maximum (for the ℓ >= n early exit).
+struct Summary {
+  std::uint64_t count = 0;
+  Key median{};
+  Key max_key{};
+};
+
+void encode(Writer& w, const Summary& v) {
+  w.put_varint(v.count);
+  encode(w, v.median);
+  encode(w, v.max_key);
+}
+Summary decode_impl(Reader& r, std::type_identity<Summary>) {
+  Summary v;
+  v.count = r.get_varint();
+  v.median = decode<Key>(r);
+  v.max_key = decode<Key>(r);
+  return v;
+}
+
+/// (less-than, less-or-equal) counts against the broadcast median.
+using LessLeq = std::pair<std::uint64_t, std::uint64_t>;
+
+enum class Action : std::uint8_t {
+  DropHigh = 0,  ///< keep active keys < M
+  DropLow = 1,   ///< accept active keys <= M into the answer; keep > M
+  Finished = 2,
+};
+
+struct SsDecision {
+  Action action = Action::Finished;
+  bool any = false;  ///< Finished only: whether anything is selected
+  Key key{};         ///< M for drops, the final bound for Finished
+};
+
+void encode(Writer& w, const SsDecision& v) {
+  w.put_u8(static_cast<std::uint8_t>(v.action));
+  w.put_bool(v.any);
+  encode(w, v.key);
+}
+SsDecision decode_impl(Reader& r, std::type_identity<SsDecision>) {
+  SsDecision v;
+  v.action = static_cast<Action>(r.get_u8());
+  v.any = r.get_bool();
+  v.key = decode<Key>(r);
+  return v;
+}
+
+/// Active window [lo, hi) into the machine's sorted keys.
+struct Window {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  [[nodiscard]] std::size_t size() const { return hi - lo; }
+};
+
+Summary summarize(const std::vector<Key>& sorted, const Window& win) {
+  Summary s;
+  s.count = win.size();
+  if (s.count > 0) {
+    s.median = sorted[win.lo + (win.size() - 1) / 2];  // lower median
+    s.max_key = sorted[win.hi - 1];
+  }
+  return s;
+}
+
+LessLeq count_against(const std::vector<Key>& sorted, const Window& win, const Key& m) {
+  const auto begin = sorted.begin() + static_cast<std::ptrdiff_t>(win.lo);
+  const auto end = sorted.begin() + static_cast<std::ptrdiff_t>(win.hi);
+  const auto less = static_cast<std::uint64_t>(std::lower_bound(begin, end, m) - begin);
+  const auto leq = static_cast<std::uint64_t>(std::upper_bound(begin, end, m) - begin);
+  return {less, leq};
+}
+
+void apply_drop(const std::vector<Key>& sorted, Window& win, Action action, const Key& m) {
+  const auto begin = sorted.begin() + static_cast<std::ptrdiff_t>(win.lo);
+  const auto end = sorted.begin() + static_cast<std::ptrdiff_t>(win.hi);
+  if (action == Action::DropHigh) {
+    win.hi = win.lo + static_cast<std::size_t>(std::lower_bound(begin, end, m) - begin);
+  } else {
+    win.lo = win.lo + static_cast<std::size_t>(std::upper_bound(begin, end, m) - begin);
+  }
+}
+
+SaukasSongLocal make_result(const std::vector<Key>& sorted, const SsDecision& fin,
+                            std::uint32_t iterations) {
+  SaukasSongLocal out;
+  out.iterations = iterations;
+  out.any = fin.any;
+  out.bound = fin.key;
+  if (fin.any) {
+    const auto end = std::upper_bound(sorted.begin(), sorted.end(), fin.key);
+    out.selected.assign(sorted.begin(), end);
+  }
+  return out;
+}
+
+}  // namespace
+
+Task<SaukasSongLocal> saukas_song_select(Ctx& ctx, std::vector<Key> local_keys, std::uint64_t ell,
+                                         SaukasSongConfig config) {
+  DKNN_REQUIRE(config.leader < ctx.world(), "leader id out of range");
+  const std::uint32_t k = ctx.world();
+  const bool is_leader = ctx.id() == config.leader;
+  std::sort(local_keys.begin(), local_keys.end());
+  DKNN_REQUIRE(std::adjacent_find(local_keys.begin(), local_keys.end()) == local_keys.end(),
+               "local keys must be distinct (use unique point ids)");
+  Window win{0, local_keys.size()};
+
+  std::uint32_t iterations = 0;
+  bool first_iteration = true;
+  std::uint64_t remaining = 0;  // leader: ℓ minus accepted prefix keys
+
+  while (true) {
+    // --- summaries --------------------------------------------------------
+    const Summary mine = summarize(local_keys, win);
+    if (!is_leader) {
+      ctx.send_value(config.leader, tags::kSsSummary, mine);
+      // The leader either finishes straight away (ℓ == 0 or the active set
+      // shrank to exactly ℓ) or broadcasts a median probe first.
+      std::vector<Tag> watched{tags::kSsMedian, tags::kSsDecision};
+      Envelope env = co_await recv_any(ctx, std::move(watched));
+      if (env.tag == tags::kSsDecision) {
+        const auto decision = from_bytes<SsDecision>(env.payload);
+        DKNN_ASSERT(decision.action == Action::Finished,
+                    "drop decision without a median probe");
+        co_return make_result(local_keys, decision, iterations);
+      }
+      ++iterations;
+      const auto m = from_bytes<Key>(env.payload);
+      ctx.send_value(config.leader, tags::kSsCounts, count_against(local_keys, win, m));
+      const auto decision =
+          co_await recv_value_from<SsDecision>(ctx, config.leader, tags::kSsDecision);
+      if (decision.action == Action::Finished) {
+        co_return make_result(local_keys, decision, iterations);
+      }
+      apply_drop(local_keys, win, decision.action, decision.key);
+      continue;
+    }
+
+    // --- leader -------------------------------------------------------------
+    std::vector<WeightedKey> medians;
+    medians.reserve(k);
+    std::uint64_t active_total = mine.count;
+    Key active_max = mine.count > 0 ? mine.max_key : Key::min_key();
+    bool any_active = mine.count > 0;
+    if (mine.count > 0) medians.push_back(WeightedKey{mine.median, mine.count});
+    if (k > 1) {
+      auto summaries = co_await recv_n(ctx, tags::kSsSummary, k - 1);
+      for (const auto& env : summaries) {
+        const auto s = from_bytes<Summary>(env.payload);
+        active_total += s.count;
+        if (s.count > 0) {
+          medians.push_back(WeightedKey{s.median, s.count});
+          active_max = any_active ? std::max(active_max, s.max_key) : s.max_key;
+          any_active = true;
+        }
+      }
+    }
+    if (first_iteration) {
+      remaining = std::min<std::uint64_t>(ell, active_total);
+      first_iteration = false;
+    }
+
+    auto finish = [&](SsDecision fin) {
+      for (MachineId m = 0; m < k; ++m) {
+        if (m != config.leader) ctx.send_value(m, tags::kSsDecision, fin);
+      }
+      return make_result(local_keys, fin, iterations);
+    };
+
+    if (remaining == 0) {
+      co_return finish(SsDecision{Action::Finished, false, Key{}});
+    }
+    if (remaining == active_total) {
+      co_return finish(SsDecision{Action::Finished, true, active_max});
+    }
+    DKNN_ASSERT(remaining < active_total, "selection target exceeds active keys");
+
+    // --- weighted median + counts ------------------------------------------
+    ++iterations;
+    const Key m = weighted_median(medians);
+    for (MachineId peer = 0; peer < k; ++peer) {
+      if (peer != config.leader) ctx.send_value(peer, tags::kSsMedian, m);
+    }
+    auto [less, leq] = count_against(local_keys, win, m);
+    if (k > 1) {
+      auto counts = co_await recv_n(ctx, tags::kSsCounts, k - 1);
+      for (const auto& env : counts) {
+        const auto c = from_bytes<LessLeq>(env.payload);
+        less += c.first;
+        leq += c.second;
+      }
+    }
+
+    SsDecision decision;
+    if (remaining <= less) {
+      decision = SsDecision{Action::DropHigh, false, m};
+      apply_drop(local_keys, win, Action::DropHigh, m);
+    } else if (remaining <= leq) {
+      // Exact boundary: with distinct keys, leq == less + 1 == remaining.
+      co_return finish(SsDecision{Action::Finished, true, m});
+    } else {
+      decision = SsDecision{Action::DropLow, false, m};
+      remaining -= leq;
+      apply_drop(local_keys, win, Action::DropLow, m);
+    }
+    for (MachineId peer = 0; peer < k; ++peer) {
+      if (peer != config.leader) ctx.send_value(peer, tags::kSsDecision, decision);
+    }
+  }
+}
+
+}  // namespace dknn

@@ -1,0 +1,51 @@
+#pragma once
+/// \file saukas_song.hpp
+/// \brief Deterministic distributed selection via weighted medians —
+///        Saukas & Song (SC'98), the related work the paper calls "closest
+///        to the spirit of our work" (§1.4).
+///
+/// Per iteration every machine reports (its local median of the active set,
+/// active count); the leader broadcasts the *weighted median* M of those
+/// medians; machines report how many active keys are < M and ≤ M; the
+/// leader either finishes (the ℓ-th smallest is M exactly — with distinct
+/// keys this is an exact boundary) or discards one side.  The weighted
+/// median guarantees ≥ 1/4 of the active keys drop each iteration, so the
+/// loop runs O(log n) times deterministically (the paper cites the bound as
+/// O(log(kℓ)) rounds and O(k log(kℓ) log ℓ) messages for the capped ℓ-NN
+/// instance).
+///
+/// Unlike Algorithm 1's stateless followers, machines here carry their
+/// active window across iterations (two indices into their sorted keys).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "data/key.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+struct SaukasSongConfig {
+  MachineId leader = 0;
+};
+
+struct SaukasSongLocal {
+  /// This machine's keys among the global ℓ smallest (ascending).
+  std::vector<Key> selected;
+  /// Weighted-median iterations (same value on every machine).
+  std::uint32_t iterations = 0;
+  /// Final answer bound (selected == local keys <= bound), valid when any.
+  Key bound{};
+  bool any = false;
+};
+
+/// Runs Saukas–Song selection; every machine calls with the same `ell` and
+/// `config`.  Selects min(ell, Σ|local_keys|) keys globally.  Deterministic:
+/// identical inputs give identical iteration counts and results.
+[[nodiscard]] Task<SaukasSongLocal> saukas_song_select(Ctx& ctx, std::vector<Key> local_keys,
+                                                       std::uint64_t ell,
+                                                       SaukasSongConfig config = {});
+
+}  // namespace dknn

@@ -1,0 +1,47 @@
+#pragma once
+/// \file simple_knn.hpp
+/// \brief The paper's experimental baseline (§3): "each machine finds its
+///        local ℓ-NN. Then it transfers all of them to a leader machine
+///        that finds the final ℓ-NN among those points."
+///
+/// Under the model's B-bits-per-round links, shipping ℓ keys from each
+/// machine costs Θ(ℓ·|key| / B) rounds — the O(ℓ) round complexity the
+/// paper contrasts with Algorithm 2's O(log ℓ) (the links drain in
+/// parallel, so the gather is Θ(ℓ) regardless of k, while the leader's
+/// merge work grows as Θ(kℓ)).  Run it under BandwidthPolicy::Chunked to
+/// see those rounds emerge; under Unlimited it degenerates to a 1-round
+/// gather (useful for message counting only).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "data/key.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+struct SimpleKnnConfig {
+  MachineId leader = 0;
+  /// When true the leader broadcasts the answer threshold so every machine
+  /// can emit its own winners (symmetric with dist_knn's output); costs one
+  /// more round and k−1 messages.
+  bool announce_threshold = true;
+};
+
+struct SimpleKnnLocal {
+  /// This machine's keys among the global ℓ nearest (ascending); filled on
+  /// every machine when announce_threshold, otherwise only the leader's
+  /// perspective below is filled.
+  std::vector<Key> selected;
+  /// Leader only: the merged global answer (ascending), empty elsewhere.
+  std::vector<Key> merged;
+};
+
+/// Runs the simple gather baseline; every machine calls with the same
+/// `ell`/`config`.  Selects min(ell, Σ|local_scored|) keys globally.
+[[nodiscard]] Task<SimpleKnnLocal> simple_knn(Ctx& ctx, std::vector<Key> local_scored,
+                                              std::uint64_t ell, SimpleKnnConfig config = {});
+
+}  // namespace dknn

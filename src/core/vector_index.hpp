@@ -1,0 +1,68 @@
+#pragma once
+/// \file vector_index.hpp
+/// \brief Per-machine k-d tree acceleration of the local scoring step.
+///
+/// The paper's related-work discussion (§1.4, citing Patwary et al.'s PANDA
+/// [14]) is clear-eyed about k-d trees in the k-machine model: a *global*
+/// distributed tree pays heavy construction communication, but a *local*
+/// tree is pure local computation — free in the model, and a large
+/// constant-factor win in real wall-clock.  `VectorIndex` is exactly that:
+/// each machine builds a k-d tree over its own shard once, and each query's
+/// local-top-ℓ step becomes an O(ℓ log n_i)-ish tree search instead of an
+/// O(n_i · d) scan.  The distributed protocol (and its round/message costs)
+/// is completely unchanged: dist_knn receives each machine's top-ℓ keys
+/// either way (top-ℓ of a top-ℓ set is the same set).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "data/key.hpp"
+#include "seq/kdtree.hpp"
+
+namespace dknn {
+
+/// One machine's immutable spatial index over its shard (Euclidean metric).
+class VectorIndex {
+public:
+  explicit VectorIndex(const VectorShard& shard) : tree_(shard.points, shard.ids) {}
+
+  /// The machine's ℓ best (distance, id) keys for `query`, ascending — a
+  /// drop-in replacement for scoring + local capping.
+  [[nodiscard]] std::vector<Key> top_ell(const PointD& query, std::uint64_t ell) const {
+    std::vector<Key> keys;
+    auto hits = tree_.knn(query, static_cast<std::size_t>(std::min<std::uint64_t>(
+                                     ell, tree_.size())));
+    keys.reserve(hits.size());
+    for (const auto& [key, index] : hits) keys.push_back(key);
+    return keys;
+  }
+
+  [[nodiscard]] std::size_t size() const { return tree_.size(); }
+  [[nodiscard]] const KdTree& tree() const { return tree_; }
+
+private:
+  KdTree tree_;
+};
+
+/// Builds one index per shard (one-off O(n_i log n_i) local work each).
+[[nodiscard]] inline std::vector<VectorIndex> make_vector_indexes(
+    const std::vector<VectorShard>& shards) {
+  std::vector<VectorIndex> indexes;
+  indexes.reserve(shards.size());
+  for (const auto& shard : shards) indexes.emplace_back(shard);
+  return indexes;
+}
+
+/// Index-accelerated scoring: per machine, only the local top-ℓ keys.
+/// Feeding these to run_knn gives results identical to the brute-scored
+/// path (property-tested) at a fraction of the local compute.
+[[nodiscard]] inline std::vector<std::vector<Key>> score_indexed_shards(
+    const std::vector<VectorIndex>& indexes, const PointD& query, std::uint64_t ell) {
+  std::vector<std::vector<Key>> out;
+  out.reserve(indexes.size());
+  for (const auto& index : indexes) out.push_back(index.top_ell(query, ell));
+  return out;
+}
+
+}  // namespace dknn

@@ -1,0 +1,91 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+std::vector<Value> uniform_u64(std::size_t count, Rng& rng, Value lo, Value hi) {
+  DKNN_REQUIRE(lo <= hi, "uniform_u64: lo must be <= hi");
+  std::vector<Value> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(rng.between(lo, hi));
+  return out;
+}
+
+std::vector<Value> duplicate_heavy_u64(std::size_t count, std::size_t distinct, Rng& rng) {
+  DKNN_REQUIRE(distinct >= 1, "duplicate_heavy_u64 needs at least one distinct value");
+  std::vector<Value> candidates = uniform_u64(distinct, rng);
+  std::vector<Value> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(candidates[static_cast<std::size_t>(rng.below(candidates.size()))]);
+  }
+  return out;
+}
+
+GaussianMixture::GaussianMixture(const ClusterSpec& spec, Rng& rng) : spec_(spec) {
+  DKNN_REQUIRE(spec_.clusters >= 1, "need at least one cluster");
+  DKNN_REQUIRE(spec_.dim >= 1, "need at least one dimension");
+  centers_.reserve(spec_.clusters);
+  for (std::uint32_t c = 0; c < spec_.clusters; ++c) {
+    std::vector<double> coords(spec_.dim);
+    for (auto& x : coords) x = (rng.uniform01() * 2.0 - 1.0) * spec_.center_box;
+    centers_.emplace_back(std::move(coords));
+  }
+}
+
+std::vector<LabeledPoint> GaussianMixture::sample(std::size_t count, Rng& rng) const {
+  std::vector<LabeledPoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<std::uint32_t>(rng.below(spec_.clusters));
+    std::vector<double> coords(spec_.dim);
+    for (std::size_t j = 0; j < spec_.dim; ++j) {
+      coords[j] = centers_[label][j] + rng.gaussian(0.0, spec_.spread);
+    }
+    out.push_back(LabeledPoint{PointD(std::move(coords)), label});
+  }
+  return out;
+}
+
+std::vector<LabeledPoint> gaussian_clusters(std::size_t count, const ClusterSpec& spec, Rng& rng) {
+  return GaussianMixture(spec, rng).sample(count, rng);
+}
+
+double regression_truth(const PointD& x) {
+  double y = 0.0;
+  for (std::size_t j = 0; j < x.dim(); ++j) y += std::sin(x[j]);
+  if (x.dim() > 0) y += x[0] / 2.0;
+  return y;
+}
+
+std::vector<RegressionPoint> regression_dataset(std::size_t count, std::size_t dim, double range,
+                                                double noise_stddev, Rng& rng) {
+  DKNN_REQUIRE(dim >= 1, "need at least one dimension");
+  std::vector<RegressionPoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> coords(dim);
+    for (auto& x : coords) x = (rng.uniform01() * 2.0 - 1.0) * range;
+    PointD p(std::move(coords));
+    const double y = regression_truth(p) + rng.gaussian(0.0, noise_stddev);
+    out.push_back(RegressionPoint{std::move(p), y});
+  }
+  return out;
+}
+
+std::vector<PointD> uniform_points(std::size_t count, std::size_t dim, double range, Rng& rng) {
+  DKNN_REQUIRE(dim >= 1, "need at least one dimension");
+  std::vector<PointD> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> coords(dim);
+    for (auto& x : coords) x = (rng.uniform01() * 2.0 - 1.0) * range;
+    out.emplace_back(std::move(coords));
+  }
+  return out;
+}
+
+}  // namespace dknn

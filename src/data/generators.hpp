@@ -1,0 +1,76 @@
+#pragma once
+/// \file generators.hpp
+/// \brief Synthetic dataset generators.
+///
+/// `uniform_u64` is the paper's exact experimental workload (§3: "Each
+/// process generated 2²² random points independently between 0 and
+/// 2³² − 1").  The labeled/regression generators back the ML examples the
+/// paper's introduction motivates, and the duplicate-heavy generator
+/// stresses the tie-breaking path.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point.hpp"
+#include "rng/rng.hpp"
+
+namespace dknn {
+
+/// `count` uniform values in [lo, hi] (defaults: the paper's [0, 2³² − 1]).
+[[nodiscard]] std::vector<Value> uniform_u64(std::size_t count, Rng& rng, Value lo = 0,
+                                             Value hi = (1ULL << 32) - 1);
+
+/// `count` values drawn from only `distinct` candidates — many exact
+/// duplicates, exercising the (distance, id) tie-break everywhere.
+[[nodiscard]] std::vector<Value> duplicate_heavy_u64(std::size_t count, std::size_t distinct,
+                                                     Rng& rng);
+
+/// Parameters for the Gaussian-mixture classification generator.
+struct ClusterSpec {
+  std::size_t dim = 2;
+  std::uint32_t clusters = 3;
+  double center_box = 100.0;  ///< cluster centers uniform in [-box, box]^d
+  double spread = 3.0;        ///< per-coordinate stddev within a cluster
+};
+
+/// A Gaussian mixture with *fixed* centers: construct once, then draw any
+/// number of train/test samples from the same population (drawing train and
+/// test through separate `gaussian_clusters` calls would re-randomize the
+/// centers and make labels incomparable).
+class GaussianMixture {
+public:
+  /// Draws `spec.clusters` centers uniformly in [-box, box]^dim.
+  GaussianMixture(const ClusterSpec& spec, Rng& rng);
+
+  /// Samples labeled points: label = cluster index.
+  [[nodiscard]] std::vector<LabeledPoint> sample(std::size_t count, Rng& rng) const;
+
+  [[nodiscard]] const std::vector<PointD>& centers() const { return centers_; }
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+
+private:
+  ClusterSpec spec_;
+  std::vector<PointD> centers_;
+};
+
+/// Labeled Gaussian mixture: label = cluster index.  Convenience for
+/// one-shot datasets; draws fresh centers each call (see GaussianMixture
+/// for train/test splits).
+[[nodiscard]] std::vector<LabeledPoint> gaussian_clusters(std::size_t count,
+                                                          const ClusterSpec& spec, Rng& rng);
+
+/// Regression synthetic: y = Σ_j sin(x_j) + x_0/2 + noise, x uniform in
+/// [-range, range]^d. Smooth enough that ℓ-NN regression tracks it.
+[[nodiscard]] std::vector<RegressionPoint> regression_dataset(std::size_t count, std::size_t dim,
+                                                              double range, double noise_stddev,
+                                                              Rng& rng);
+
+/// The noiseless target function used by regression_dataset (for test
+/// error measurement).
+[[nodiscard]] double regression_truth(const PointD& x);
+
+/// `count` uniform points in [-range, range]^dim.
+[[nodiscard]] std::vector<PointD> uniform_points(std::size_t count, std::size_t dim, double range,
+                                                 Rng& rng);
+
+}  // namespace dknn

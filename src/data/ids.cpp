@@ -1,0 +1,29 @@
+#include "data/ids.hpp"
+
+#include <unordered_set>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+std::vector<PointId> assign_random_ids(std::size_t count, Rng& rng) {
+  // Domain [1, hi]: n³ when it fits, else the full 63-bit range. Either way
+  // collisions are vanishingly rare; the redraw loop certifies uniqueness.
+  const auto n = static_cast<std::uint64_t>(count);
+  std::uint64_t hi = ~std::uint64_t{0} >> 1;
+  if (n > 0 && n < (1ULL << 21)) {  // n^3 < 2^63: use the paper's [1, n^3]
+    const std::uint64_t cubed = n * n * n;
+    hi = std::max<std::uint64_t>(cubed, 2);  // degenerate tiny n still needs room
+  }
+  std::unordered_set<PointId> used;
+  used.reserve(count * 2);
+  std::vector<PointId> ids;
+  ids.reserve(count);
+  while (ids.size() < count) {
+    const PointId candidate = rng.between(1, hi);
+    if (used.insert(candidate).second) ids.push_back(candidate);
+  }
+  return ids;
+}
+
+}  // namespace dknn

@@ -1,0 +1,23 @@
+#pragma once
+/// \file ids.hpp
+/// \brief Random unique point identifiers (paper §2).
+///
+/// "one can use randomization to choose a unique ID for each of the n
+/// points (choose a random number between say [1, n³] and they will be
+/// unique with high probability)".  We draw from [1, max(n³, 2⁶³)) and
+/// additionally *enforce* uniqueness by redrawing collisions — the paper's
+/// w.h.p. guarantee becomes a certainty without changing the distribution
+/// model, and downstream tie-breaking stays sound in every test run.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point.hpp"
+#include "rng/rng.hpp"
+
+namespace dknn {
+
+/// `count` distinct random ids, each ≥ 1.
+[[nodiscard]] std::vector<PointId> assign_random_ids(std::size_t count, Rng& rng);
+
+}  // namespace dknn

@@ -1,0 +1,105 @@
+#pragma once
+/// \file key.hpp
+/// \brief The total order every distributed algorithm in this repo runs on.
+///
+/// A `Key` is a (distance, id) pair.  Distances are carried as 64-bit
+/// unsigned "ranks": scalar |p − q| distances are used directly, and
+/// non-negative doubles are mapped through an order-preserving bit trick
+/// (IEEE-754 non-negative doubles compare identically as integers).  IDs
+/// are the paper's random unique identifiers, so *all* keys are distinct
+/// and ties in distance are broken exactly as §2 prescribes.  Keys are 128
+/// bits on the wire — O(log n)-bit messages in the model's terms.
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+#include "serial/codec.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// Order-preserving encoding of a non-negative finite double into uint64.
+[[nodiscard]] inline std::uint64_t encode_distance(double d) {
+  DKNN_REQUIRE(d >= 0.0, "distances must be non-negative");
+  DKNN_REQUIRE(d == d, "distance is NaN");
+  // For non-negative IEEE doubles, the bit pattern is monotone in value.
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+/// Inverse of encode_distance.
+[[nodiscard]] inline double decode_distance(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+
+/// Approximate distances via scaling — paper §2, footnote 4: "if distances
+/// are very large, one can use scaling to work with approximate distances
+/// which will be accurate with good approximation."  Clearing the low
+/// `drop_bits` of every rank makes all comparisons coarse by at most one
+/// quantization step: selecting on quantized keys returns points whose
+/// true distance exceeds the exact ℓ-th distance by < 2^drop_bits
+/// (property-tested in tests/test_extensions.cpp).  On a real wire this is
+/// what lets distance words shrink below O(log n) bits.
+[[nodiscard]] constexpr std::uint64_t quantize_rank(std::uint64_t rank, unsigned drop_bits) {
+  DKNN_REQUIRE(drop_bits <= 63, "quantize_rank: must keep at least one bit");
+  const std::uint64_t mask = ~std::uint64_t{0} << drop_bits;
+  return rank & mask;
+}
+
+/// Totally ordered (distance-rank, id) pair.
+struct Key {
+  std::uint64_t rank = 0;  ///< distance or scalar value, order-preserving
+  std::uint64_t id = 0;    ///< unique tie-breaking point id
+
+  friend constexpr auto operator<=>(const Key&, const Key&) = default;
+
+  [[nodiscard]] static constexpr Key min_key() { return Key{0, 0}; }
+  [[nodiscard]] static constexpr Key max_key() {
+    return Key{std::numeric_limits<std::uint64_t>::max(),
+               std::numeric_limits<std::uint64_t>::max()};
+  }
+};
+
+inline void encode(Writer& w, const Key& k) {
+  w.put_u64(k.rank);
+  w.put_u64(k.id);
+}
+inline Key decode_impl(Reader& r, std::type_identity<Key>) {
+  Key k;
+  k.rank = r.get_u64();
+  k.id = r.get_u64();
+  return k;
+}
+
+/// Half-open search interval (lo, hi] over keys.
+///
+/// Algorithm 1's pseudocode keeps an inclusive [min, max] and sets
+/// `min ← p` when accepting a prefix, which would recount the pivot; with
+/// distinct keys the intended semantics is "strictly above p", i.e. a
+/// half-open interval.  `lo = nullopt` means unbounded below (the initial
+/// range must include the global minimum itself).
+struct KeyRange {
+  /// Exclusive lower bound; empty = −∞.
+  bool has_lo = false;
+  Key lo{};
+  /// Inclusive upper bound.
+  Key hi = Key::max_key();
+
+  [[nodiscard]] bool contains(const Key& k) const { return (!has_lo || lo < k) && k <= hi; }
+};
+
+inline void encode(Writer& w, const KeyRange& r) {
+  w.put_bool(r.has_lo);
+  encode(w, r.lo);
+  encode(w, r.hi);
+}
+inline KeyRange decode_impl(Reader& r, std::type_identity<KeyRange>) {
+  KeyRange out;
+  out.has_lo = r.get_bool();
+  out.lo = decode_impl(r, std::type_identity<Key>{});
+  out.hi = decode_impl(r, std::type_identity<Key>{});
+  return out;
+}
+
+}  // namespace dknn

@@ -1,0 +1,102 @@
+#pragma once
+/// \file metric.hpp
+/// \brief Distance functions.
+///
+/// The paper's dis(p, q) "can be taken any absolute norm ||p − q||" (§1.5);
+/// the algorithms only ever *compare* distances, so any monotone transform
+/// of a metric works too (squared Euclidean avoids the sqrt in hot loops —
+/// it induces the same ℓ-NN order as Euclidean, which tests verify).
+
+#include <bit>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+
+#include "data/point.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// A metric maps two PointD to a non-negative double distance.
+template <typename M>
+concept MetricFor = requires(const M& m, const PointD& a, const PointD& b) {
+  { m(a, b) } -> std::convertible_to<double>;
+};
+
+namespace detail {
+inline void check_dims(const PointD& a, const PointD& b) {
+  DKNN_REQUIRE(a.dim() == b.dim(), "metric: dimension mismatch");
+}
+}  // namespace detail
+
+/// ||a − b||₂
+struct EuclideanMetric {
+  double operator()(const PointD& a, const PointD& b) const {
+    detail::check_dims(a, b);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+      const double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+};
+
+/// ||a − b||₂² — same ℓ-NN ordering as Euclidean, no sqrt. Not a metric
+/// (triangle inequality fails) but a valid comparison key.
+struct SquaredEuclidean {
+  double operator()(const PointD& a, const PointD& b) const {
+    detail::check_dims(a, b);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+      const double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return sum;
+  }
+};
+
+/// ||a − b||₁
+struct ManhattanMetric {
+  double operator()(const PointD& a, const PointD& b) const {
+    detail::check_dims(a, b);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.dim(); ++i) sum += std::fabs(a[i] - b[i]);
+    return sum;
+  }
+};
+
+/// ||a − b||∞
+struct ChebyshevMetric {
+  double operator()(const PointD& a, const PointD& b) const {
+    detail::check_dims(a, b);
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.dim(); ++i) best = std::max(best, std::fabs(a[i] - b[i]));
+    return best;
+  }
+};
+
+/// ||a − b||_p for p ≥ 1.
+struct MinkowskiMetric {
+  double p = 3.0;
+  explicit MinkowskiMetric(double p_in) : p(p_in) { DKNN_REQUIRE(p >= 1.0, "Minkowski needs p >= 1"); }
+  double operator()(const PointD& a, const PointD& b) const {
+    detail::check_dims(a, b);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.dim(); ++i) sum += std::pow(std::fabs(a[i] - b[i]), p);
+    return std::pow(sum, 1.0 / p);
+  }
+};
+
+/// Hamming distance between 64-bit patterns (paper §1: "commonly used
+/// metrics include Euclidean distance or Hamming distance").
+[[nodiscard]] inline std::uint32_t hamming_distance(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint32_t>(std::popcount(a ^ b));
+}
+
+/// Scalar distance used by the paper's experiments: |p − q| on uint64.
+[[nodiscard]] inline std::uint64_t scalar_distance(std::uint64_t p, std::uint64_t q) {
+  return p > q ? p - q : q - p;
+}
+
+}  // namespace dknn

@@ -1,0 +1,20 @@
+#include "data/partition.hpp"
+
+namespace dknn {
+
+std::vector<PartitionScheme> all_partition_schemes() {
+  return {PartitionScheme::RoundRobin, PartitionScheme::Random, PartitionScheme::SortedBlocks,
+          PartitionScheme::FirstHeavy};
+}
+
+const char* partition_scheme_name(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::RoundRobin: return "round-robin";
+    case PartitionScheme::Random: return "random";
+    case PartitionScheme::SortedBlocks: return "sorted-blocks";
+    case PartitionScheme::FirstHeavy: return "first-heavy";
+  }
+  return "unknown";
+}
+
+}  // namespace dknn

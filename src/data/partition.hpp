@@ -1,0 +1,77 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Distributing a dataset across the k machines.
+///
+/// The model says points are "distributed (in a balanced fashion) among the
+/// k machines, i.e., each machine has O(n/k) points (adversarially
+/// distributed)" — balanced in *count*, adversarial in *content*.  The
+/// partitioners below cover the benign and adversarial corners the tests
+/// sweep: round-robin, random, value-sorted (machine 0 gets the smallest
+/// values — the worst case for pivot search locality), and a skewed variant
+/// that leaves some machines empty (legal: O(n/k) includes zero).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "rng/sampling.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+enum class PartitionScheme : std::uint8_t {
+  RoundRobin,   ///< element i -> machine i mod k (balanced, interleaved)
+  Random,       ///< uniform random machine per element (balanced in expectation)
+  SortedBlocks, ///< sort, then contiguous blocks: machine 0 smallest (adversarial)
+  FirstHeavy,   ///< all points on machine 0; the rest empty (max skew)
+};
+
+/// Splits `items` into k shards under `scheme`. Requires k >= 1. The
+/// Random scheme consumes `rng`; other schemes ignore it.
+template <typename T>
+[[nodiscard]] std::vector<std::vector<T>> partition(std::vector<T> items, std::uint32_t k,
+                                                    PartitionScheme scheme, Rng& rng) {
+  DKNN_REQUIRE(k >= 1, "partition needs at least one machine");
+  std::vector<std::vector<T>> shards(k);
+  switch (scheme) {
+    case PartitionScheme::RoundRobin: {
+      for (auto& shard : shards) shard.reserve(items.size() / k + 1);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        shards[i % k].push_back(std::move(items[i]));
+      }
+      break;
+    }
+    case PartitionScheme::Random: {
+      for (auto& item : items) {
+        shards[static_cast<std::size_t>(rng.below(k))].push_back(std::move(item));
+      }
+      break;
+    }
+    case PartitionScheme::SortedBlocks: {
+      std::sort(items.begin(), items.end());
+      const std::size_t base = items.size() / k;
+      std::size_t extra = items.size() % k;
+      std::size_t pos = 0;
+      for (std::uint32_t m = 0; m < k; ++m) {
+        std::size_t take = base + (extra > 0 ? 1 : 0);
+        if (extra > 0) --extra;
+        for (std::size_t i = 0; i < take; ++i) shards[m].push_back(std::move(items[pos++]));
+      }
+      break;
+    }
+    case PartitionScheme::FirstHeavy: {
+      shards[0] = std::move(items);
+      break;
+    }
+  }
+  return shards;
+}
+
+/// All scheme values, for parameterized tests.
+[[nodiscard]] std::vector<PartitionScheme> all_partition_schemes();
+
+/// Human-readable scheme name (test/bench labels).
+[[nodiscard]] const char* partition_scheme_name(PartitionScheme scheme);
+
+}  // namespace dknn

@@ -1,0 +1,65 @@
+#pragma once
+/// \file point.hpp
+/// \brief Point representations.
+///
+/// Two point families cover the paper's settings:
+///   * `Value` — unsigned 64-bit scalars.  The paper's experiments use
+///     random integers in [0, 2^32 − 1] with distance |p − q| (§3).
+///   * `PointD` — dense d-dimensional vectors for the general ℓ-NN problem
+///     ("points may be in some d-dimensional space", §1) under any metric
+///     from data/metric.hpp.
+///
+/// `PointId` is the paper's §2 trick: each point receives a random unique ID
+/// from [1, n³]; IDs break distance ties so all keyed comparisons are over
+/// *distinct* keys, and algorithms ship (id, distance) pairs instead of
+/// high-dimensional coordinates.
+
+#include <cstdint>
+#include <vector>
+
+#include "serial/codec.hpp"
+
+namespace dknn {
+
+/// Scalar data point (the paper's experimental setting).
+using Value = std::uint64_t;
+
+/// Random unique identifier from [1, n³] (paper §2).
+using PointId = std::uint64_t;
+
+/// Dense d-dimensional point.
+struct PointD {
+  std::vector<double> coords;
+
+  PointD() = default;
+  explicit PointD(std::vector<double> c) : coords(std::move(c)) {}
+
+  [[nodiscard]] std::size_t dim() const { return coords.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return coords[i]; }
+  [[nodiscard]] double& operator[](std::size_t i) { return coords[i]; }
+
+  friend bool operator==(const PointD&, const PointD&) = default;
+};
+
+inline void encode(Writer& w, const PointD& p) { encode(w, p.coords); }
+inline PointD decode_impl(Reader& r, std::type_identity<PointD>) {
+  return PointD(decode_impl(r, std::type_identity<std::vector<double>>{}));
+}
+
+/// Classification sample: point with a class label.
+struct LabeledPoint {
+  PointD x;
+  std::uint32_t label = 0;
+
+  friend bool operator==(const LabeledPoint&, const LabeledPoint&) = default;
+};
+
+/// Regression sample: point with a real-valued target.
+struct RegressionPoint {
+  PointD x;
+  double y = 0.0;
+
+  friend bool operator==(const RegressionPoint&, const RegressionPoint&) = default;
+};
+
+}  // namespace dknn

@@ -1,0 +1,48 @@
+#pragma once
+/// \file dknn.hpp
+/// \brief Umbrella header: the whole public API in one include.
+///
+///   #include "dknn.hpp"
+///
+/// Layered from bottom (simulator substrate) to top (the paper's
+/// algorithms and the ML/serving facades); see README.md for the map and
+/// DESIGN.md for the paper-to-module correspondence.
+
+// substrate: utilities, randomness, serialization
+#include "rng/rng.hpp"            // IWYU pragma: export
+#include "rng/sampling.hpp"       // IWYU pragma: export
+#include "serial/codec.hpp"       // IWYU pragma: export
+#include "support/cli.hpp"        // IWYU pragma: export
+#include "support/stats.hpp"      // IWYU pragma: export
+#include "support/table.hpp"      // IWYU pragma: export
+
+// substrate: the k-machine model
+#include "net/fault.hpp"          // IWYU pragma: export
+#include "net/network.hpp"        // IWYU pragma: export
+#include "sim/collectives.hpp"    // IWYU pragma: export
+#include "sim/cost_model.hpp"     // IWYU pragma: export
+#include "sim/engine.hpp"         // IWYU pragma: export
+
+// data and sequential algorithms
+#include "data/generators.hpp"    // IWYU pragma: export
+#include "data/key.hpp"           // IWYU pragma: export
+#include "data/metric.hpp"        // IWYU pragma: export
+#include "data/partition.hpp"     // IWYU pragma: export
+#include "seq/brute.hpp"          // IWYU pragma: export
+#include "seq/kdtree.hpp"         // IWYU pragma: export
+#include "seq/select.hpp"         // IWYU pragma: export
+
+// leader election
+#include "election/min_id.hpp"    // IWYU pragma: export
+#include "election/sublinear.hpp" // IWYU pragma: export
+
+// the paper's algorithms and facades
+#include "core/binsearch.hpp"     // IWYU pragma: export
+#include "core/dist_knn.hpp"      // IWYU pragma: export
+#include "core/dist_select.hpp"   // IWYU pragma: export
+#include "core/driver.hpp"        // IWYU pragma: export
+#include "core/mlapi.hpp"         // IWYU pragma: export
+#include "core/saukas_song.hpp"   // IWYU pragma: export
+#include "core/session.hpp"       // IWYU pragma: export
+#include "core/simple_knn.hpp"    // IWYU pragma: export
+#include "core/vector_index.hpp"  // IWYU pragma: export

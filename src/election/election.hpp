@@ -1,0 +1,30 @@
+#pragma once
+/// \file election.hpp
+/// \brief Common types for leader election (paper §2.1 and [9]).
+
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace dknn {
+
+/// Outcome of a leader-election protocol at one machine. Every machine in a
+/// run must end with the same `leader`.
+struct ElectionOutcome {
+  MachineId leader = kNoMachine;
+  /// Attempts used (sublinear election retries on the rare zero-candidate
+  /// event; min-id always uses 1).
+  std::uint32_t attempts = 1;
+  /// Whether this machine stood as a candidate in the winning attempt.
+  bool was_candidate = false;
+};
+
+/// Message-tag blocks per module (collision-free by construction).
+namespace tags {
+inline constexpr Tag kElectMinId = 0x1001;
+inline constexpr Tag kElectCandidate = 0x1010;
+inline constexpr Tag kElectReply = 0x1011;
+inline constexpr Tag kElectAnnounce = 0x1012;
+}  // namespace tags
+
+}  // namespace dknn

@@ -1,0 +1,28 @@
+#include "election/min_id.hpp"
+
+#include <algorithm>
+
+#include "sim/collectives.hpp"
+
+namespace dknn {
+
+Task<ElectionOutcome> elect_min_id(Ctx& ctx) {
+  ElectionOutcome outcome;
+  outcome.was_candidate = true;  // everyone competes
+  if (ctx.world() == 1) {
+    outcome.leader = ctx.id();
+    co_return outcome;
+  }
+  for (MachineId m = 0; m < ctx.world(); ++m) {
+    if (m != ctx.id()) ctx.send_value<std::uint32_t>(m, tags::kElectMinId, ctx.id());
+  }
+  MachineId best = ctx.id();
+  auto announcements = co_await recv_n(ctx, tags::kElectMinId, ctx.world() - 1);
+  for (const auto& env : announcements) {
+    best = std::min(best, from_bytes<std::uint32_t>(env.payload));
+  }
+  outcome.leader = best;
+  co_return outcome;
+}
+
+}  // namespace dknn

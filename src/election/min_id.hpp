@@ -1,0 +1,21 @@
+#pragma once
+/// \file min_id.hpp
+/// \brief Trivial minimum-ID leader election.
+///
+/// The paper (§2.1): "Since the machines have unique IDs, the leader (say,
+/// the minimum ID machine) can be elected in a constant number of rounds".
+/// This all-to-all exchange costs one round and k(k−1) messages — the
+/// simple, message-heavy contrast to the sublinear algorithm of [9]
+/// (see sublinear.hpp).
+
+#include "election/election.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+/// Every machine announces its ID to everyone; all pick the minimum.
+/// 1 round; k(k−1) messages; deterministic.
+[[nodiscard]] Task<ElectionOutcome> elect_min_id(Ctx& ctx);
+
+}  // namespace dknn

@@ -1,0 +1,137 @@
+#include "election/sublinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/sampling.hpp"
+#include "sim/collectives.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Candidate and reply payloads: (machine id, attempt) packed to 40 bits —
+/// within a B = 64-bit link budget per round.
+struct ElectMsg {
+  std::uint32_t id = 0;
+  std::uint8_t attempt = 0;
+};
+
+void encode(Writer& w, const ElectMsg& m) {
+  w.put_u32(m.id);
+  w.put_u8(m.attempt);
+}
+ElectMsg decode_impl(Reader& r, std::type_identity<ElectMsg>) {
+  ElectMsg m;
+  m.id = r.get_u32();
+  m.attempt = r.get_u8();
+  return m;
+}
+
+double candidacy_probability(std::uint32_t k, double coeff, std::uint32_t attempt) {
+  const double base = (coeff * std::log(static_cast<double>(k)) + 1.0) / static_cast<double>(k);
+  // Each retry doubles the probability, so p reaches 1 after O(log k)
+  // zero-candidate attempts and termination is certain.
+  const double scaled = base * std::pow(2.0, static_cast<double>(attempt));
+  return std::min(1.0, scaled);
+}
+
+}  // namespace
+
+std::uint32_t sublinear_referee_count(std::uint32_t k, const SublinearElectionConfig& config) {
+  if (k <= 1) return 0;
+  const double lk = std::max(1.0, std::log(static_cast<double>(k)));
+  const double r = config.ref_coeff * std::sqrt(static_cast<double>(k) * lk);
+  const auto count = static_cast<std::uint32_t>(std::ceil(r));
+  return std::min(count, k - 1);  // referees are drawn from the other machines
+}
+
+Task<ElectionOutcome> elect_sublinear(Ctx& ctx, SublinearElectionConfig config) {
+  ElectionOutcome outcome;
+  const std::uint32_t k = ctx.world();
+  if (k == 1) {
+    outcome.leader = 0;
+    outcome.was_candidate = true;
+    co_return outcome;
+  }
+  const std::uint32_t referees = sublinear_referee_count(k, config);
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    // p doubles per attempt and hits 1 within 64 doublings even for k = 2^32;
+    // exceeding that means the protocol logic is broken, not unlucky.
+    DKNN_ASSERT(attempt < 200, "sublinear election failed to converge");
+    const auto attempt_tag = static_cast<std::uint8_t>(attempt & 0xFF);
+
+    // --- round 1: candidacy + contacting referees ---------------------------
+    const bool candidate =
+        ctx.rng().bernoulli(candidacy_probability(k, config.cand_coeff, attempt));
+    std::uint32_t contacted = 0;
+    if (candidate) {
+      // Distinct referees among the other k−1 machines: pool index j maps to
+      // machine j (j < id) or j+1 (j >= id), skipping self.
+      auto picks = sample_indices_without_replacement(k - 1, referees, ctx.rng());
+      for (std::size_t j : picks) {
+        const auto m = static_cast<MachineId>(j < ctx.id() ? j : j + 1);
+        ctx.send_value(m, tags::kElectCandidate, ElectMsg{ctx.id(), attempt_tag});
+        ++contacted;
+      }
+    }
+    co_await ctx.round();
+
+    // --- round 2: referees answer with the minimum candidate they heard -----
+    std::vector<MachineId> contacted_by;
+    std::uint32_t min_heard = kNoMachine;
+    while (auto env = ctx.try_take(tags::kElectCandidate)) {
+      const auto msg = from_bytes<ElectMsg>(env->payload);
+      DKNN_ASSERT(msg.attempt == attempt_tag, "stale candidate message");
+      min_heard = std::min(min_heard, msg.id);
+      contacted_by.push_back(env->src);
+    }
+    for (MachineId src : contacted_by) {
+      ctx.send_value(src, tags::kElectReply, ElectMsg{min_heard, attempt_tag});
+    }
+    co_await ctx.round();
+
+    // --- round 3: candidates evaluate replies; the minimum claims -----------
+    bool claimed = false;
+    if (candidate) {
+      std::uint32_t best = ctx.id();
+      auto replies = co_await recv_n(ctx, tags::kElectReply, contacted);
+      for (const auto& env : replies) {
+        const auto msg = from_bytes<ElectMsg>(env.payload);
+        DKNN_ASSERT(msg.attempt == attempt_tag, "stale reply message");
+        best = std::min(best, msg.id);
+      }
+      // The global minimum candidate can never hear a smaller id, so it
+      // always claims; any other candidate sharing a referee with it
+      // withdraws here (w.h.p. all of them do).
+      claimed = (best == ctx.id());
+      if (claimed) {
+        for (MachineId m = 0; m < k; ++m) {
+          if (m != ctx.id()) ctx.send(m, tags::kElectAnnounce, Bytes{});
+        }
+      }
+    }
+    co_await ctx.round();
+
+    // --- resolution: everyone accepts the minimum claimant ------------------
+    // Every claimant announced to *all* machines, so all machines see the
+    // same claimant set (plus themselves if they claimed) and agree.  The
+    // minimum claimant is always the minimum candidate, so the result is
+    // deterministic-correct even when several candidates claim.
+    MachineId accepted = claimed ? ctx.id() : kNoMachine;
+    while (auto env = ctx.try_take(tags::kElectAnnounce)) {
+      accepted = std::min(accepted, env->src);
+    }
+    if (accepted != kNoMachine) {
+      outcome.leader = accepted;
+      outcome.attempts = attempt + 1;
+      outcome.was_candidate = candidate;
+      co_return outcome;
+    }
+    // Zero candidates this attempt (probability ≤ 1/(e·k²)): try again.
+  }
+}
+
+}  // namespace dknn

@@ -1,0 +1,56 @@
+#pragma once
+/// \file sublinear.hpp
+/// \brief Sublinear-message randomized leader election in the style of
+///        Kutten, Pandurangan, Peleg, Robinson & Trehan (TCS 2015) — the
+///        algorithm the paper cites for its O(1)-round,
+///        O(√k · log^{3/2} k)-message leader election step.
+///
+/// Per attempt (3 rounds):
+///   1. every machine stands as a *candidate* with probability
+///      p = min(1, (2 ln k + 1)/k)   (Θ(log k) candidates in expectation)
+///      and sends its ID to r = Θ(√(k log k)) distinct random *referees*;
+///   2. each referee replies to every candidate that contacted it with the
+///      minimum candidate ID it heard;
+///   3. a candidate whose replies (plus its own ID) show itself as the
+///      minimum *claims* leadership to all machines; every machine accepts
+///      the minimum claimed ID.
+///
+/// Because every pair of candidates shares a referee w.h.p., only the true
+/// minimum candidate claims, and the claim step is the only Θ(k) part —
+/// which the calling algorithms would pay anyway to learn the leader (the
+/// original paper's bound is for *implicit* election).  If an attempt
+/// produces zero candidates (probability ≤ 1/(e·k²)), the protocol retries
+/// with doubled candidacy probability, reaching p = 1 in O(log k) attempts
+/// worst case — termination is certain, correctness is deterministic
+/// (the elected leader is always the minimum candidate of the successful
+/// attempt).
+///
+/// Message sizes: candidate/reply messages carry a 32-bit ID plus an 8-bit
+/// attempt number (40 bits); claims are empty (the sender ID is the claim).
+/// All fit in B = 64-bit links, so the protocol runs under Strict bandwidth.
+
+#include <cstdint>
+
+#include "election/election.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+struct SublinearElectionConfig {
+  /// Scales the candidacy probability ((cand_coeff · ln k + 1)/k).
+  double cand_coeff = 2.0;
+  /// Scales the referee count (ref_coeff · √(k ln k)).
+  double ref_coeff = 2.0;
+};
+
+/// Runs the election; every machine returns the same leader.
+[[nodiscard]] Task<ElectionOutcome> elect_sublinear(Ctx& ctx,
+                                                    SublinearElectionConfig config = {});
+
+/// Expected referee count for world size k under `config` (exposed so tests
+/// can assert the message bound).
+[[nodiscard]] std::uint32_t sublinear_referee_count(std::uint32_t k,
+                                                    const SublinearElectionConfig& config);
+
+}  // namespace dknn

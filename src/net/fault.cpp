@@ -1,0 +1,18 @@
+#include "net/fault.hpp"
+
+namespace dknn {
+
+FaultInjector::FaultInjector(Network& network, FaultPlan plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed) {
+  network.set_send_filter([this](const Envelope& env) {
+    if (env.sent_round < plan_.from_round) return true;
+    if (plan_.only_tag && env.tag != *plan_.only_tag) return true;
+    if (plan_.only_src && env.src != *plan_.only_src) return true;
+    if (plan_.max_drops != 0 && drops_ >= plan_.max_drops) return true;
+    if (!rng_.bernoulli(plan_.drop_probability)) return true;
+    ++drops_;
+    return false;  // drop
+  });
+}
+
+}  // namespace dknn

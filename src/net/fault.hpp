@@ -1,0 +1,46 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Fault injection for robustness tests.
+///
+/// The paper assumes a fault-free synchronous network; the simulator's fault
+/// adapter exists so tests can demonstrate (a) that the engine's round cap
+/// converts lost-message deadlocks into diagnosable errors rather than
+/// hangs, and (b) which protocol steps are actually loss-sensitive.
+
+#include <cstdint>
+#include <optional>
+
+#include "net/network.hpp"
+#include "rng/rng.hpp"
+
+namespace dknn {
+
+/// Declarative fault plan compiled into a Network send filter.
+struct FaultPlan {
+  /// Probability of dropping any given message.
+  double drop_probability = 0.0;
+  /// If set, only messages with this tag are eligible for dropping.
+  std::optional<Tag> only_tag;
+  /// If set, only messages from this machine are eligible.
+  std::optional<MachineId> only_src;
+  /// Drop eligibility starts at this round (inclusive).
+  std::uint64_t from_round = 0;
+  /// Maximum number of messages to drop (0 = unlimited).
+  std::uint64_t max_drops = 0;
+};
+
+/// Installs the plan on the network; returns a counter handle that reports
+/// how many messages were dropped. The injector must outlive the network run.
+class FaultInjector {
+public:
+  FaultInjector(Network& network, FaultPlan plan, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace dknn

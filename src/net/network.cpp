@@ -1,0 +1,105 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+Network::Network(NetworkConfig config) : config_(config) {
+  DKNN_REQUIRE(config_.world_size >= 1, "network needs at least one machine");
+  DKNN_REQUIRE(config_.policy == BandwidthPolicy::Unlimited || config_.bits_per_round > 0,
+               "bandwidth-limited policies need positive bits_per_round");
+  const std::size_t k = config_.world_size;
+  links_.resize(k * k);
+  mailboxes_.resize(k);
+  busy_sources_.resize(k);
+  send_seq_.assign(k, 0);
+}
+
+std::size_t Network::link_index(MachineId src, MachineId dst) const {
+  return static_cast<std::size_t>(src) * config_.world_size + dst;
+}
+
+void Network::send(Envelope env) {
+  DKNN_REQUIRE(env.src < config_.world_size, "send: bad source machine");
+  DKNN_REQUIRE(env.dst < config_.world_size, "send: bad destination machine");
+  DKNN_REQUIRE(env.src != env.dst, "send: the k-machine model has no self-links");
+
+  env.sent_round = current_round_;
+  env.seq = send_seq_[env.src]++;
+
+  if (filter_ && !filter_(env)) return;  // dropped by fault injection
+
+  stats_.on_send(env);
+
+  if (config_.policy == BandwidthPolicy::Strict) {
+    DKNN_REQUIRE(env.payload_bits() <= config_.bits_per_round,
+                 "Strict bandwidth: message exceeds B bits");
+    auto& link = links_[link_index(env.src, env.dst)];
+    DKNN_REQUIRE(link.bits_this_round + env.payload_bits() <= config_.bits_per_round,
+                 "Strict bandwidth: link already saturated this round");
+    link.bits_this_round += env.payload_bits();
+  }
+
+  ++in_flight_;
+  auto& link = links_[link_index(env.src, env.dst)];
+  if (link.queue.empty()) busy_sources_[env.dst].push_back(env.src);
+  const std::uint64_t bits = std::max<std::uint64_t>(env.payload_bits(), 1);  // empty msg = 1 bit
+  link.queue.push_back(InTransit{std::move(env), bits});
+}
+
+void Network::end_round(std::uint64_t round) {
+  const bool unlimited = config_.policy == BandwidthPolicy::Unlimited;
+  constexpr std::uint64_t kInfinite = ~std::uint64_t{0};
+  for (MachineId dst = 0; dst < config_.world_size; ++dst) {
+    auto& busy = busy_sources_[dst];
+    if (busy.empty()) continue;
+    std::sort(busy.begin(), busy.end());  // sends may arrive in any order
+
+    // Aggregate receive capacity of this destination for the round (the
+    // "one NIC" model); kInfinite = the pure k-machine model.
+    std::uint64_t ingress = (unlimited || config_.ingress_bits_per_round == 0)
+                                ? kInfinite
+                                : config_.ingress_bits_per_round;
+
+    // Rotate the drain order each round (deterministically) so a saturated
+    // NIC serves every sender fairly instead of letting low ids starve the
+    // rest.  Only links with queued traffic are visited: O(active links).
+    std::vector<MachineId> still_busy;
+    still_busy.reserve(busy.size());
+    const std::size_t offset = static_cast<std::size_t>(round) % busy.size();
+    for (std::size_t step = 0; step < busy.size(); ++step) {
+      const MachineId src = busy[(step + offset) % busy.size()];
+      auto& link = links_[link_index(src, dst)];
+      link.bits_this_round = 0;
+      std::uint64_t budget = unlimited ? kInfinite : std::min(config_.bits_per_round, ingress);
+      while (!link.queue.empty() && budget > 0) {
+        InTransit& head = link.queue.front();
+        const std::uint64_t sent = std::min(budget, head.bits_remaining);
+        head.bits_remaining -= sent;
+        if (budget != kInfinite) budget -= sent;
+        if (ingress != kInfinite) ingress -= sent;
+        if (head.bits_remaining == 0) {
+          stats_.on_deliver(head.env, round + 1);
+          mailboxes_[dst].push_back(std::move(head.env));
+          link.queue.pop_front();
+          --in_flight_;
+        } else {
+          break;  // link budget exhausted mid-message
+        }
+      }
+      if (!link.queue.empty()) still_busy.push_back(src);
+    }
+    busy = std::move(still_busy);
+  }
+}
+
+std::vector<Envelope> Network::collect_delivered(MachineId dst) {
+  DKNN_REQUIRE(dst < config_.world_size, "collect_delivered: bad machine");
+  std::vector<Envelope> out;
+  out.swap(mailboxes_[dst]);
+  return out;
+}
+
+}  // namespace dknn

@@ -1,0 +1,20 @@
+#include "net/traffic.hpp"
+
+#include <algorithm>
+
+namespace dknn {
+
+void TrafficStats::on_send(const Envelope& env) {
+  ++messages_sent_;
+  bits_sent_ += env.payload_bits();
+  max_message_bits_ = std::max(max_message_bits_, env.payload_bits());
+}
+
+void TrafficStats::on_deliver(const Envelope& env, std::uint64_t round) {
+  ++messages_delivered_;
+  max_latency_ = std::max(max_latency_, round - env.sent_round);
+}
+
+void TrafficStats::reset() { *this = TrafficStats{}; }
+
+}  // namespace dknn

@@ -1,0 +1,40 @@
+#pragma once
+/// \file traffic.hpp
+/// \brief Traffic accounting: the paper's two cost measures plus bit-exact
+///        volume, collected per run and queried by benches and tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace dknn {
+
+/// Counters accumulated by the Network across a run.
+class TrafficStats {
+public:
+  void on_send(const Envelope& env);
+  void on_deliver(const Envelope& env, std::uint64_t round);
+
+  /// Total point-to-point messages sent (the paper's message complexity).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Total payload volume in bits.
+  [[nodiscard]] std::uint64_t bits_sent() const { return bits_sent_; }
+  /// Highest delivery latency observed (rounds from send to delivery);
+  /// > 1 only under chunked bandwidth.
+  [[nodiscard]] std::uint64_t max_delivery_latency() const { return max_latency_; }
+  /// Largest single message payload, in bits.
+  [[nodiscard]] std::uint64_t max_message_bits() const { return max_message_bits_; }
+
+  void reset();
+
+private:
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bits_sent_ = 0;
+  std::uint64_t max_latency_ = 0;
+  std::uint64_t max_message_bits_ = 0;
+};
+
+}  // namespace dknn

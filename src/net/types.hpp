@@ -1,0 +1,37 @@
+#pragma once
+/// \file types.hpp
+/// \brief Common identifiers for the simulated k-machine network.
+
+#include <cstdint>
+#include <limits>
+
+#include "serial/bytes.hpp"
+
+namespace dknn {
+
+/// Machine index in [0, k).  The paper's machines are {M1..Mk}; we index
+/// from zero.  Machine IDs double as the unique IDs used for min-ID leader
+/// election.
+using MachineId = std::uint32_t;
+
+inline constexpr MachineId kNoMachine = std::numeric_limits<MachineId>::max();
+
+/// Message tag: distinguishes protocol steps.  Each algorithm defines an
+/// `enum class ... : Tag` in its messages header.
+using Tag = std::uint16_t;
+
+/// A message in flight.  `seq` is a per-sender sequence number assigned by
+/// the network; combined with (round, src) it gives a deterministic total
+/// order on deliveries regardless of executor.
+struct Envelope {
+  MachineId src = kNoMachine;
+  MachineId dst = kNoMachine;
+  Tag tag = 0;
+  Bytes payload;
+  std::uint64_t sent_round = 0;   ///< round in which send() was issued
+  std::uint64_t seq = 0;          ///< per-sender send counter
+
+  [[nodiscard]] std::uint64_t payload_bits() const { return bit_size(payload); }
+};
+
+}  // namespace dknn

@@ -1,0 +1,113 @@
+#include "rng/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "rng/splitmix64.hpp"
+
+namespace dknn {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64_next(s);
+  // xoshiro requires a nonzero state; splitmix64 outputs are never all zero
+  // for distinct inputs, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 0x9E3779B97f4A7C15ULL;
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  // Child seed = mix(mix(seed) ^ golden-ratio-scrambled tag): distinct tags
+  // give decorrelated streams, identical tags give identical streams.
+  const std::uint64_t child =
+      splitmix64_mix(splitmix64_mix(seed_) ^ (tag * 0x9E3779B97f4A7C15ULL + 0x7F4A7C15ULL));
+  return Rng(child);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  DKNN_REQUIRE(bound > 0, "Rng::below bound must be positive");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  DKNN_REQUIRE(lo <= hi, "Rng::between requires lo <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next_u64();
+  return lo + below(span + 1);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  // Box–Muller; draw until u1 > 0 to avoid log(0).
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const std::uint64_t> weights) {
+  DKNN_REQUIRE(!weights.empty(), "weighted_index needs at least one weight");
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) {
+    DKNN_REQUIRE(total + w >= total, "weighted_index: weight sum overflow");
+    total += w;
+  }
+  DKNN_REQUIRE(total > 0, "weighted_index: total weight must be positive");
+  std::uint64_t ticket = below(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (ticket < weights[i]) return i;
+    ticket -= weights[i];
+  }
+  panic("weighted_index: ticket exceeded total weight");
+}
+
+}  // namespace dknn

@@ -1,0 +1,91 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, splittable random number generation.
+///
+/// `Rng` wraps xoshiro256** (Blackman & Vigna 2018) behind a facade with:
+///   * unbiased bounded integers (Lemire's multiply-shift with rejection),
+///   * doubles in [0, 1),
+///   * Bernoulli trials,
+///   * weighted index selection (the leader's pivot-machine choice in
+///     Algorithm 1 picks machine i with probability n_i / s),
+///   * stream splitting (`split(tag)`) so every simulated machine gets an
+///     independent stream that is a pure function of (root seed, tag).
+///
+/// Determinism contract: for a fixed seed and call sequence the outputs are
+/// identical on every platform — tests pin known-answer vectors.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// xoshiro256** engine; satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 (never all-zero).
+  explicit Xoshiro256(std::uint64_t seed);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Jump function: advances 2^128 steps; used to derive parallel streams.
+  void jump();
+
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+
+private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Facade used by all simulator and algorithm code.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Independent child stream; pure function of (this stream's seed, tag).
+  /// Splitting does not perturb this stream's own sequence.
+  [[nodiscard]] Rng split(std::uint64_t tag) const;
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Unbiased integer in [0, bound) — bound must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Unbiased integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform01();
+
+  /// Gaussian sample (Box–Muller; one fresh sample per call).
+  [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Index i with probability weights[i] / sum(weights); weights need not be
+  /// normalized. Zero-weight entries are never selected; the total must be
+  /// positive.  This is exactly the leader's machine-selection step in
+  /// Algorithm 1 (probability n_i / s).
+  [[nodiscard]] std::size_t weighted_index(std::span<const std::uint64_t> weights);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] Xoshiro256& engine() { return engine_; }
+
+private:
+  Xoshiro256 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dknn

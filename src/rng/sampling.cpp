@@ -1,0 +1,27 @@
+#include "rng/sampling.hpp"
+
+namespace dknn {
+
+std::vector<std::size_t> sample_indices_without_replacement(std::size_t population,
+                                                            std::size_t count, Rng& rng) {
+  DKNN_REQUIRE(count <= population, "sample larger than population");
+  // Sparse Fisher–Yates: conceptually shuffle [0, population) but only track
+  // displaced entries in a hash map, so cost is O(count) not O(population).
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(count * 2);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(population - i));
+    auto value_of = [&](std::size_t idx) {
+      auto it = displaced.find(idx);
+      return it == displaced.end() ? idx : it->second;
+    };
+    const std::size_t chosen = value_of(j);
+    displaced[j] = value_of(i);
+    out.push_back(chosen);
+  }
+  return out;
+}
+
+}  // namespace dknn

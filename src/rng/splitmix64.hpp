@@ -1,0 +1,30 @@
+#pragma once
+/// \file splitmix64.hpp
+/// \brief SplitMix64 generator (Steele, Lea & Flood 2014).
+///
+/// Used for seeding xoshiro256** and for deriving independent per-machine
+/// streams: the k-machine model gives every machine "a private source of
+/// true random bits" (paper §1.1); we model that as statistically
+/// independent deterministic streams derived from one experiment seed.
+
+#include <cstdint>
+
+namespace dknn {
+
+/// The reference SplitMix64 step: advances the state and returns 64 bits.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot mix: hashes a 64-bit value through the SplitMix64 finalizer.
+/// Good avalanche; used to combine (seed, stream-id) into sub-seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+}  // namespace dknn

@@ -1,0 +1,17 @@
+#include "seq/brute.hpp"
+
+namespace dknn {
+
+std::vector<Scored> brute_force_knn_scalar(std::span<const Value> values,
+                                           std::span<const PointId> ids, Value query,
+                                           std::size_t ell) {
+  DKNN_REQUIRE(values.size() == ids.size(), "values and ids must align");
+  std::vector<Scored> scored;
+  scored.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scored.push_back(Scored{Key{scalar_distance(values[i], query), ids[i]}, i});
+  }
+  return top_ell_smallest(std::span<const Scored>(scored), ell);
+}
+
+}  // namespace dknn

@@ -1,0 +1,51 @@
+#pragma once
+/// \file brute.hpp
+/// \brief Brute-force ℓ-NN — the O(n·d) reference every other
+///        implementation is tested against.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/key.hpp"
+#include "data/metric.hpp"
+#include "data/point.hpp"
+#include "seq/select.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// One scored candidate: the (distance, id) key plus the index of the point
+/// in its source container.
+struct Scored {
+  Key key;
+  std::size_t index = 0;
+
+  friend bool operator<(const Scored& a, const Scored& b) { return a.key < b.key; }
+  friend bool operator==(const Scored& a, const Scored& b) = default;
+};
+
+/// Scores every point against the query and returns the ℓ best in ascending
+/// (distance, id) order.  `ids[i]` is the unique tie-breaking id of
+/// `points[i]`.  ℓ larger than n returns all n.
+template <MetricFor M>
+[[nodiscard]] std::vector<Scored> brute_force_knn(std::span<const PointD> points,
+                                                  std::span<const PointId> ids,
+                                                  const PointD& query, const M& metric,
+                                                  std::size_t ell) {
+  DKNN_REQUIRE(points.size() == ids.size(), "points and ids must align");
+  std::vector<Scored> scored;
+  scored.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    scored.push_back(Scored{Key{encode_distance(metric(points[i], query)), ids[i]}, i});
+  }
+  return top_ell_smallest(std::span<const Scored>(scored), ell);
+}
+
+/// Scalar overload: the paper's experimental setting (uint64 values,
+/// distance |p − q|).
+[[nodiscard]] std::vector<Scored> brute_force_knn_scalar(std::span<const Value> values,
+                                                         std::span<const PointId> ids,
+                                                         Value query, std::size_t ell);
+
+}  // namespace dknn

@@ -1,0 +1,32 @@
+#include "seq/weighted_median.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+Key weighted_median(std::span<const WeightedKey> items) {
+  std::vector<WeightedKey> sorted;
+  sorted.reserve(items.size());
+  std::uint64_t total = 0;
+  for (const auto& item : items) {
+    if (item.weight == 0) continue;
+    DKNN_REQUIRE(total + item.weight >= total, "weighted_median: weight overflow");
+    total += item.weight;
+    sorted.push_back(item);
+  }
+  DKNN_REQUIRE(total > 0, "weighted_median: total weight must be positive");
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedKey& a, const WeightedKey& b) { return a.key < b.key; });
+  const std::uint64_t half = ceil_div<std::uint64_t>(total, 2);
+  std::uint64_t cumulative = 0;
+  for (const auto& item : sorted) {
+    cumulative += item.weight;
+    if (cumulative >= half) return item.key;
+  }
+  panic("weighted_median: cumulative weight never reached half");
+}
+
+}  // namespace dknn

@@ -1,0 +1,28 @@
+#pragma once
+/// \file weighted_median.hpp
+/// \brief Weighted (lower) median — the pivot rule of the Saukas–Song
+///        deterministic distributed selection baseline [16].
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/key.hpp"
+
+namespace dknn {
+
+/// An element with a non-negative weight.
+struct WeightedKey {
+  Key key;
+  std::uint64_t weight = 0;
+};
+
+/// The lower weighted median: the smallest key m such that
+///   Σ{ weight(x) : x.key <= m }  >=  ceil(total_weight / 2).
+/// Zero-weight entries are ignored; total weight must be positive.
+/// O(n log n) (sorting); n here is at most k machine summaries, so this is
+/// leader-local "free" computation in the model.
+[[nodiscard]] Key weighted_median(std::span<const WeightedKey> items);
+
+}  // namespace dknn

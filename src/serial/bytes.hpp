@@ -1,0 +1,19 @@
+#pragma once
+/// \file bytes.hpp
+/// \brief Byte-buffer alias shared by serialization and the network layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dknn {
+
+using Bytes = std::vector<std::byte>;
+
+/// Exact size in bits of a payload; the network layer charges links in bits
+/// because the k-machine model's bandwidth B is specified in bits per round.
+[[nodiscard]] inline std::uint64_t bit_size(const Bytes& payload) {
+  return static_cast<std::uint64_t>(payload.size()) * 8u;
+}
+
+}  // namespace dknn

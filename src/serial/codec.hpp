@@ -1,0 +1,104 @@
+#pragma once
+/// \file codec.hpp
+/// \brief Generic typed encode/decode on top of Writer/Reader.
+///
+/// A type participates by providing free functions
+///   void encode(Writer&, const T&);
+///   T decode_impl(Reader&, std::type_identity<T>);
+/// Containers, pairs, and arithmetic primitives are provided here.  The
+/// algorithm layer defines encode/decode for its message structs next to
+/// their declarations (see core/messages.hpp).
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+// --- primitives ------------------------------------------------------------
+
+inline void encode(Writer& w, std::uint8_t v) { w.put_u8(v); }
+inline void encode(Writer& w, std::uint16_t v) { w.put_u16(v); }
+inline void encode(Writer& w, std::uint32_t v) { w.put_u32(v); }
+inline void encode(Writer& w, std::uint64_t v) { w.put_u64(v); }
+inline void encode(Writer& w, std::int64_t v) { w.put_i64(v); }
+inline void encode(Writer& w, std::int32_t v) { w.put_i64(v); }
+inline void encode(Writer& w, double v) { w.put_f64(v); }
+inline void encode(Writer& w, bool v) { w.put_bool(v); }
+inline void encode(Writer& w, const std::string& v) { w.put_string(v); }
+
+inline std::uint8_t decode_impl(Reader& r, std::type_identity<std::uint8_t>) { return r.get_u8(); }
+inline std::uint16_t decode_impl(Reader& r, std::type_identity<std::uint16_t>) { return r.get_u16(); }
+inline std::uint32_t decode_impl(Reader& r, std::type_identity<std::uint32_t>) { return r.get_u32(); }
+inline std::uint64_t decode_impl(Reader& r, std::type_identity<std::uint64_t>) { return r.get_u64(); }
+inline std::int64_t decode_impl(Reader& r, std::type_identity<std::int64_t>) { return r.get_i64(); }
+inline std::int32_t decode_impl(Reader& r, std::type_identity<std::int32_t>) {
+  return static_cast<std::int32_t>(r.get_i64());
+}
+inline double decode_impl(Reader& r, std::type_identity<double>) { return r.get_f64(); }
+inline bool decode_impl(Reader& r, std::type_identity<bool>) { return r.get_bool(); }
+inline std::string decode_impl(Reader& r, std::type_identity<std::string>) { return r.get_string(); }
+
+// --- composites -------------------------------------------------------------
+
+template <typename A, typename B>
+void encode(Writer& w, const std::pair<A, B>& p) {
+  encode(w, p.first);
+  encode(w, p.second);
+}
+
+template <typename T>
+void encode(Writer& w, const std::vector<T>& items) {
+  w.put_varint(items.size());
+  for (const T& item : items) encode(w, item);
+}
+
+template <typename A, typename B>
+std::pair<A, B> decode_impl(Reader& r, std::type_identity<std::pair<A, B>>) {
+  A a = decode_impl(r, std::type_identity<A>{});
+  B b = decode_impl(r, std::type_identity<B>{});
+  return {std::move(a), std::move(b)};
+}
+
+template <typename T>
+std::vector<T> decode_impl(Reader& r, std::type_identity<std::vector<T>>) {
+  const std::uint64_t count = r.get_varint();
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode_impl(r, std::type_identity<T>{}));
+  return out;
+}
+
+// --- entry points ------------------------------------------------------------
+
+/// Serializes a value to a fresh byte buffer.
+template <typename T>
+[[nodiscard]] Bytes to_bytes(const T& value) {
+  Writer w;
+  encode(w, value);
+  return std::move(w).take();
+}
+
+/// Decodes a value and requires the buffer to be fully consumed.
+template <typename T>
+[[nodiscard]] T from_bytes(const Bytes& data) {
+  Reader r(data);
+  T value = decode_impl(r, std::type_identity<T>{});
+  DKNN_REQUIRE(r.exhausted(), "decode left trailing bytes (schema mismatch?)");
+  return value;
+}
+
+/// Decodes a value from a reader (for nested use).
+template <typename T>
+[[nodiscard]] T decode(Reader& r) {
+  return decode_impl(r, std::type_identity<T>{});
+}
+
+}  // namespace dknn

@@ -1,0 +1,54 @@
+#include "serial/writer.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dknn {
+
+void Writer::put_u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v & 0xFF));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::put_u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    put_u8(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void Writer::put_u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    put_u8(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void Writer::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::put_varint_signed(std::int64_t v) {
+  // Zig-zag: maps small-magnitude signed values to small unsigned values.
+  const auto u = static_cast<std::uint64_t>(v);
+  put_varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void Writer::put_bytes(const Bytes& data) {
+  put_varint(data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Writer::put_string(std::string_view s) {
+  put_varint(s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buffer_.insert(buffer_.end(), p, p + s.size());
+}
+
+}  // namespace dknn

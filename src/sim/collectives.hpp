@@ -1,0 +1,142 @@
+#pragma once
+/// \file collectives.hpp
+/// \brief Message-exchange building blocks for machine programs.
+///
+/// The paper's protocols are leader-driven star exchanges: the leader
+/// broadcasts a query (k−1 messages, one round) and gathers replies (k−1
+/// messages, one round).  These helpers implement exactly those patterns on
+/// top of the round barrier, as ordinary coroutines — they compose with any
+/// machine program via `co_await`.
+///
+/// All receive helpers *consume* matching mailbox messages and tolerate
+/// multi-round delivery (under chunked bandwidth a large message arrives
+/// whole, but late), so the same algorithm code runs under every bandwidth
+/// policy.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// Waits (advancing rounds) until a message with `tag` arrives; consumes it.
+inline Task<Envelope> recv(Ctx& ctx, Tag tag) {
+  while (true) {
+    if (auto env = ctx.try_take(tag)) co_return std::move(*env);
+    co_await ctx.mail_round();
+  }
+}
+
+/// Waits until a message with any of `tags` arrives; consumes and returns it.
+inline Task<Envelope> recv_any(Ctx& ctx, std::vector<Tag> tags) {
+  while (true) {
+    if (auto env = ctx.try_take_any(tags)) co_return std::move(*env);
+    co_await ctx.mail_round();
+  }
+}
+
+/// Waits for a message with `tag` from a specific sender; consumes it.
+inline Task<Envelope> recv_from(Ctx& ctx, MachineId src, Tag tag) {
+  while (true) {
+    if (auto env = ctx.try_take_from(src, tag)) co_return std::move(*env);
+    co_await ctx.mail_round();
+  }
+}
+
+/// Collects exactly `count` messages with `tag` (any senders), consuming
+/// them; resumes over as many rounds as delivery needs.
+inline Task<std::vector<Envelope>> recv_n(Ctx& ctx, Tag tag, std::size_t count) {
+  std::vector<Envelope> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    while (out.size() < count) {
+      auto env = ctx.try_take(tag);
+      if (!env) break;
+      out.push_back(std::move(*env));
+    }
+    if (out.size() < count) co_await ctx.mail_round();
+  }
+  co_return out;
+}
+
+/// Typed receive: decodes the payload of the next `tag` message.
+template <typename T>
+Task<T> recv_value(Ctx& ctx, Tag tag) {
+  Envelope env = co_await recv(ctx, tag);
+  co_return from_bytes<T>(env.payload);
+}
+
+/// Typed receive from a specific sender.
+template <typename T>
+Task<T> recv_value_from(Ctx& ctx, MachineId src, Tag tag) {
+  Envelope env = co_await recv_from(ctx, src, tag);
+  co_return from_bytes<T>(env.payload);
+}
+
+/// Root sends `value` to every other machine; everyone (root included)
+/// returns the value. Non-roots block until it arrives. One round of
+/// k−1 messages (more rounds under chunked bandwidth for large payloads).
+template <typename T>
+Task<T> broadcast(Ctx& ctx, MachineId root, Tag tag, T value) {
+  if (ctx.id() == root) {
+    for (MachineId m = 0; m < ctx.world(); ++m) {
+      if (m != root) ctx.send_value(m, tag, value);
+    }
+    co_return value;
+  }
+  co_return co_await recv_value_from<T>(ctx, root, tag);
+}
+
+/// Everyone sends `local` to root; root returns the k values indexed by
+/// machine id (its own slot included), non-roots return an empty vector
+/// immediately after sending (they do not block).
+template <typename T>
+Task<std::vector<T>> gather(Ctx& ctx, MachineId root, Tag tag, const T& local) {
+  if (ctx.id() != root) {
+    ctx.send_value(root, tag, local);
+    co_return std::vector<T>{};
+  }
+  std::vector<T> values(ctx.world());
+  std::vector<bool> seen(ctx.world(), false);
+  values[root] = local;
+  seen[root] = true;
+  std::size_t missing = ctx.world() - 1;
+  while (missing > 0) {
+    auto envs = co_await recv_n(ctx, tag, missing);
+    for (const auto& env : envs) {
+      DKNN_ASSERT(!seen[env.src], "gather: duplicate contribution");
+      values[env.src] = from_bytes<T>(env.payload);
+      seen[env.src] = true;
+    }
+    missing = 0;  // recv_n returned exactly the number we asked for
+  }
+  co_return values;
+}
+
+/// gather at root + reduction; non-roots get a default-constructed T.
+template <typename T, typename Op>
+Task<T> reduce(Ctx& ctx, MachineId root, Tag tag, const T& local, Op op) {
+  std::vector<T> values = co_await gather<T>(ctx, root, tag, local);
+  if (ctx.id() != root) co_return T{};
+  T acc = values[0];
+  for (std::size_t i = 1; i < values.size(); ++i) acc = op(std::move(acc), values[i]);
+  co_return acc;
+}
+
+/// gather to root then broadcast: all machines end with all k values.
+/// Two rounds, 2(k−1) messages.
+template <typename T>
+Task<std::vector<T>> all_gather(Ctx& ctx, MachineId root, Tag tag, const T& local) {
+  std::vector<T> values = co_await gather<T>(ctx, root, tag, local);
+  co_return co_await broadcast(ctx, root, static_cast<Tag>(tag + 1), std::move(values));
+}
+
+/// Parks the machine for `rounds` supersteps (protocol pacing in tests).
+inline Task<void> skip_rounds(Ctx& ctx, std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) co_await ctx.round();
+}
+
+}  // namespace dknn

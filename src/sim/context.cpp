@@ -1,0 +1,62 @@
+#include "sim/context.hpp"
+
+#include <algorithm>
+
+namespace dknn {
+
+void Ctx::send(MachineId dst, Tag tag, Bytes payload) {
+  Envelope env;
+  env.src = id_;
+  env.dst = dst;
+  env.tag = tag;
+  env.payload = std::move(payload);
+  outbox_.push_back(std::move(env));
+}
+
+std::optional<Envelope> Ctx::try_take(Tag tag) {
+  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+    if (it->tag == tag) {
+      Envelope env = std::move(*it);
+      mailbox_.erase(it);
+      return env;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Envelope> Ctx::try_take_any(std::span<const Tag> tags) {
+  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+    for (Tag tag : tags) {
+      if (it->tag == tag) {
+        Envelope env = std::move(*it);
+        mailbox_.erase(it);
+        return env;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Envelope> Ctx::try_take_from(MachineId src, Tag tag) {
+  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+    if (it->tag == tag && it->src == src) {
+      Envelope env = std::move(*it);
+      mailbox_.erase(it);
+      return env;
+    }
+  }
+  return std::nullopt;
+}
+
+void Ctx::engine_deliver(std::vector<Envelope> delivered) {
+  if (!delivered.empty()) mail_arrived_ = true;
+  for (auto& env : delivered) mailbox_.push_back(std::move(env));
+}
+
+std::vector<Envelope> Ctx::engine_take_outbox() {
+  std::vector<Envelope> out;
+  out.swap(outbox_);
+  return out;
+}
+
+}  // namespace dknn

@@ -1,0 +1,14 @@
+#include "sim/cost_model.hpp"
+
+namespace dknn {
+
+SimCost bsp_cost(const RunReport& report, const CostModelConfig& config) {
+  SimCost cost;
+  cost.latency_sec = static_cast<double>(report.rounds) * config.alpha_us * 1e-6;
+  cost.compute_sec =
+      static_cast<double>(report.critical_path_comp_ns) * 1e-9 * config.compute_scale;
+  cost.total_sec = cost.latency_sec + cost.compute_sec;
+  return cost;
+}
+
+}  // namespace dknn

@@ -1,0 +1,38 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief BSP wall-clock model over a RunReport.
+///
+/// This is the substitution for the paper's Crill-cluster wall-clock
+/// measurements (see DESIGN.md §2): on a real cluster, the time of one
+/// synchronous round is (slowest machine's local compute) + (network round
+/// latency), and bandwidth-limited transfers already occupy multiple rounds
+/// in the link model.  Summing over rounds gives the simulated wall-clock:
+///
+///   T = Σ_r ( max_i comp_ns(i, r) · compute_scale + α )
+///
+/// α models per-round synchronization/latency (MPI barrier + small-message
+/// RTT, ~tens of microseconds on the paper's InfiniBand cluster).
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace dknn {
+
+struct CostModelConfig {
+  /// Per-round latency in microseconds (barrier + one small-message RTT).
+  double alpha_us = 25.0;
+  /// Multiplier on measured local compute (1.0 = charge as measured).
+  double compute_scale = 1.0;
+};
+
+/// Decomposed simulated wall-clock for one run.
+struct SimCost {
+  double total_sec = 0.0;
+  double latency_sec = 0.0;  ///< rounds × α
+  double compute_sec = 0.0;  ///< Σ_r max_i comp
+};
+
+[[nodiscard]] SimCost bsp_cost(const RunReport& report, const CostModelConfig& config);
+
+}  // namespace dknn

@@ -1,0 +1,91 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The synchronous-round execution engine for the k-machine model.
+///
+/// One `Engine::run` executes a machine program on every machine in
+/// lockstep supersteps:
+///
+///   round r:  deliver mailboxes  ->  resume every alive machine until it
+///             parks at a round barrier (or finishes)  ->  move outboxes to
+///             the network  ->  advance the link model.
+///
+/// Local computation is timed per machine per superstep; the BSP cost model
+/// (cost_model.hpp) charges the *maximum* over machines per round, which is
+/// what wall-clock time would show on a real cluster where machines compute
+/// in parallel.  Executors:
+///   * sequential — one thread, bit-for-bit deterministic, the default;
+///   * thread pool — machines of one superstep run concurrently; results
+///     are identical to sequential because machines share no state and all
+///     message exchange happens at the barrier (property-tested).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace dknn {
+
+/// Raised when a run exceeds its round budget (e.g. lost-message deadlock)
+/// or otherwise cannot proceed; distinct from InvariantError so tests can
+/// target it.
+class SimError : public std::runtime_error {
+public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct EngineConfig {
+  std::uint32_t world_size = 1;
+  /// Root seed; machine i's private stream is split(seed, i).
+  std::uint64_t seed = 1;
+  BandwidthPolicy bandwidth = BandwidthPolicy::Unlimited;
+  /// B — bits per directed link per round (paper: Θ(log n)).
+  std::uint64_t bits_per_round = 64;
+  /// Optional per-destination aggregate receive cap (0 = pure k-machine
+  /// model; ~B models a real cluster's single NIC — see NetworkConfig).
+  std::uint64_t ingress_bits_per_round = 0;
+  /// Hard stop: a correct run of our algorithms uses orders of magnitude
+  /// fewer rounds; hitting this indicates deadlock (and throws SimError).
+  std::uint64_t max_rounds = 1u << 20;
+  /// Use the thread-pool executor.
+  bool parallel = false;
+  /// Worker threads for the parallel executor (0 = hardware concurrency).
+  std::uint32_t threads = 0;
+  /// Record per-superstep per-machine wall time (costs one clock read per
+  /// machine-step; disable for pure counting runs).
+  bool measure_compute = true;
+};
+
+/// Everything a run produces besides the machines' own outputs.
+struct RunReport {
+  std::uint64_t rounds = 0;                       ///< supersteps executed
+  TrafficStats traffic;                           ///< messages / bits
+  std::uint64_t critical_path_comp_ns = 0;        ///< Σ_r max_i step_time
+  std::uint64_t total_comp_ns = 0;                ///< Σ_r Σ_i step_time (work)
+  std::vector<std::uint64_t> round_max_comp_ns;   ///< per-round maxima
+};
+
+/// Factory invoked once per machine to create its program.
+using MachineProgram = std::function<Task<void>(Ctx&)>;
+
+class Engine {
+public:
+  explicit Engine(EngineConfig config);
+
+  /// Runs `program` on all machines to completion; throws SimError on round
+  /// exhaustion and rethrows the first machine exception (by machine id).
+  RunReport run(const MachineProgram& program);
+
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+private:
+  EngineConfig config_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace dknn

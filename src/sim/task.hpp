@@ -1,0 +1,133 @@
+#pragma once
+/// \file task.hpp
+/// \brief Coroutine task type for machine programs.
+///
+/// A machine program in the simulator is an eagerly-suspended coroutine
+/// (`Task<T>`).  Composition uses symmetric transfer: `co_await child()`
+/// starts the child immediately; when the child finishes it resumes the
+/// parent without growing the native stack.  When *any* coroutine in the
+/// chain suspends at a round barrier (`co_await ctx.round()`), control
+/// returns to the engine, which records the innermost handle and resumes it
+/// at the next superstep — so helpers like `gather` can be ordinary
+/// coroutines and still interleave correctly with the round structure.
+///
+/// Exceptions thrown inside a child propagate to the parent at
+/// `await_resume`; exceptions escaping the top-level program are captured in
+/// its promise and rethrown by the engine.
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;  ///< parent to resume when we finish
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    [[nodiscard]] std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// Owning handle to a coroutine; awaitable from another Task.
+template <typename T>
+class [[nodiscard]] Task {
+public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+  [[nodiscard]] Handle handle() const { return handle_; }
+
+  /// Rethrows an exception captured by the top-level program, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+  }
+
+  // --- awaitable interface (co_await task from a parent coroutine) ---------
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  [[nodiscard]] std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer: start the child now
+  }
+  T await_resume() {
+    auto& promise = handle_.promise();
+    if (promise.exception) std::rethrow_exception(promise.exception);
+    if constexpr (!std::is_void_v<T>) {
+      DKNN_ASSERT(promise.value.has_value(), "task finished without a value");
+      return std::move(*promise.value);
+    }
+  }
+
+private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+namespace detail {
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace dknn

@@ -1,0 +1,48 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool used by the parallel executor.
+///
+/// The engine submits one closure per alive machine per superstep and waits
+/// for all of them (a barrier).  Machines share no mutable state during a
+/// step, so no synchronization beyond the queue itself is needed.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dknn {
+
+class ThreadPool {
+public:
+  /// `threads == 0` uses std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; jobs must not throw (wrap and capture exceptions).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dknn

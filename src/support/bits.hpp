@@ -1,0 +1,47 @@
+#pragma once
+/// \file bits.hpp
+/// \brief Small integer helpers used across the simulator.
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// ceil(a / b) for non-negative integers; b must be positive.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  DKNN_REQUIRE(b > 0, "ceil_div divisor must be positive");
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// True when x is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) { return x != 0 && std::has_single_bit(x); }
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) {
+  DKNN_REQUIRE(x >= 1, "ceil_log2 requires x >= 1");
+  return static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) {
+  DKNN_REQUIRE(x >= 1, "floor_log2 requires x >= 1");
+  return static_cast<unsigned>(std::bit_width(x) - 1);
+}
+
+/// Saturating cast between integer types: clamps instead of wrapping.
+template <typename To, typename From>
+[[nodiscard]] constexpr To saturate_cast(From value) {
+  if constexpr (std::numeric_limits<From>::is_signed && !std::numeric_limits<To>::is_signed) {
+    if (value < 0) return To{0};
+  }
+  using Wide = std::uint64_t;
+  const Wide v = static_cast<Wide>(value);
+  const Wide hi = static_cast<Wide>(std::numeric_limits<To>::max());
+  return v > hi ? std::numeric_limits<To>::max() : static_cast<To>(v);
+}
+
+}  // namespace dknn

@@ -1,0 +1,139 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+template <typename T>
+T parse_number(std::string_view name, const std::string& text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  DKNN_REQUIRE(ec == std::errc{} && ptr == end,
+               std::string("flag --") + std::string(name) + " expects a number, got '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
+void Cli::add_flag(std::string name, std::string doc, std::string default_value) {
+  DKNN_REQUIRE(find(name) == nullptr, "duplicate flag registration");
+  flags_.push_back(Flag{std::move(name), std::move(doc), std::move(default_value)});
+}
+
+const Cli::Flag* Cli::find(std::string_view name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Cli::Flag* Cli::find(std::string_view name) {
+  return const_cast<Flag*>(static_cast<const Cli*>(this)->find(name));
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(describe(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    Flag* flag = find(name);
+    DKNN_REQUIRE(flag != nullptr, std::string("unknown flag --") + name);
+    if (!value) {
+      // `--flag value` unless the flag is boolean-style and the next token is
+      // another flag (or absent), in which case it means "true".
+      const bool next_is_value = (i + 1 < argc) && std::string_view(argv[i + 1]).rfind("--", 0) != 0;
+      if (next_is_value) {
+        value = std::string(argv[++i]);
+      } else {
+        value = "true";
+      }
+    }
+    flag->value = *value;
+  }
+  return true;
+}
+
+std::string Cli::get(std::string_view name) const {
+  const Flag* flag = find(name);
+  DKNN_REQUIRE(flag != nullptr, std::string("flag --") + std::string(name) + " was never registered");
+  return flag->value;
+}
+
+std::int64_t Cli::get_int(std::string_view name) const {
+  return parse_number<std::int64_t>(name, get(name));
+}
+
+std::uint64_t Cli::get_uint(std::string_view name) const {
+  return parse_number<std::uint64_t>(name, get(name));
+}
+
+double Cli::get_double(std::string_view name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  DKNN_REQUIRE(end == text.c_str() + text.size(),
+               std::string("flag --") + std::string(name) + " expects a number, got '" + text + "'");
+  return value;
+}
+
+bool Cli::get_bool(std::string_view name) const {
+  const std::string text = get(name);
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  raise_invariant("boolean flag", std::string("flag --") + std::string(name) + " got '" + text + "'",
+                  std::source_location::current());
+}
+
+std::vector<std::uint64_t> Cli::get_uint_list(std::string_view name) const {
+  const std::string text = get(name);
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(parse_number<std::uint64_t>(name, item));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string Cli::describe(std::string_view program) const {
+  std::string out;
+  out += "usage: ";
+  out += program;
+  out += " [--flag=value ...]\n";
+  for (const auto& f : flags_) {
+    out += "  --";
+    out += f.name;
+    out += "  (default: ";
+    out += f.value.empty() ? "<empty>" : f.value;
+    out += ")\n      ";
+    out += f.doc;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dknn

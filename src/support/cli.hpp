@@ -1,0 +1,53 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Tiny command-line flag parser for benches and examples.
+///
+/// Supports `--name=value`, `--name value`, and boolean `--name`.  Unknown
+/// flags are an error (catches typos in experiment sweeps).  Every bench
+/// documents its flags via describe(), printed on --help.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dknn {
+
+/// Parsed command line: flag/value pairs plus positional arguments.
+class Cli {
+public:
+  /// Registers a flag before parse(); `doc` is shown by --help.
+  void add_flag(std::string name, std::string doc, std::string default_value);
+
+  /// Parses argv; throws InvariantError on unknown flags or missing values.
+  /// Returns false if --help was requested (help text already printed).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+  /// Comma-separated integer list flag ("2,4,8").
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Help text listing flags, docs, and defaults.
+  [[nodiscard]] std::string describe(std::string_view program) const;
+
+private:
+  struct Flag {
+    std::string name;
+    std::string doc;
+    std::string value;
+  };
+  [[nodiscard]] const Flag* find(std::string_view name) const;
+  [[nodiscard]] Flag* find(std::string_view name);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dknn

@@ -1,0 +1,68 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dknn {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{[] {
+    if (const char* env = std::getenv("DKNN_LOG"); env != nullptr) {
+      return static_cast<int>(parse_log_level(env));
+    }
+    return static_cast<int>(LogLevel::Warn);
+  }()};
+  return level;
+}
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+bool log_enabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(log_level()); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (!log_enabled(level)) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[dknn ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace dknn

@@ -1,0 +1,65 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger.
+///
+/// The simulator and benches log to stderr.  The level is a process-wide
+/// runtime setting (default: Warn, override with set_log_level or the
+/// DKNN_LOG environment variable: "trace", "debug", "info", "warn", "error",
+/// "off").  Logging is intentionally not thread-buffered: messages are
+/// assembled into one string and written with a single fputs, which is
+/// atomic enough for diagnostics from the thread-pool executor.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dknn {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Current process-wide level (reads DKNN_LOG on first use).
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "trace".."off" (case-insensitive); returns Warn for unknown input.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+/// True when messages at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Writes one formatted line ("[level] message\n") to stderr.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Stream-style log statement builder used by the DKNN_LOG_* macros.
+class LogStatement {
+public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dknn
+
+#define DKNN_LOG(level)                        \
+  if (!::dknn::log_enabled(level)) {           \
+  } else                                       \
+    ::dknn::detail::LogStatement { level }
+
+#define DKNN_LOG_TRACE DKNN_LOG(::dknn::LogLevel::Trace)
+#define DKNN_LOG_DEBUG DKNN_LOG(::dknn::LogLevel::Debug)
+#define DKNN_LOG_INFO DKNN_LOG(::dknn::LogLevel::Info)
+#define DKNN_LOG_WARN DKNN_LOG(::dknn::LogLevel::Warn)
+#define DKNN_LOG_ERROR DKNN_LOG(::dknn::LogLevel::Error)

@@ -1,0 +1,36 @@
+#include "support/panic.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dknn {
+
+std::string diagnostic_message(std::string_view expr, std::string_view note,
+                               const std::source_location& loc) {
+  std::string out;
+  out.reserve(128);
+  out += loc.file_name();
+  out += ':';
+  out += std::to_string(loc.line());
+  out += ": requirement failed: ";
+  out += expr;
+  if (!note.empty()) {
+    out += " (";
+    out += note;
+    out += ')';
+  }
+  return out;
+}
+
+void raise_invariant(std::string_view expr, std::string_view note,
+                     const std::source_location& loc) {
+  throw InvariantError(diagnostic_message(expr, note, loc));
+}
+
+void panic(std::string_view message, std::source_location loc) {
+  std::fprintf(stderr, "dknn panic at %s:%u: %.*s\n", loc.file_name(), loc.line(),
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace dknn

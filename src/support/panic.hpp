@@ -1,0 +1,55 @@
+#pragma once
+/// \file panic.hpp
+/// \brief Always-on invariant checking.
+///
+/// The simulator is a correctness tool: a violated invariant means the
+/// simulation (or an algorithm running on it) is meaningless, so checks are
+/// active in every build type.  `DKNN_REQUIRE` throws `dknn::InvariantError`
+/// so that tests can assert on failures; `dknn::panic` is for unrecoverable
+/// programmer errors.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dknn {
+
+/// Thrown when a checked invariant does not hold.
+class InvariantError : public std::logic_error {
+public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Builds the standard "file:line: message" diagnostic string.
+[[nodiscard]] std::string diagnostic_message(std::string_view expr, std::string_view note,
+                                             const std::source_location& loc);
+
+/// Throws InvariantError with a formatted diagnostic.
+[[noreturn]] void raise_invariant(std::string_view expr, std::string_view note,
+                                  const std::source_location& loc);
+
+/// Aborts the process after printing a diagnostic; for truly unrecoverable states.
+[[noreturn]] void panic(std::string_view message,
+                        std::source_location loc = std::source_location::current());
+
+namespace detail {
+// constexpr so DKNN_REQUIRE is usable inside constexpr functions; the
+// throwing branch is only reachable at runtime (a failed check during
+// constant evaluation is a compile error, which is exactly right).
+constexpr void require(bool ok, std::string_view expr, std::string_view note,
+                       const std::source_location& loc) {
+  if (!ok) raise_invariant(expr, note, loc);
+}
+}  // namespace detail
+
+}  // namespace dknn
+
+/// Checked precondition / invariant; throws dknn::InvariantError on failure.
+#define DKNN_REQUIRE(cond, note) \
+  ::dknn::detail::require(static_cast<bool>(cond), #cond, note, std::source_location::current())
+
+/// Internal consistency check (same behaviour as DKNN_REQUIRE; separate macro
+/// so call sites document *whose* bug a failure would be).
+#define DKNN_ASSERT(cond, note) \
+  ::dknn::detail::require(static_cast<bool>(cond), #cond, note, std::source_location::current())

@@ -1,0 +1,122 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  RunningStats s;
+  for (double x : samples_) s.add(x);
+  return s.mean();
+}
+
+double SampleSet::stddev() const {
+  RunningStats s;
+  for (double x : samples_) s.add(x);
+  return s.stddev();
+}
+
+double SampleSet::min() const {
+  DKNN_REQUIRE(!samples_.empty(), "SampleSet::min on empty set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  DKNN_REQUIRE(!samples_.empty(), "SampleSet::max on empty set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::percentile(double q) const {
+  DKNN_REQUIRE(!samples_.empty(), "SampleSet::percentile on empty set");
+  DKNN_REQUIRE(q >= 0.0 && q <= 100.0, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double linear_slope(std::span<const double> x, std::span<const double> y) {
+  DKNN_REQUIRE(x.size() == y.size(), "linear_slope needs equal-length series");
+  DKNN_REQUIRE(x.size() >= 2, "linear_slope needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  DKNN_REQUIRE(denom != 0.0, "linear_slope: degenerate x series");
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace dknn

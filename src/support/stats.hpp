@@ -1,0 +1,71 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Running statistics and percentile summaries for bench reporting.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dknn {
+
+/// Numerically stable running mean/variance (Welford) with min/max tracking.
+///
+/// Used by every bench binary to accumulate per-trial measurements without
+/// storing them when only moments are needed.
+class RunningStats {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction of stats).
+  void merge(const RunningStats& other);
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles.  Use for round counts
+/// and other small-cardinality measurements where p95/max matter.
+class SampleSet {
+public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank (q in [0, 100]).
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;   // lazily sorted copy
+  mutable bool sorted_valid_ = false;
+  void ensure_sorted() const;
+};
+
+/// Least-squares slope of y against x; used to fit "rounds vs log n" lines.
+[[nodiscard]] double linear_slope(std::span<const double> x, std::span<const double> y);
+
+/// Formats a double with `digits` significant decimals ("12.34").
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace dknn

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "support/panic.hpp"
+#include "support/stats.hpp"
+
+namespace dknn {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c == '.' || c == 'x' || c == '%' || c == 'e' || c == '+' ||
+               (c == '-' && (i == 0 || s[i - 1] == 'e'))) {
+      // allowed punctuation in numeric-ish cells like "1.2e-3", "80.1x", "3%"
+    } else {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DKNN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  DKNN_REQUIRE(rows_.empty() || rows_.back().size() == headers_.size(),
+               "previous row is incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  DKNN_REQUIRE(!rows_.empty(), "call row() before cell()");
+  DKNN_REQUIRE(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(double value, int digits) { return cell(format_fixed(value, digits)); }
+
+std::string Table::render() const {
+  DKNN_REQUIRE(rows_.empty() || rows_.back().size() == headers_.size(),
+               "last row is incomplete");
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += " | ";
+      const std::string& text = cells[c];
+      const std::size_t pad = widths[c] - text.size();
+      const bool right = align_numeric && looks_numeric(text);
+      if (right) out.append(pad, ' ');
+      out += text;
+      if (!right) out.append(pad, ' ');
+    }
+    // trim trailing spaces
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  emit_row(headers_, /*align_numeric=*/false);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  std::string text;
+  text += "\n== ";
+  text += title;
+  text += " ==\n";
+  text += render();
+  std::fputs(text.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace dknn

@@ -1,0 +1,45 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table renderer for the benchmark harness.
+///
+/// Every bench binary prints its results as a table whose rows mirror the
+/// paper's figure series / table rows, so EXPERIMENTS.md can quote the
+/// output verbatim.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dknn {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with fixed precision.  Rendering right-aligns cells that parse as
+/// numbers and left-aligns everything else.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  /// Fixed-point double with `digits` decimals (default 2).
+  Table& cell(double value, int digits = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule:  `name | name` over `-----+-----`.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout with a title line.
+  void print(const std::string& title) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dknn

@@ -1,0 +1,39 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Used by the engine to measure per-machine local computation inside a
+/// superstep (the BSP cost model charges the max over machines, which is
+/// what real wall-clock would show for genuinely parallel machines).
+
+#include <chrono>
+#include <cstdint>
+
+namespace dknn {
+
+/// Monotonic stopwatch with nanosecond reads.
+class WallTimer {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last reset().
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_sec() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+private:
+  Clock::time_point start_;
+};
+
+/// Formats a nanosecond duration with an adaptive unit ("1.23 ms").
+[[nodiscard]] inline double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+}  // namespace dknn

@@ -1,0 +1,352 @@
+// Tests for src/data: keys and their total order, distance encoding,
+// metric axioms (property-swept), unique ids, generators, partitioners.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "data/ids.hpp"
+#include "data/key.hpp"
+#include "data/metric.hpp"
+#include "data/partition.hpp"
+#include "data/point.hpp"
+#include "rng/rng.hpp"
+#include "serial/codec.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+// --- distance encoding ------------------------------------------------------
+
+TEST(DistanceEncoding, PreservesOrder) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double a = rng.uniform01() * 1e12;
+    const double b = rng.uniform01() * 1e12;
+    EXPECT_EQ(a < b, encode_distance(a) < encode_distance(b));
+    EXPECT_EQ(a == b, encode_distance(a) == encode_distance(b));
+  }
+}
+
+TEST(DistanceEncoding, RoundTrips) {
+  for (double d : {0.0, 1.0, 0.5, 1e-300, 1e300, 3.14159}) {
+    EXPECT_DOUBLE_EQ(decode_distance(encode_distance(d)), d);
+  }
+}
+
+TEST(DistanceEncoding, ZeroIsMinimal) {
+  EXPECT_EQ(encode_distance(0.0), 0u);
+}
+
+TEST(DistanceEncoding, RejectsNegativeAndNaN) {
+  EXPECT_THROW((void)encode_distance(-1.0), InvariantError);
+  EXPECT_THROW((void)encode_distance(std::nan("")), InvariantError);
+}
+
+// --- keys ----------------------------------------------------------------------
+
+TEST(Key, LexicographicOrder) {
+  EXPECT_LT((Key{1, 5}), (Key{2, 0}));
+  EXPECT_LT((Key{1, 5}), (Key{1, 6}));
+  EXPECT_EQ((Key{1, 5}), (Key{1, 5}));
+  EXPECT_LT(Key::min_key(), Key::max_key());
+}
+
+TEST(Key, SerializationRoundTrip) {
+  const Key k{0xDEADBEEFCAFEBABEULL, 42};
+  EXPECT_EQ(from_bytes<Key>(to_bytes(k)), k);
+  EXPECT_EQ(to_bytes(k).size(), 16u);  // two fixed u64 words on the wire
+}
+
+TEST(KeyRange, ContainsSemantics) {
+  // (lo, hi] — lower exclusive, upper inclusive.
+  KeyRange r{true, Key{10, 0}, Key{20, 0}};
+  EXPECT_FALSE(r.contains(Key{10, 0}));  // lo itself excluded
+  EXPECT_TRUE(r.contains(Key{10, 1}));   // just above lo
+  EXPECT_TRUE(r.contains(Key{20, 0}));   // hi included
+  EXPECT_FALSE(r.contains(Key{20, 1}));
+  KeyRange unbounded{false, Key{}, Key{20, 0}};
+  EXPECT_TRUE(unbounded.contains(Key::min_key()));
+}
+
+TEST(KeyRange, SerializationRoundTrip) {
+  const KeyRange r{true, Key{7, 8}, Key{9, 10}};
+  const auto back = from_bytes<KeyRange>(to_bytes(r));
+  EXPECT_EQ(back.has_lo, r.has_lo);
+  EXPECT_EQ(back.lo, r.lo);
+  EXPECT_EQ(back.hi, r.hi);
+}
+
+// --- metric axioms (property sweep over random points) ---------------------------
+
+template <typename M>
+void check_metric_axioms(const M& metric, bool triangle, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t dim : {1u, 2u, 5u, 16u}) {
+    auto points = uniform_points(30, dim, 100.0, rng);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(metric(points[i], points[i]), 0.0) << "identity, dim " << dim;
+      for (std::size_t j = i + 1; j < points.size(); ++j) {
+        const double dij = metric(points[i], points[j]);
+        EXPECT_GT(dij, 0.0) << "positivity";
+        EXPECT_DOUBLE_EQ(dij, metric(points[j], points[i])) << "symmetry";
+        if (triangle) {
+          for (std::size_t l = 0; l < points.size(); l += 7) {
+            const double dil = metric(points[i], points[l]);
+            const double dlj = metric(points[l], points[j]);
+            EXPECT_LE(dij, dil + dlj + 1e-9) << "triangle inequality";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Metric, EuclideanAxioms) { check_metric_axioms(EuclideanMetric{}, true, 11); }
+TEST(Metric, ManhattanAxioms) { check_metric_axioms(ManhattanMetric{}, true, 12); }
+TEST(Metric, ChebyshevAxioms) { check_metric_axioms(ChebyshevMetric{}, true, 13); }
+TEST(Metric, Minkowski3Axioms) { check_metric_axioms(MinkowskiMetric{3.0}, true, 14); }
+TEST(Metric, SquaredEuclideanNoTriangleButValidKey) {
+  check_metric_axioms(SquaredEuclidean{}, false, 15);
+}
+
+TEST(Metric, SquaredEuclideanSameOrderAsEuclidean) {
+  Rng rng(16);
+  const auto points = uniform_points(50, 3, 10.0, rng);
+  const PointD q = points[0];
+  EuclideanMetric euc;
+  SquaredEuclidean sq;
+  for (std::size_t i = 1; i + 1 < points.size(); ++i) {
+    const bool closer_euc = euc(points[i], q) < euc(points[i + 1], q);
+    const bool closer_sq = sq(points[i], q) < sq(points[i + 1], q);
+    EXPECT_EQ(closer_euc, closer_sq);
+  }
+}
+
+TEST(Metric, KnownValues) {
+  const PointD a({0.0, 0.0});
+  const PointD b({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(EuclideanMetric{}(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean{}(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(ManhattanMetric{}(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(ChebyshevMetric{}(a, b), 4.0);
+}
+
+TEST(Metric, DimensionMismatchThrows) {
+  const PointD a({1.0});
+  const PointD b({1.0, 2.0});
+  EXPECT_THROW((void)EuclideanMetric{}(a, b), InvariantError);
+}
+
+TEST(Metric, MinkowskiRejectsPBelowOne) {
+  EXPECT_THROW(MinkowskiMetric{0.5}, InvariantError);
+}
+
+TEST(Metric, MinkowskiGeneralizes) {
+  Rng rng(17);
+  const auto points = uniform_points(10, 4, 50.0, rng);
+  MinkowskiMetric p1{1.0};
+  MinkowskiMetric p2{2.0};
+  ManhattanMetric man;
+  EuclideanMetric euc;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    EXPECT_NEAR(p1(points[i], points[i + 1]), man(points[i], points[i + 1]), 1e-9);
+    EXPECT_NEAR(p2(points[i], points[i + 1]), euc(points[i], points[i + 1]), 1e-9);
+  }
+}
+
+TEST(Metric, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0, 0), 0u);
+  EXPECT_EQ(hamming_distance(0b1011, 0b0010), 2u);
+  EXPECT_EQ(hamming_distance(~0ULL, 0), 64u);
+}
+
+TEST(Metric, ScalarDistanceSymmetricNoOverflow) {
+  EXPECT_EQ(scalar_distance(5, 9), 4u);
+  EXPECT_EQ(scalar_distance(9, 5), 4u);
+  EXPECT_EQ(scalar_distance(0, ~0ULL), ~0ULL);
+}
+
+// --- ids ---------------------------------------------------------------------------
+
+TEST(Ids, UniqueAndPositive) {
+  Rng rng(20);
+  for (std::size_t n : {0u, 1u, 2u, 100u, 5000u}) {
+    auto ids = assign_random_ids(n, rng);
+    EXPECT_EQ(ids.size(), n);
+    std::unordered_set<PointId> seen(ids.begin(), ids.end());
+    EXPECT_EQ(seen.size(), n);
+    for (PointId id : ids) EXPECT_GE(id, 1u);
+  }
+}
+
+TEST(Ids, WithinPaperDomainForSmallN) {
+  Rng rng(21);
+  constexpr std::size_t n = 1000;
+  auto ids = assign_random_ids(n, rng);
+  const std::uint64_t cube = static_cast<std::uint64_t>(n) * n * n;
+  for (PointId id : ids) EXPECT_LE(id, cube);
+}
+
+TEST(Ids, DeterministicForSeed) {
+  Rng a(22), b(22);
+  EXPECT_EQ(assign_random_ids(100, a), assign_random_ids(100, b));
+}
+
+// --- generators ------------------------------------------------------------------
+
+TEST(Generators, UniformU64InRange) {
+  Rng rng(30);
+  auto values = uniform_u64(10000, rng);
+  for (Value v : values) EXPECT_LT(v, 1ULL << 32);  // paper's [0, 2^32 - 1]
+}
+
+TEST(Generators, UniformU64CustomRange) {
+  Rng rng(31);
+  auto values = uniform_u64(1000, rng, 10, 20);
+  for (Value v : values) {
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Generators, DuplicateHeavyHasFewDistinct) {
+  Rng rng(32);
+  auto values = duplicate_heavy_u64(10000, 7, rng);
+  std::set<Value> distinct(values.begin(), values.end());
+  EXPECT_LE(distinct.size(), 7u);
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(Generators, GaussianClustersLabelsAndDims) {
+  Rng rng(33);
+  ClusterSpec spec;
+  spec.dim = 3;
+  spec.clusters = 4;
+  auto data = gaussian_clusters(2000, spec, rng);
+  EXPECT_EQ(data.size(), 2000u);
+  std::set<std::uint32_t> labels;
+  for (const auto& p : data) {
+    EXPECT_EQ(p.x.dim(), 3u);
+    EXPECT_LT(p.label, 4u);
+    labels.insert(p.label);
+  }
+  EXPECT_EQ(labels.size(), 4u);  // all clusters represented
+}
+
+TEST(Generators, ClustersAreSeparatedWhenSpreadSmall) {
+  // With tiny spread and big box, same-cluster points are far closer to
+  // each other than cross-cluster pairs (sanity for the classifier tests).
+  Rng rng(34);
+  ClusterSpec spec;
+  spec.dim = 2;
+  spec.clusters = 3;
+  spec.center_box = 1000.0;
+  spec.spread = 0.1;
+  auto data = gaussian_clusters(300, spec, rng);
+  EuclideanMetric metric;
+  double max_intra = 0.0, min_inter = 1e18;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = i + 1; j < data.size(); ++j) {
+      const double d = metric(data[i].x, data[j].x);
+      if (data[i].label == data[j].label) {
+        max_intra = std::max(max_intra, d);
+      } else {
+        min_inter = std::min(min_inter, d);
+      }
+    }
+  }
+  EXPECT_LT(max_intra, min_inter);
+}
+
+TEST(Generators, RegressionTargetsTrackTruth) {
+  Rng rng(35);
+  auto data = regression_dataset(500, 2, 3.0, 0.01, rng);
+  for (const auto& p : data) {
+    EXPECT_NEAR(p.y, regression_truth(p.x), 0.1);  // 10 sigma of the noise
+  }
+}
+
+TEST(Generators, Deterministic) {
+  Rng a(36), b(36);
+  EXPECT_EQ(uniform_u64(100, a), uniform_u64(100, b));
+}
+
+// --- partition -----------------------------------------------------------------------
+
+TEST(Partition, RoundRobinBalanced) {
+  Rng rng(40);
+  std::vector<int> items(103);
+  std::iota(items.begin(), items.end(), 0);
+  auto shards = partition(items, 10, PartitionScheme::RoundRobin, rng);
+  ASSERT_EQ(shards.size(), 10u);
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 10u);
+    EXPECT_LE(shard.size(), 11u);
+  }
+}
+
+TEST(Partition, SortedBlocksAdversarial) {
+  Rng rng(41);
+  std::vector<int> items{5, 3, 9, 1, 7, 2, 8, 4, 6, 0};
+  auto shards = partition(items, 2, PartitionScheme::SortedBlocks, rng);
+  // machine 0 gets all the small values
+  for (int v : shards[0]) EXPECT_LT(v, 5);
+  for (int v : shards[1]) EXPECT_GE(v, 5);
+}
+
+TEST(Partition, FirstHeavyLeavesOthersEmpty) {
+  Rng rng(42);
+  std::vector<int> items(50, 1);
+  auto shards = partition(items, 4, PartitionScheme::FirstHeavy, rng);
+  EXPECT_EQ(shards[0].size(), 50u);
+  for (std::size_t m = 1; m < 4; ++m) EXPECT_TRUE(shards[m].empty());
+}
+
+class PartitionSweep : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(PartitionSweep, PreservesMultiset) {
+  Rng rng(43);
+  auto values = uniform_u64(997, rng);
+  std::vector<Value> sorted_input = values;
+  std::sort(sorted_input.begin(), sorted_input.end());
+  for (std::uint32_t k : {1u, 2u, 7u, 16u, 64u}) {
+    Rng part_rng(44);
+    auto shards = partition(values, k, GetParam(), part_rng);
+    EXPECT_EQ(shards.size(), k);
+    std::vector<Value> merged;
+    for (const auto& shard : shards) merged.insert(merged.end(), shard.begin(), shard.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, sorted_input) << partition_scheme_name(GetParam()) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionSweep,
+                         ::testing::ValuesIn(all_partition_schemes()),
+                         [](const auto& param_info) {
+                           std::string name = partition_scheme_name(param_info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(Partition, RejectsZeroMachines) {
+  Rng rng(45);
+  std::vector<int> items{1};
+  EXPECT_THROW((void)partition(items, 0, PartitionScheme::RoundRobin, rng), InvariantError);
+}
+
+// --- point serialization ---------------------------------------------------------------
+
+TEST(Point, SerializationRoundTrip) {
+  const PointD p({1.5, -2.25, 0.0});
+  EXPECT_EQ(from_bytes<PointD>(to_bytes(p)), p);
+}
+
+}  // namespace
+}  // namespace dknn

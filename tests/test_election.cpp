@@ -1,0 +1,156 @@
+// Tests for src/election: min-ID and sublinear leader election across
+// world sizes — agreement, message bounds, round bounds, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "election/min_id.hpp"
+#include "election/sublinear.hpp"
+#include "sim/engine.hpp"
+
+namespace dknn {
+namespace {
+
+EngineConfig config_for(std::uint32_t k, std::uint64_t seed) {
+  EngineConfig c;
+  c.world_size = k;
+  c.seed = seed;
+  c.measure_compute = false;
+  return c;
+}
+
+Task<void> min_id_program(Ctx& ctx, std::vector<ElectionOutcome>* outcomes) {
+  (*outcomes)[ctx.id()] = co_await elect_min_id(ctx);
+}
+
+Task<void> sublinear_program(Ctx& ctx, std::vector<ElectionOutcome>* outcomes) {
+  (*outcomes)[ctx.id()] = co_await elect_sublinear(ctx);
+}
+
+class ElectionSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ElectionSweep, MinIdElectsMachineZero) {
+  const std::uint32_t k = GetParam();
+  std::vector<ElectionOutcome> outcomes(k);
+  Engine engine(config_for(k, 1));
+  const RunReport report =
+      engine.run([&outcomes](Ctx& ctx) { return min_id_program(ctx, &outcomes); });
+  for (const auto& outcome : outcomes) EXPECT_EQ(outcome.leader, 0u);
+  // one round of all-to-all + the final resume
+  EXPECT_LE(report.rounds, 3u);
+  EXPECT_EQ(report.traffic.messages_sent(), static_cast<std::uint64_t>(k) * (k - 1));
+}
+
+TEST_P(ElectionSweep, SublinearAgreesOnOneLeader) {
+  const std::uint32_t k = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 17ULL, 99ULL}) {
+    std::vector<ElectionOutcome> outcomes(k);
+    Engine engine(config_for(k, seed));
+    (void)engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); });
+    std::set<MachineId> leaders;
+    for (const auto& outcome : outcomes) leaders.insert(outcome.leader);
+    ASSERT_EQ(leaders.size(), 1u) << "k=" << k << " seed=" << seed;
+    const MachineId leader = *leaders.begin();
+    EXPECT_LT(leader, k);
+    // The leader must have been a candidate in the winning attempt, and it
+    // must be the *minimum* candidate (every candidate with a smaller id
+    // would have claimed too and won the min-resolution).
+    EXPECT_TRUE(outcomes[leader].was_candidate);
+    for (MachineId m = 0; m < k; ++m) {
+      if (outcomes[m].was_candidate) {
+        EXPECT_GE(m, leader);
+      }
+    }
+    // All machines agree on the attempt count.
+    for (const auto& outcome : outcomes) EXPECT_EQ(outcome.attempts, outcomes[0].attempts);
+  }
+}
+
+TEST_P(ElectionSweep, SublinearMessageBound) {
+  const std::uint32_t k = GetParam();
+  if (k < 2) GTEST_SKIP();
+  // Per attempt: candidates × referees × 2 (contact + reply) + claimants ×
+  // (k−1) announcements.  W.h.p. one attempt suffices and candidates are
+  // O(log k); we budget generously: 8 · (2·(2 ln k + 1) + 1) · √(k ln k) +
+  // 4·k per attempt used.
+  std::vector<ElectionOutcome> outcomes(k);
+  Engine engine(config_for(k, 12345));
+  const RunReport report =
+      engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); });
+  const double lk = std::max(1.0, std::log(static_cast<double>(k)));
+  const double per_attempt =
+      8.0 * (2.0 * (2.0 * lk + 1.0) + 1.0) * std::sqrt(static_cast<double>(k) * lk) + 4.0 * k;
+  const double budget = per_attempt * outcomes[0].attempts;
+  EXPECT_LE(static_cast<double>(report.traffic.messages_sent()), budget) << "k=" << k;
+}
+
+TEST_P(ElectionSweep, SublinearConstantRounds) {
+  const std::uint32_t k = GetParam();
+  std::vector<ElectionOutcome> outcomes(k);
+  Engine engine(config_for(k, 7));
+  const RunReport report =
+      engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); });
+  // 3 rounds per attempt + final resume; attempts is almost always 1.
+  EXPECT_LE(report.rounds, 3u * outcomes[0].attempts + 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ElectionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(Election, SublinearDeterministicForSeed) {
+  constexpr std::uint32_t k = 32;
+  std::vector<MachineId> leaders;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<ElectionOutcome> outcomes(k);
+    Engine engine(config_for(k, 4242));
+    (void)engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); });
+    leaders.push_back(outcomes[0].leader);
+  }
+  EXPECT_EQ(leaders[0], leaders[1]);
+}
+
+TEST(Election, SublinearLeaderVariesAcrossSeeds) {
+  // Unlike min-id, the sublinear leader is randomized — over many seeds we
+  // should see more than one distinct winner for k large enough.
+  constexpr std::uint32_t k = 64;
+  std::set<MachineId> seen;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<ElectionOutcome> outcomes(k);
+    Engine engine(config_for(k, seed));
+    (void)engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); });
+    seen.insert(outcomes[0].leader);
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Election, RefereeCountFormula) {
+  SublinearElectionConfig config;
+  EXPECT_EQ(sublinear_referee_count(1, config), 0u);
+  // k=2: min(ceil(2·sqrt(2·1)), 1) = 1
+  EXPECT_EQ(sublinear_referee_count(2, config), 1u);
+  const std::uint32_t k = 1024;
+  const double lk = std::log(1024.0);
+  const auto expected =
+      static_cast<std::uint32_t>(std::ceil(2.0 * std::sqrt(1024.0 * lk)));
+  EXPECT_EQ(sublinear_referee_count(k, config), expected);
+}
+
+TEST(Election, WorksUnderStrictBandwidth) {
+  // Election messages are <= 40 bits and one per link per round, so the
+  // protocol runs under Strict B = 64 links.
+  constexpr std::uint32_t k = 16;
+  auto config = config_for(k, 5);
+  config.bandwidth = BandwidthPolicy::Strict;
+  config.bits_per_round = 64;
+  std::vector<ElectionOutcome> outcomes(k);
+  Engine engine(config);
+  EXPECT_NO_THROW(
+      (void)engine.run([&outcomes](Ctx& ctx) { return sublinear_program(ctx, &outcomes); }));
+}
+
+}  // namespace
+}  // namespace dknn

@@ -1,0 +1,308 @@
+// Unit tests for src/net: delivery timing under each bandwidth policy, FIFO
+// ordering, traffic accounting, strict-mode enforcement, fault injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "serial/codec.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+Envelope make_env(MachineId src, MachineId dst, Tag tag, std::size_t payload_bytes) {
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.tag = tag;
+  env.payload = Bytes(payload_bytes, std::byte{0x5A});
+  return env;
+}
+
+NetworkConfig config(std::uint32_t k, BandwidthPolicy policy, std::uint64_t bits) {
+  NetworkConfig c;
+  c.world_size = k;
+  c.policy = policy;
+  c.bits_per_round = bits;
+  return c;
+}
+
+TEST(Network, DeliversNextRoundUnlimited) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 7, 1000));  // large payload still arrives next round
+  EXPECT_TRUE(net.collect_delivered(1).empty());
+  net.end_round(0);
+  auto delivered = net.collect_delivered(1);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].src, 0u);
+  EXPECT_EQ(delivered[0].tag, 7u);
+  EXPECT_FALSE(net.in_flight());
+}
+
+TEST(Network, SelfSendForbidden) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  EXPECT_THROW(net.send(make_env(1, 1, 0, 4)), InvariantError);
+}
+
+TEST(Network, BadMachineIdsRejected) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  EXPECT_THROW(net.send(make_env(0, 9, 0, 4)), InvariantError);
+  EXPECT_THROW(net.send(make_env(9, 0, 0, 4)), InvariantError);
+}
+
+TEST(Network, ChunkedDelaysLargeMessages) {
+  // B = 64 bits; a 32-byte (256-bit) message needs ceil(256/64) = 4 rounds.
+  Network net(config(2, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 32));
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    net.end_round(r);
+    EXPECT_TRUE(net.collect_delivered(1).empty()) << "round " << r;
+    net.set_current_round(r + 1);
+  }
+  net.end_round(3);
+  auto delivered = net.collect_delivered(1);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(net.stats().max_delivery_latency(), 4u);
+}
+
+TEST(Network, ChunkedSmallMessageNextRound) {
+  Network net(config(2, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 8));  // exactly 64 bits
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(1).size(), 1u);
+}
+
+TEST(Network, ChunkedFifoPerLink) {
+  Network net(config(2, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 16));  // 128 bits -> rounds 0 and 1
+  net.send(make_env(0, 1, 2, 8));   // 64 bits, waits behind the first
+  net.end_round(0);
+  EXPECT_TRUE(net.collect_delivered(1).empty());
+  net.set_current_round(1);
+  net.end_round(1);  // finishes msg1; budget exhausted, msg2 still queued
+  auto first = net.collect_delivered(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].tag, 1u);
+  net.set_current_round(2);
+  net.end_round(2);  // msg2's 64 bits fit in round 2
+  auto second = net.collect_delivered(1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].tag, 2u);
+}
+
+TEST(Network, ChunkedLinksAreIndependent) {
+  // Different sources to the same destination do not share bandwidth.
+  Network net(config(3, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 2, 1, 8));
+  net.send(make_env(1, 2, 2, 8));
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(2).size(), 2u);
+}
+
+TEST(Network, ChunkedDirectionsAreIndependent) {
+  Network net(config(2, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 8));
+  net.send(make_env(1, 0, 2, 8));
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(1).size(), 1u);
+  EXPECT_EQ(net.collect_delivered(0).size(), 1u);
+}
+
+TEST(Network, StrictRejectsOversizedMessage) {
+  Network net(config(2, BandwidthPolicy::Strict, 64));
+  net.set_current_round(0);
+  EXPECT_THROW(net.send(make_env(0, 1, 1, 9)), InvariantError);  // 72 > 64 bits
+}
+
+TEST(Network, StrictRejectsLinkSaturation) {
+  Network net(config(2, BandwidthPolicy::Strict, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 4));  // 32 bits
+  net.send(make_env(0, 1, 2, 4));  // 64 total: ok
+  EXPECT_THROW(net.send(make_env(0, 1, 3, 1)), InvariantError);
+}
+
+TEST(Network, StrictResetsBudgetEachRound) {
+  Network net(config(2, BandwidthPolicy::Strict, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 8));
+  net.end_round(0);
+  net.set_current_round(1);
+  EXPECT_NO_THROW(net.send(make_env(0, 1, 2, 8)));
+}
+
+TEST(Network, TrafficCounters) {
+  Network net(config(3, BandwidthPolicy::Unlimited, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 8));
+  net.send(make_env(0, 2, 1, 16));
+  net.send(make_env(2, 1, 1, 4));
+  net.end_round(0);
+  (void)net.collect_delivered(1);
+  (void)net.collect_delivered(2);
+  EXPECT_EQ(net.stats().messages_sent(), 3u);
+  EXPECT_EQ(net.stats().messages_delivered(), 3u);
+  EXPECT_EQ(net.stats().bits_sent(), (8u + 16u + 4u) * 8u);
+  EXPECT_EQ(net.stats().max_message_bits(), 128u);
+  EXPECT_EQ(net.stats().max_delivery_latency(), 1u);
+}
+
+TEST(Network, EmptyPayloadCountsAsOneBit) {
+  // A zero-byte message still occupies the link for a round (models the
+  // one-word control messages the paper counts).
+  Network net(config(2, BandwidthPolicy::Chunked, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 0));
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(1).size(), 1u);
+}
+
+TEST(Network, SequenceNumbersPerSender) {
+  Network net(config(3, BandwidthPolicy::Unlimited, 64));
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 1));
+  net.send(make_env(0, 2, 1, 1));
+  net.send(make_env(1, 2, 1, 1));
+  net.end_round(0);
+  auto to1 = net.collect_delivered(1);
+  auto to2 = net.collect_delivered(2);
+  ASSERT_EQ(to1.size(), 1u);
+  ASSERT_EQ(to2.size(), 2u);
+  EXPECT_EQ(to1[0].seq, 0u);
+  // second message from machine 0 has seq 1; machine 1's first has seq 0.
+  EXPECT_EQ(to2[0].seq, 1u);
+  EXPECT_EQ(to2[1].seq, 0u);
+}
+
+TEST(Network, WorldSizeOneHasNoLinks) {
+  Network net(config(1, BandwidthPolicy::Unlimited, 64));
+  net.end_round(0);  // must not crash
+  EXPECT_TRUE(net.collect_delivered(0).empty());
+}
+
+// --- shared-ingress ("one NIC") model -------------------------------------------
+
+TEST(Network, IngressCapSerializesConcurrentSenders) {
+  // Three senders ship 8 bytes each to machine 3; per-link B = 64 bits
+  // would deliver all in one round, but a 64-bit ingress cap admits only
+  // one sender per round.
+  NetworkConfig c = config(4, BandwidthPolicy::Chunked, 64);
+  c.ingress_bits_per_round = 64;
+  Network net(c);
+  net.set_current_round(0);
+  for (MachineId src = 0; src < 3; ++src) net.send(make_env(src, 3, 1, 8));
+  std::size_t delivered = 0;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    net.end_round(round);
+    const auto batch = net.collect_delivered(3);
+    EXPECT_EQ(batch.size(), 1u) << "round " << round;
+    delivered += batch.size();
+    net.set_current_round(round + 1);
+  }
+  EXPECT_EQ(delivered, 3u);
+}
+
+TEST(Network, IngressCapIsFairAcrossSenders) {
+  // With rotation, every sender must finish within ~k rounds of each other
+  // even under sustained saturation.
+  NetworkConfig c = config(5, BandwidthPolicy::Chunked, 64);
+  c.ingress_bits_per_round = 64;
+  Network net(c);
+  net.set_current_round(0);
+  for (MachineId src = 0; src < 4; ++src) {
+    net.send(make_env(src, 4, static_cast<Tag>(src), 16));  // 2 rounds each
+  }
+  std::vector<std::uint64_t> finish(4, 0);
+  for (std::uint64_t round = 0; round < 32 && net.in_flight(); ++round) {
+    net.end_round(round);
+    for (const auto& env : net.collect_delivered(4)) finish[env.tag] = round;
+    net.set_current_round(round + 1);
+  }
+  EXPECT_FALSE(net.in_flight());
+  const auto [lo, hi] = std::minmax_element(finish.begin(), finish.end());
+  EXPECT_LE(*hi - *lo, 6u);  // no sender starves
+}
+
+TEST(Network, IngressCapZeroMeansUnlimited) {
+  NetworkConfig c = config(4, BandwidthPolicy::Chunked, 64);
+  c.ingress_bits_per_round = 0;
+  Network net(c);
+  net.set_current_round(0);
+  for (MachineId src = 0; src < 3; ++src) net.send(make_env(src, 3, 1, 8));
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(3).size(), 3u);
+}
+
+// --- fault injection -----------------------------------------------------------
+
+TEST(Fault, DropsEverythingAtProbabilityOne) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  FaultInjector injector(net, plan, /*seed=*/1);
+  net.set_current_round(0);
+  for (int i = 0; i < 10; ++i) net.send(make_env(0, 1, 1, 4));
+  net.end_round(0);
+  EXPECT_TRUE(net.collect_delivered(1).empty());
+  EXPECT_EQ(injector.drops(), 10u);
+  // Dropped messages are not counted as sent traffic.
+  EXPECT_EQ(net.stats().messages_sent(), 0u);
+}
+
+TEST(Fault, RespectsTagFilter) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  plan.only_tag = Tag{7};
+  FaultInjector injector(net, plan, 1);
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 7, 4));
+  net.send(make_env(0, 1, 8, 4));
+  net.end_round(0);
+  auto delivered = net.collect_delivered(1);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].tag, 8u);
+  EXPECT_EQ(injector.drops(), 1u);
+}
+
+TEST(Fault, RespectsMaxDropsAndFromRound) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  plan.from_round = 1;
+  plan.max_drops = 2;
+  FaultInjector injector(net, plan, 1);
+  net.set_current_round(0);
+  net.send(make_env(0, 1, 1, 4));  // round 0: immune
+  net.end_round(0);
+  net.set_current_round(1);
+  for (int i = 0; i < 5; ++i) net.send(make_env(0, 1, 1, 4));  // 2 dropped, 3 pass
+  net.end_round(1);
+  EXPECT_EQ(injector.drops(), 2u);
+  EXPECT_EQ(net.collect_delivered(1).size(), 1u + 3u);
+}
+
+TEST(Fault, ZeroProbabilityDropsNothing) {
+  Network net(config(2, BandwidthPolicy::Unlimited, 64));
+  FaultPlan plan;  // defaults: p = 0
+  FaultInjector injector(net, plan, 1);
+  net.set_current_round(0);
+  for (int i = 0; i < 10; ++i) net.send(make_env(0, 1, 1, 4));
+  net.end_round(0);
+  EXPECT_EQ(net.collect_delivered(1).size(), 10u);
+  EXPECT_EQ(injector.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace dknn

@@ -1,0 +1,255 @@
+// Tests for core/dist_select (the paper's Algorithm 1): exact-answer
+// equivalence with sequential selection across a (n, k, ℓ, distribution,
+// placement) grid, round/message bounds (Theorem 2.2), edge cases, strict
+// bandwidth certification, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "data/generators.hpp"
+#include "data/partition.hpp"
+#include "rng/rng.hpp"
+#include "sim/engine.hpp"
+#include "support/panic.hpp"
+#include "support/stats.hpp"
+
+namespace dknn {
+namespace {
+
+EngineConfig engine_for(std::uint64_t seed) {
+  EngineConfig c;
+  c.seed = seed;
+  c.measure_compute = false;
+  return c;
+}
+
+/// Builds per-machine key shards from values under a placement scheme.
+std::vector<std::vector<Key>> make_key_shards(std::vector<Value> values, std::uint32_t k,
+                                              PartitionScheme scheme, std::uint64_t seed) {
+  Rng rng(seed);
+  auto shards = make_scalar_shards(std::move(values), k, scheme, rng);
+  // Selection works on raw (value, id) keys — i.e. distance from query 0.
+  return score_scalar_shards(shards, 0);
+}
+
+// --- correctness grid ------------------------------------------------------------
+
+class SelectGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t, PartitionScheme>> {};
+
+TEST_P(SelectGrid, MatchesSequentialSelection) {
+  const auto [n, k, scheme] = GetParam();
+  Rng data_rng(1000 + n * 31 + k);
+  auto values = uniform_u64(n, data_rng, 0, n * 4);  // some duplicate values
+  auto shards = make_key_shards(values, k, scheme, 55);
+  for (std::uint64_t ell :
+       {std::uint64_t{0}, std::uint64_t{1}, static_cast<std::uint64_t>(n / 3),
+        static_cast<std::uint64_t>(n - 1), static_cast<std::uint64_t>(n),
+        static_cast<std::uint64_t>(n + 5)}) {
+    const auto result = run_selection(shards, ell, engine_for(ell + 1));
+    const auto expected = expected_smallest(shards, ell);
+    EXPECT_EQ(result.keys, expected)
+        << "n=" << n << " k=" << k << " scheme=" << partition_scheme_name(scheme)
+        << " ell=" << ell;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SelectGrid,
+    ::testing::Combine(::testing::Values(1u, 2u, 16u, 100u, 1000u),
+                       ::testing::Values(1u, 2u, 3u, 8u, 32u),
+                       ::testing::ValuesIn(all_partition_schemes())),
+    [](const auto& param_info) {
+      // NOTE: no structured bindings here — commas inside [] are not
+      // protected from the INSTANTIATE macro's argument splitting.
+      std::string name = "n" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+                         std::to_string(std::get<1>(param_info.param)) + "_" +
+                         partition_scheme_name(std::get<2>(param_info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// --- duplicates (tie-breaking by id) ------------------------------------------------
+
+TEST(Select, HeavyDuplicatesExactCount) {
+  Rng rng(2);
+  auto values = duplicate_heavy_u64(500, 3, rng);  // only 3 distinct values
+  auto shards = make_key_shards(values, 8, PartitionScheme::Random, 77);
+  for (std::uint64_t ell : {1u, 100u, 250u, 499u}) {
+    const auto result = run_selection(shards, ell, engine_for(ell));
+    ASSERT_EQ(result.keys.size(), ell);
+    EXPECT_EQ(result.keys, expected_smallest(shards, ell));
+  }
+}
+
+// --- Theorem 2.2 bounds ----------------------------------------------------------------
+
+TEST(Select, RoundsScaleLogarithmically) {
+  // Theorem 2.2: O(log n) rounds w.h.p.  Each pivot iteration is <= 4
+  // rounds in this implementation, and iterations concentrate below
+  // c·log2(n) with c ~ 3.5 (expected ~3·log_{3/2} n / log2... empirically
+  // small).  We assert a generous but finite constant and, importantly,
+  // *growth*: doubling n adds O(1) iterations.
+  constexpr std::uint32_t k = 8;
+  std::vector<double> log_ns, iters;
+  for (std::size_t n : {1u << 8, 1u << 10, 1u << 12, 1u << 14}) {
+    Rng rng(3000 + n);
+    auto values = uniform_u64(n, rng);
+    auto shards = make_key_shards(values, k, PartitionScheme::RoundRobin, 66);
+    double worst = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto result = run_selection(shards, n / 2, engine_for(seed));
+      worst = std::max(worst, static_cast<double>(result.iterations));
+    }
+    log_ns.push_back(std::log2(static_cast<double>(n)));
+    iters.push_back(worst);
+    EXPECT_LE(worst, 6.0 * std::log2(static_cast<double>(n)) + 10.0) << "n=" << n;
+  }
+  // Slope of worst-iterations vs log2(n) should be a small constant.
+  EXPECT_LT(linear_slope(log_ns, iters), 8.0);
+}
+
+TEST(Select, MessageComplexityPerIteration) {
+  // O(k) messages per iteration: init (2(k-1)) + per iteration at most
+  // 2 (pivot) + 2(k-1) (count) + final broadcast (k-1).
+  constexpr std::uint32_t k = 16;
+  constexpr std::size_t n = 4096;
+  Rng rng(4);
+  auto values = uniform_u64(n, rng);
+  auto shards = make_key_shards(values, k, PartitionScheme::RoundRobin, 88);
+  const auto result = run_selection(shards, n / 2, engine_for(9));
+  const std::uint64_t budget =
+      2 * (k - 1)                                        // init round trip
+      + static_cast<std::uint64_t>(result.iterations) * (2 * (k - 1) + 2)  // per iteration
+      + (k - 1);                                         // finished broadcast
+  EXPECT_LE(result.report.traffic.messages_sent(), budget);
+  EXPECT_GE(result.report.traffic.messages_sent(), static_cast<std::uint64_t>(k - 1));
+}
+
+TEST(Select, RoundsIndependentOfK) {
+  // The iteration count depends on n, not k (Theorem 2.2 holds regardless
+  // of k) — check that iterations do not blow up as k grows.
+  constexpr std::size_t n = 1 << 12;
+  Rng rng(5);
+  auto values = uniform_u64(n, rng);
+  SampleSet iters_small, iters_large;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto shards2 = make_key_shards(values, 2, PartitionScheme::RoundRobin, 11);
+    auto shards64 = make_key_shards(values, 64, PartitionScheme::RoundRobin, 11);
+    iters_small.add(run_selection(shards2, n / 2, engine_for(seed)).iterations);
+    iters_large.add(run_selection(shards64, n / 2, engine_for(seed)).iterations);
+  }
+  // Means within a factor of two of each other (both ~c log n).
+  EXPECT_LT(iters_large.mean(), 2.0 * iters_small.mean() + 8.0);
+  EXPECT_LT(iters_small.mean(), 2.0 * iters_large.mean() + 8.0);
+}
+
+// --- edge cases ----------------------------------------------------------------------
+
+TEST(Select, AllPointsOnOneMachine) {
+  Rng rng(6);
+  auto values = uniform_u64(256, rng);
+  auto shards = make_key_shards(values, 8, PartitionScheme::FirstHeavy, 99);
+  const auto result = run_selection(shards, 32, engine_for(1));
+  EXPECT_EQ(result.keys, expected_smallest(shards, 32));
+}
+
+TEST(Select, SomeMachinesEmpty) {
+  std::vector<std::vector<Key>> shards(5);
+  shards[2] = {Key{5, 1}, Key{3, 2}};
+  shards[4] = {Key{1, 3}};
+  const auto result = run_selection(shards, 2, engine_for(2));
+  ASSERT_EQ(result.keys.size(), 2u);
+  EXPECT_EQ(result.keys[0], (Key{1, 3}));
+  EXPECT_EQ(result.keys[1], (Key{3, 2}));
+}
+
+TEST(Select, AllMachinesEmpty) {
+  std::vector<std::vector<Key>> shards(4);
+  const auto result = run_selection(shards, 5, engine_for(3));
+  EXPECT_TRUE(result.keys.empty());
+}
+
+TEST(Select, SingleMachineNoMessages) {
+  std::vector<std::vector<Key>> shards(1);
+  for (std::uint64_t i = 0; i < 100; ++i) shards[0].push_back(Key{i * 7 % 100, i + 1});
+  const auto result = run_selection(shards, 10, engine_for(4));
+  EXPECT_EQ(result.keys, expected_smallest(shards, 10));
+  EXPECT_EQ(result.report.traffic.messages_sent(), 0u);
+}
+
+TEST(Select, NonZeroLeader) {
+  Rng rng(7);
+  auto values = uniform_u64(200, rng);
+  auto shards = make_key_shards(values, 4, PartitionScheme::RoundRobin, 12);
+  SelectConfig config;
+  config.leader = 3;
+  const auto result = run_selection(shards, 50, engine_for(5), config);
+  EXPECT_EQ(result.keys, expected_smallest(shards, 50));
+}
+
+TEST(Select, DuplicateKeysRejected) {
+  std::vector<std::vector<Key>> shards(2);
+  shards[0] = {Key{1, 1}, Key{1, 1}};  // same (rank, id) twice: invalid input
+  EXPECT_THROW((void)run_selection(shards, 1, engine_for(6)), InvariantError);
+}
+
+// --- determinism & bandwidth ------------------------------------------------------------
+
+TEST(Select, DeterministicForSeed) {
+  Rng rng(8);
+  auto values = uniform_u64(512, rng);
+  auto shards = make_key_shards(values, 8, PartitionScheme::Random, 13);
+  const auto a = run_selection(shards, 100, engine_for(42));
+  const auto b = run_selection(shards, 100, engine_for(42));
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.report.rounds, b.report.rounds);
+  EXPECT_EQ(a.report.traffic.messages_sent(), b.report.traffic.messages_sent());
+}
+
+TEST(Select, RunsUnderStrictBandwidth) {
+  // Every Algorithm 1 message is O(1) words; with B = 512 bits per round
+  // the whole protocol must satisfy the Strict policy (this certifies that
+  // no step ever needs more than one message per link per round).
+  Rng rng(9);
+  auto values = uniform_u64(512, rng);
+  auto shards = make_key_shards(values, 8, PartitionScheme::RoundRobin, 14);
+  auto config = engine_for(7);
+  config.bandwidth = BandwidthPolicy::Strict;
+  config.bits_per_round = 512;
+  const auto result = run_selection(shards, 128, config);
+  EXPECT_EQ(result.keys, expected_smallest(shards, 128));
+  EXPECT_LE(result.report.traffic.max_message_bits(), 512u);
+}
+
+TEST(Select, ChunkedBandwidthStillCorrect) {
+  Rng rng(10);
+  auto values = uniform_u64(256, rng);
+  auto shards = make_key_shards(values, 4, PartitionScheme::RoundRobin, 15);
+  auto config = engine_for(8);
+  config.bandwidth = BandwidthPolicy::Chunked;
+  config.bits_per_round = 64;  // every control message now takes ~5 rounds
+  const auto result = run_selection(shards, 64, config);
+  EXPECT_EQ(result.keys, expected_smallest(shards, 64));
+}
+
+TEST(Select, SelectedKeysComeFromOwningMachines) {
+  // Each machine only ever reports keys it actually holds.
+  Rng rng(11);
+  auto values = uniform_u64(300, rng);
+  auto shards = make_key_shards(values, 6, PartitionScheme::Random, 16);
+  const auto expected = expected_smallest(shards, 75);
+  const auto result = run_selection(shards, 75, engine_for(9));
+  EXPECT_EQ(result.keys, expected);
+  // ... and collectively exactly once: merged size equals ell exactly.
+  EXPECT_EQ(result.keys.size(), 75u);
+}
+
+}  // namespace
+}  // namespace dknn

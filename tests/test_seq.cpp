@@ -1,0 +1,275 @@
+// Tests for src/seq: quickselect and median-of-medians against
+// std::nth_element (parameterized sweeps), top_ell, the k-d tree against
+// brute force under several dimensions, and the weighted median.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "data/ids.hpp"
+#include "data/key.hpp"
+#include "rng/rng.hpp"
+#include "seq/brute.hpp"
+#include "seq/kdtree.hpp"
+#include "seq/select.hpp"
+#include "seq/weighted_median.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+// --- selection ------------------------------------------------------------------
+
+std::uint64_t reference_nth(std::vector<std::uint64_t> values, std::size_t rank) {
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+class SelectSweep : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(SelectSweep, QuickselectMatchesNthElement) {
+  const auto [n, dist] = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(dist) * 7 + n);
+  std::vector<std::uint64_t> values;
+  switch (dist) {
+    case 0: values = uniform_u64(n, rng); break;
+    case 1: values = duplicate_heavy_u64(n, std::max<std::size_t>(1, n / 10), rng); break;
+    case 2: {  // sorted ascending
+      values = uniform_u64(n, rng);
+      std::sort(values.begin(), values.end());
+      break;
+    }
+    case 3: {  // all equal
+      values.assign(n, 42);
+      break;
+    }
+  }
+  for (std::size_t rank : {std::size_t{0}, n / 4, n / 2, n - 1}) {
+    Rng qrng(7);
+    EXPECT_EQ(quickselect(values, rank, qrng), reference_nth(values, rank))
+        << "n=" << n << " dist=" << dist << " rank=" << rank;
+    EXPECT_EQ(mom_select(values, rank), reference_nth(values, rank))
+        << "n=" << n << " dist=" << dist << " rank=" << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 10u, 100u, 1000u,
+                                                              4096u),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+TEST(Select, RankOutOfRangeThrows) {
+  Rng rng(1);
+  std::vector<std::uint64_t> v{1, 2, 3};
+  EXPECT_THROW((void)quickselect(v, 3, rng), InvariantError);
+  EXPECT_THROW((void)mom_select(v, 3), InvariantError);
+}
+
+TEST(Select, WorksOnKeys) {
+  Rng rng(2);
+  std::vector<Key> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(Key{rng.below(10), rng.next_u64()});
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  Rng qrng(3);
+  EXPECT_EQ(quickselect(keys, 37, qrng), sorted[37]);
+  EXPECT_EQ(mom_select(keys, 37), sorted[37]);
+}
+
+// --- top_ell -----------------------------------------------------------------------
+
+TEST(TopEll, MatchesSortPrefix) {
+  Rng rng(10);
+  for (std::size_t n : {0u, 1u, 5u, 100u, 1000u}) {
+    auto values = uniform_u64(n, rng, 0, 500);  // force duplicates
+    auto sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t ell : {std::size_t{0}, std::size_t{1}, n / 2, n, n + 10}) {
+      auto got = top_ell_smallest(std::span<const std::uint64_t>(values), ell);
+      std::vector<std::uint64_t> want(sorted.begin(),
+                                      sorted.begin() + static_cast<std::ptrdiff_t>(
+                                                           std::min(ell, sorted.size())));
+      EXPECT_EQ(got, want) << "n=" << n << " ell=" << ell;
+    }
+  }
+}
+
+TEST(TopEll, ReturnsAscending) {
+  Rng rng(11);
+  auto values = uniform_u64(500, rng);
+  auto got = top_ell_smallest(std::span<const std::uint64_t>(values), 50);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+// --- brute force ℓ-NN ----------------------------------------------------------------
+
+TEST(Brute, ScalarMatchesManualScan) {
+  Rng rng(20);
+  auto values = uniform_u64(200, rng, 0, 1000);
+  auto ids = assign_random_ids(values.size(), rng);
+  const Value query = 500;
+  auto got = brute_force_knn_scalar(values, ids, query, 10);
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  // Every returned distance must be <= every excluded distance.
+  std::vector<Key> all;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    all.push_back(Key{scalar_distance(values[i], query), ids[i]});
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].key, all[i]);
+}
+
+TEST(Brute, EllLargerThanNReturnsAll) {
+  Rng rng(21);
+  auto values = uniform_u64(5, rng);
+  auto ids = assign_random_ids(5, rng);
+  EXPECT_EQ(brute_force_knn_scalar(values, ids, 0, 100).size(), 5u);
+}
+
+TEST(Brute, VectorMetricVariants) {
+  Rng rng(22);
+  auto points = uniform_points(100, 3, 10.0, rng);
+  auto ids = assign_random_ids(points.size(), rng);
+  const PointD query({0.0, 0.0, 0.0});
+  // Euclidean and squared-Euclidean must return identical neighbor sets.
+  auto euc = brute_force_knn(std::span<const PointD>(points), ids, query, EuclideanMetric{}, 7);
+  auto sq = brute_force_knn(std::span<const PointD>(points), ids, query, SquaredEuclidean{}, 7);
+  ASSERT_EQ(euc.size(), sq.size());
+  for (std::size_t i = 0; i < euc.size(); ++i) EXPECT_EQ(euc[i].index, sq[i].index);
+}
+
+// --- k-d tree ---------------------------------------------------------------------------
+
+class KdTreeSweep : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KdTreeSweep, MatchesBruteForce) {
+  const auto [n, dim] = GetParam();
+  Rng rng(30 + n + dim);
+  auto points = uniform_points(n, dim, 100.0, rng);
+  auto ids = assign_random_ids(n, rng);
+  KdTree tree(points, ids);
+  for (int q = 0; q < 5; ++q) {
+    auto query_pt = uniform_points(1, dim, 120.0, rng)[0];
+    for (std::size_t ell : {std::size_t{1}, std::size_t{5}, n / 2, n}) {
+      if (ell == 0) continue;
+      auto expected =
+          brute_force_knn(std::span<const PointD>(points), ids, query_pt, EuclideanMetric{}, ell);
+      auto got = tree.knn(query_pt, ell);
+      ASSERT_EQ(got.size(), expected.size()) << "n=" << n << " dim=" << dim << " ell=" << ell;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, expected[i].key) << "rank " << i;
+        EXPECT_EQ(got[i].second, expected[i].index) << "rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndDims, KdTreeSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 17u, 128u, 500u),
+                                            ::testing::Values(1u, 2u, 3u, 8u)));
+
+TEST(KdTree, EmptyTree) {
+  KdTree tree({}, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.knn(PointD({1.0}), 3).empty());
+}
+
+TEST(KdTree, EllZero) {
+  Rng rng(31);
+  auto points = uniform_points(10, 2, 1.0, rng);
+  auto ids = assign_random_ids(10, rng);
+  KdTree tree(points, ids);
+  EXPECT_TRUE(tree.knn(points[0], 0).empty());
+}
+
+TEST(KdTree, DimensionMismatchThrows) {
+  Rng rng(32);
+  auto points = uniform_points(10, 2, 1.0, rng);
+  auto ids = assign_random_ids(10, rng);
+  KdTree tree(points, ids);
+  EXPECT_THROW((void)tree.knn(PointD({1.0, 2.0, 3.0}), 1), InvariantError);
+}
+
+TEST(KdTree, PruningActuallyPrunes) {
+  // On clustered data with a small ell, the tree should visit far fewer
+  // nodes than brute force would score.
+  Rng rng(33);
+  auto points = uniform_points(4096, 2, 1000.0, rng);
+  auto ids = assign_random_ids(points.size(), rng);
+  KdTree tree(points, ids);
+  (void)tree.knn(PointD({0.0, 0.0}), 1);
+  EXPECT_LT(tree.last_visited(), points.size() / 2);
+}
+
+TEST(KdTree, DuplicatePointsHandled) {
+  Rng rng(34);
+  std::vector<PointD> points(20, PointD({1.0, 1.0}));  // all identical
+  auto ids = assign_random_ids(points.size(), rng);
+  KdTree tree(points, ids);
+  auto got = tree.knn(PointD({1.0, 1.0}), 5);
+  ASSERT_EQ(got.size(), 5u);
+  // ties broken by id ascending
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].first.id, got[i].first.id);
+  }
+}
+
+// --- weighted median -----------------------------------------------------------------------
+
+TEST(WeightedMedian, UnitWeightsGiveLowerMedian) {
+  std::vector<WeightedKey> items;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u, 50u}) items.push_back({Key{v, 0}, 1});
+  EXPECT_EQ(weighted_median(items).rank, 30u);
+  items.push_back({Key{60, 0}, 1});  // even count: lower median
+  EXPECT_EQ(weighted_median(items).rank, 30u);
+}
+
+TEST(WeightedMedian, RespectsWeights) {
+  std::vector<WeightedKey> items{{Key{1, 0}, 1}, {Key{2, 0}, 100}, {Key{3, 0}, 1}};
+  EXPECT_EQ(weighted_median(items).rank, 2u);
+  items = {{Key{1, 0}, 10}, {Key{100, 0}, 1}};
+  EXPECT_EQ(weighted_median(items).rank, 1u);
+}
+
+TEST(WeightedMedian, IgnoresZeroWeights) {
+  std::vector<WeightedKey> items{{Key{1, 0}, 0}, {Key{5, 0}, 3}, {Key{9, 0}, 0}};
+  EXPECT_EQ(weighted_median(items).rank, 5u);
+}
+
+TEST(WeightedMedian, AllZeroThrows) {
+  std::vector<WeightedKey> items{{Key{1, 0}, 0}};
+  EXPECT_THROW((void)weighted_median(items), InvariantError);
+}
+
+TEST(WeightedMedian, HalfWeightProperty) {
+  // Σ weight(x <= m) >= total/2 and Σ weight(x >= m) >= total/2.
+  Rng rng(40);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<WeightedKey> items;
+    std::uint64_t total = 0;
+    const std::size_t n = 1 + rng.below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = rng.below(10);
+      items.push_back({Key{rng.below(100), rng.next_u64()}, w});
+      total += w;
+    }
+    if (total == 0) continue;
+    const Key m = weighted_median(items);
+    std::uint64_t leq = 0, geq = 0;
+    for (const auto& item : items) {
+      if (item.key <= m) leq += item.weight;
+      if (item.key >= m) geq += item.weight;
+    }
+    EXPECT_GE(2 * leq, total) << "trial " << trial;
+    EXPECT_GE(2 * geq + 1, total) << "trial " << trial;  // lower median: strict side
+  }
+}
+
+}  // namespace
+}  // namespace dknn

@@ -1,0 +1,143 @@
+// Combination stress tests: the full Algorithm 2 stack under every
+// simultaneous combination of stressors — non-zero leader × chunked
+// bandwidth × ingress cap × parallel executor × adversarial placement —
+// plus scale smoke tests near the bench configurations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/session.hpp"
+#include "data/generators.hpp"
+#include "rng/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace dknn {
+namespace {
+
+std::vector<std::vector<Key>> scored_fixture(std::size_t n, std::uint32_t k,
+                                             PartitionScheme scheme, std::uint64_t seed) {
+  Rng rng(seed);
+  auto values = uniform_u64(n, rng);
+  auto shards = make_scalar_shards(std::move(values), k, scheme, rng);
+  return score_scalar_shards(shards, rng.between(0, (1ULL << 32) - 1));
+}
+
+// --- everything at once -----------------------------------------------------------
+
+struct StressCase {
+  bool parallel;
+  bool chunked;
+  bool nic_cap;
+  MachineId leader;
+  PartitionScheme scheme;
+};
+
+class StressMatrix : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(StressMatrix, DistKnnExactUnderCombinedStressors) {
+  const auto [parallel, chunked, nic_cap] = GetParam();
+  constexpr std::uint32_t k = 12;
+  for (PartitionScheme scheme : {PartitionScheme::SortedBlocks, PartitionScheme::FirstHeavy}) {
+    auto scored = scored_fixture(3000, k, scheme, 77);
+    EngineConfig engine;
+    engine.seed = 5;
+    engine.parallel = parallel;
+    engine.threads = 3;
+    engine.measure_compute = parallel;  // exercise timing under threads too
+    if (chunked) {
+      engine.bandwidth = BandwidthPolicy::Chunked;
+      engine.bits_per_round = 256;
+    }
+    if (nic_cap) engine.ingress_bits_per_round = 256;
+    KnnConfig knn;
+    knn.leader = k - 1;  // non-zero leader
+    const auto result = run_knn(scored, 200, KnnAlgo::DistKnn, engine, knn);
+    EXPECT_EQ(result.keys, expected_smallest(scored, 200))
+        << "parallel=" << parallel << " chunked=" << chunked << " nic=" << nic_cap
+        << " scheme=" << partition_scheme_name(scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, StressMatrix,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                                            ::testing::Bool()),
+                         [](const auto& param_info) {
+                           std::string name;
+                           name += std::get<0>(param_info.param) ? "par" : "seq";
+                           name += std::get<1>(param_info.param) ? "_chunked" : "_unlimited";
+                           name += std::get<2>(param_info.param) ? "_nic" : "_nonic";
+                           return name;
+                         });
+
+// --- parallel executor corner cases -------------------------------------------------
+
+Task<void> dist_select_probe(Ctx& ctx, const std::vector<std::vector<Key>>* shards) {
+  (void)co_await dist_select(ctx, (*shards)[ctx.id()], 1, SelectConfig{});
+}
+
+Task<void> wait_forever(Ctx& ctx) {
+  // Plain round barriers (not mail barriers) so the fast deadlock detector
+  // never fires and the round cap is what trips.
+  while (true) co_await ctx.round();
+}
+
+TEST(StressParallel, ExceptionPropagatesFromWorkerThread) {
+  EngineConfig config;
+  config.world_size = 6;
+  config.seed = 1;
+  config.parallel = true;
+  config.threads = 3;
+  Engine engine(config);
+  std::vector<std::vector<Key>> shards(6);
+  shards[0] = {Key{1, 1}, Key{1, 1}};  // duplicate keys: machine 0 throws
+  EXPECT_THROW(
+      (void)engine.run(
+          [&shards](Ctx& ctx) { return dist_select_probe(ctx, &shards); }),
+      InvariantError);
+}
+
+TEST(StressParallel, RoundCapUnderThreads) {
+  EngineConfig config;
+  config.world_size = 4;
+  config.seed = 2;
+  config.parallel = true;
+  config.threads = 2;
+  config.max_rounds = 64;
+  Engine engine(config);
+  EXPECT_THROW((void)engine.run([](Ctx& ctx) { return wait_forever(ctx); }), SimError);
+}
+
+// --- bench-scale smoke ---------------------------------------------------------------
+
+TEST(StressScale, LargeKLargeEll) {
+  constexpr std::uint32_t k = 128;
+  auto scored = scored_fixture(1 << 14, k, PartitionScheme::RoundRobin, 99);
+  EngineConfig engine;
+  engine.seed = 9;
+  engine.measure_compute = false;
+  const auto result = run_knn(scored, 4096, KnnAlgo::DistKnn, engine);
+  EXPECT_EQ(result.keys, expected_smallest(scored, 4096));
+}
+
+TEST(StressScale, ManyQueriesSession) {
+  Rng rng(100);
+  auto values = uniform_u64(1 << 12, rng);
+  auto shards = make_scalar_shards(std::move(values), 16, PartitionScheme::Random, rng);
+  auto queries = uniform_u64(50, rng);
+  EngineConfig engine;
+  engine.seed = 10;
+  engine.measure_compute = false;
+  const auto session = run_scalar_session(shards, queries, 32, engine);
+  ASSERT_EQ(session.queries.size(), 50u);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto scored = score_scalar_shards(shards, queries[q]);
+    EXPECT_EQ(session.queries[q].keys, expected_smallest(scored, 32)) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace dknn

@@ -1,0 +1,283 @@
+// Unit tests for src/support: panic, bits, stats, table, cli.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/cli.hpp"
+#include "support/panic.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace dknn {
+namespace {
+
+// --- panic -------------------------------------------------------------------
+
+TEST(Panic, RequirePassesOnTrue) { EXPECT_NO_THROW(DKNN_REQUIRE(1 + 1 == 2, "arithmetic")); }
+
+TEST(Panic, RequireThrowsInvariantError) {
+  EXPECT_THROW(DKNN_REQUIRE(false, "must fail"), InvariantError);
+}
+
+TEST(Panic, MessageContainsExpressionAndNote) {
+  try {
+    DKNN_REQUIRE(2 < 1, "ordering note");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("ordering note"), std::string::npos);
+  }
+}
+
+// --- bits ---------------------------------------------------------------------
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1'000'000'007ULL, 64), 15'625'001ULL);
+}
+
+TEST(Bits, CeilDivRejectsZeroDivisor) { EXPECT_THROW((void)ceil_div(5, 0), InvariantError); }
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ULL << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ULL << 40) + 1), 41u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(~0ULL), 63u);
+}
+
+TEST(Bits, SaturateCast) {
+  EXPECT_EQ((saturate_cast<std::uint8_t, int>(300)), 255);
+  EXPECT_EQ((saturate_cast<std::uint8_t, int>(-5)), 0);
+  EXPECT_EQ((saturate_cast<std::uint8_t, int>(7)), 7);
+  EXPECT_EQ((saturate_cast<std::uint32_t, std::uint64_t>(~0ULL)), ~0u);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+}
+
+TEST(SampleSet, SingleElement) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.min(), InvariantError);
+  EXPECT_THROW((void)s.percentile(50), InvariantError);
+}
+
+TEST(SampleSet, PercentileRangeChecked) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1), InvariantError);
+  EXPECT_THROW((void)s.percentile(101), InvariantError);
+}
+
+TEST(LinearSlope, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // slope 2
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LinearSlope, RequiresTwoPoints) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0};
+  EXPECT_THROW((void)linear_slope(x, y), InvariantError);
+}
+
+TEST(FormatFixed, Rounding) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker's-or-away, snprintf dependent but stable
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{5});
+  t.row().cell("b").cell(12.5, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // header separator present
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(Table, IncompleteRowThrowsOnRender) {
+  Table t({"a", "b"});
+  t.row().cell("only one");
+  EXPECT_THROW((void)t.render(), InvariantError);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), InvariantError);
+}
+
+TEST(Table, RowCountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --- cli -----------------------------------------------------------------------
+
+TEST(Cli, DefaultsAndOverrides) {
+  Cli cli;
+  cli.add_flag("k", "machines", "8");
+  cli.add_flag("ell", "neighbors", "16");
+  const char* argv[] = {"prog", "--k=32"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_uint("k"), 32u);
+  EXPECT_EQ(cli.get_uint("ell"), 16u);
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli;
+  cli.add_flag("seed", "rng seed", "1");
+  const char* argv[] = {"prog", "--seed", "99"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_uint("seed"), 99u);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  Cli cli;
+  cli.add_flag("verbose", "chatty", "false");
+  cli.add_flag("k", "machines", "4");
+  const char* argv[] = {"prog", "--verbose", "--k=2"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_uint("k"), 2u);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  cli.add_flag("k", "machines", "4");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW((void)cli.parse(2, argv), InvariantError);
+}
+
+TEST(Cli, BadNumberThrows) {
+  Cli cli;
+  cli.add_flag("k", "machines", "4");
+  const char* argv[] = {"prog", "--k=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW((void)cli.get_uint("k"), InvariantError);
+}
+
+TEST(Cli, UintList) {
+  Cli cli;
+  cli.add_flag("ks", "machine counts", "2,4,8");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_uint_list("ks"), (std::vector<std::uint64_t>{2, 4, 8}));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  cli.add_flag("k", "machines", "4");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli;
+  const char* argv[] = {"prog", "input.bin", "out.bin"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.bin");
+}
+
+}  // namespace
+}  // namespace dknn
