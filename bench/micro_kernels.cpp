@@ -6,16 +6,30 @@
 // Kernels:
 //   * local top-ℓ: bounded heap vs nth_element vs full sort
 //   * k-d tree build + query vs brute-force scan (related work [2, 6, 14])
-//   * scoring (distance computation) throughput
+//   * scoring (distance computation) throughput — AoS per-query vs the SoA
+//     FlatStore kernels, materialized vs fused top-ℓ (data/kernels.hpp)
 //   * serialization and RNG throughput (the simulator's own hot paths)
+//
+// This binary carries its own main: with --json=PATH it first times the
+// canonical serving workload (100k points, d=8, ℓ=64, 32-query block) on
+// the AoS per-query path vs the fused SoA batch path and writes the
+// medians to PATH — the machine-readable perf trajectory
+// (BENCH_kernels.json) the ROADMAP tracks.  Without the flag it is a
+// plain google-benchmark binary.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/driver.hpp"
+#include "data/flat_store.hpp"
 #include "data/generators.hpp"
 #include "data/ids.hpp"
+#include "data/kernels.hpp"
 #include "data/key.hpp"
 #include "data/metric.hpp"
 #include "rng/rng.hpp"
@@ -24,6 +38,7 @@
 #include "seq/kdtree.hpp"
 #include "seq/select.hpp"
 #include "serial/codec.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -131,6 +146,93 @@ void BM_ScoreEuclidean(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreEuclidean)->Args({1 << 14, 4})->Args({1 << 14, 32});
 
+// --- AoS vs SoA, materialized vs fused --------------------------------------
+
+/// One machine's shard in both layouts, plus a query block.
+struct ScoringFixture {
+  VectorShard shard;
+  FlatStore store;
+  std::vector<PointD> queries;
+};
+
+ScoringFixture make_scoring_fixture(std::size_t n, std::size_t dim, std::size_t num_queries) {
+  Rng rng(8);
+  ScoringFixture fx;
+  fx.shard.points = uniform_points(n, dim, 100.0, rng);
+  fx.shard.ids = assign_random_ids(n, rng);
+  fx.store = FlatStore(fx.shard.points, fx.shard.ids);
+  fx.queries = uniform_points(num_queries, dim, 100.0, rng);
+  return fx;
+}
+
+/// The pre-existing per-query path: AoS scan materializing n keys, then a
+/// separate top-ℓ pass.
+void BM_AosPerQueryTopEll(benchmark::State& state) {
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), 8);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const auto scored =
+        score_vector_shard(fx.shard, fx.queries[q++ % fx.queries.size()], EuclideanMetric{});
+    auto best = top_ell_smallest(std::span<const Key>(scored), ell);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AosPerQueryTopEll)->Args({1 << 16, 8, 64})->Args({1 << 16, 32, 64});
+
+/// SoA columns but still materializing all n keys before the top-ℓ pass.
+void BM_SoaMaterializedTopEll(benchmark::State& state) {
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), 8);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  std::vector<Key> scored;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    score_store(fx.store, fx.queries[q++ % fx.queries.size()], MetricKind::Euclidean, scored);
+    auto best = top_ell_smallest(std::span<const Key>(scored), ell);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoaMaterializedTopEll)->Args({1 << 16, 8, 64})->Args({1 << 16, 32, 64});
+
+/// Fused SoA kernel, one query at a time (no cross-query blocking).
+void BM_SoaFusedTopEll(benchmark::State& state) {
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), 8);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const PointD& query = fx.queries[q++ % fx.queries.size()];
+    fused_top_ell_batch(fx.store, std::span<const PointD>(&query, 1), ell,
+                        MetricKind::Euclidean, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoaFusedTopEll)->Args({1 << 16, 8, 64})->Args({1 << 16, 32, 64});
+
+/// Fused SoA kernel over the whole query block (points stay cache-hot
+/// across queries).  Items processed counts point-visits: n per query.
+void BM_SoaFusedTopEllBatch(benchmark::State& state) {
+  const auto num_queries = static_cast<std::size_t>(state.range(3));
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), num_queries);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  for (auto _ : state) {
+    fused_top_ell_batch(fx.store, fx.queries, ell, MetricKind::Euclidean, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * static_cast<std::int64_t>(num_queries));
+}
+BENCHMARK(BM_SoaFusedTopEllBatch)->Args({1 << 16, 8, 64, 32})->Args({1 << 16, 32, 64, 32});
+
 void BM_KdTreeBuild(benchmark::State& state) {
   Rng rng(3);
   const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), 3, 100.0, rng);
@@ -212,4 +314,128 @@ void BM_SampleWithoutReplacement(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleWithoutReplacement)->Args({1 << 20, 64})->Args({1 << 20, 4096});
 
+// --- BENCH_kernels.json emission --------------------------------------------
+
+struct PathTiming {
+  double median_ms = 0.0;
+  double ns_per_point = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+/// Runs `body` (which processes the whole query block once) `repeats`
+/// times and derives per-point / per-query figures from the median.
+template <typename Body>
+PathTiming time_path(std::size_t repeats, std::size_t points, std::size_t num_queries,
+                     Body&& body) {
+  std::vector<double> ms;
+  ms.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    body();
+    ms.push_back(ns_to_ms(timer.elapsed_ns()));
+  }
+  std::sort(ms.begin(), ms.end());
+  PathTiming t;
+  t.median_ms = ms[ms.size() / 2];
+  t.ns_per_point = t.median_ms * 1e6 / static_cast<double>(points * num_queries);
+  t.queries_per_sec = static_cast<double>(num_queries) / (t.median_ms * 1e-3);
+  return t;
+}
+
+void write_path(std::FILE* f, const char* name, const PathTiming& t, bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"median_ms\": %.3f, \"ns_per_point\": %.3f, "
+               "\"queries_per_sec\": %.1f}%s\n",
+               name, t.median_ms, t.ns_per_point, t.queries_per_sec, trailing_comma ? "," : "");
+}
+
+/// The canonical serving workload the ROADMAP's perf trajectory tracks.
+int emit_bench_json(const std::string& path) {
+  constexpr std::size_t kPoints = 100000;
+  constexpr std::size_t kDim = 8;
+  constexpr std::size_t kEll = 64;
+  constexpr std::size_t kQueries = 32;
+  constexpr std::size_t kRepeats = 9;
+
+  const auto fx = make_scoring_fixture(kPoints, kDim, kQueries);
+
+  const PathTiming aos = time_path(kRepeats, kPoints, kQueries, [&] {
+    for (const PointD& query : fx.queries) {
+      const auto scored = score_vector_shard(fx.shard, query, EuclideanMetric{});
+      auto best = top_ell_smallest(std::span<const Key>(scored), kEll);
+      benchmark::DoNotOptimize(best);
+    }
+  });
+
+  std::vector<Key> materialized;
+  const PathTiming soa_mat = time_path(kRepeats, kPoints, kQueries, [&] {
+    for (const PointD& query : fx.queries) {
+      score_store(fx.store, query, MetricKind::Euclidean, materialized);
+      auto best = top_ell_smallest(std::span<const Key>(materialized), kEll);
+      benchmark::DoNotOptimize(best);
+    }
+  });
+
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  const PathTiming fused = time_path(kRepeats, kPoints, kQueries, [&] {
+    fused_top_ell_batch(fx.store, fx.queries, kEll, MetricKind::Euclidean, out, scratch);
+    benchmark::DoNotOptimize(out);
+  });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"points\": %zu, \"dim\": %zu, \"ell\": %zu, "
+               "\"queries\": %zu, \"metric\": \"euclidean\", \"repeats\": %zu},\n",
+               kPoints, kDim, kEll, kQueries, kRepeats);
+  std::fprintf(f, "  \"paths\": {\n");
+  write_path(f, "aos_per_query", aos, true);
+  write_path(f, "soa_materialized", soa_mat, true);
+  write_path(f, "soa_fused_batch", fused, false);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_fused_vs_aos\": %.2f\n}\n", aos.median_ms / fused.median_ms);
+  std::fclose(f);
+  std::printf("wrote %s (aos %.2f ms, soa-materialized %.2f ms, soa-fused %.2f ms, "
+              "speedup %.2fx)\n",
+              path.c_str(), aos.median_ms, soa_mat.median_ms, fused.median_ms,
+              aos.median_ms / fused.median_ms);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own --json flag before handing the rest to google-benchmark.
+  // JSON emission is opt-in so filtered benchmark runs don't pay the
+  // canonical workload or clobber a checked-in BENCH_kernels.json.
+  std::string json_path;
+  bool emit_json = false;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "--json= requires a path\n");
+        return 1;
+      }
+      emit_json = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (emit_json) {
+    if (const int rc = emit_bench_json(json_path); rc != 0) return rc;
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

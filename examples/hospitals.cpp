@@ -96,8 +96,9 @@ int main(int argc, char** argv) {
   }
 
   // Diagnose: distributed ℓ-NN classification with the elected coordinator.
-  auto keyed =
-      dknn::make_labeled_key_shards(sites, diagnoses, new_patient.x, dknn::EuclideanMetric{});
+  // Default scoring (SquaredEuclidean): same neighbors as Euclidean, no
+  // sqrt per historical patient.
+  auto keyed = dknn::make_labeled_key_shards(sites, diagnoses, new_patient.x);
   dknn::KnnConfig knn;
   knn.leader = coordinator;
   const auto result = dknn::classify_distributed(keyed, ell, engine, knn);

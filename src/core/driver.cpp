@@ -21,10 +21,10 @@ struct Slot {
   bool prune_ok = true;
 };
 
-Task<void> knn_program(Ctx& ctx, const std::vector<std::vector<Key>>* shards, std::uint64_t ell,
-                       KnnAlgo algo, KnnConfig knn_config, std::vector<Slot>* slots) {
-  std::vector<Key> mine = (*shards)[ctx.id()];
-  Slot& slot = (*slots)[ctx.id()];
+/// One algorithm invocation for one query — shared by the single-query and
+/// batched programs.
+Task<void> knn_step(Ctx& ctx, std::vector<Key> mine, std::uint64_t ell, KnnAlgo algo,
+                    KnnConfig knn_config, Slot& slot) {
   switch (algo) {
     case KnnAlgo::DistKnn: {
       KnnLocal local = co_await dist_knn(ctx, std::move(mine), ell, knn_config);
@@ -66,6 +66,26 @@ Task<void> knn_program(Ctx& ctx, const std::vector<std::vector<Key>>* shards, st
       slot.iterations = local.probes;
       break;
     }
+  }
+}
+
+Task<void> knn_program(Ctx& ctx, const std::vector<std::vector<Key>>* shards, std::uint64_t ell,
+                       KnnAlgo algo, KnnConfig knn_config, std::vector<Slot>* slots) {
+  co_await knn_step(ctx, (*shards)[ctx.id()], ell, algo, knn_config, (*slots)[ctx.id()]);
+}
+
+/// Batched program: one engine run drives every query through the
+/// algorithm back to back; per-sender FIFO delivery keeps consecutive
+/// instances separated (see session.hpp's pipelining note).
+Task<void> knn_batch_program(Ctx& ctx, const std::vector<std::vector<std::vector<Key>>>* batch,
+                             std::uint64_t ell, KnnAlgo algo, KnnConfig knn_config,
+                             std::vector<std::vector<Slot>>* slots,
+                             std::vector<std::vector<std::uint64_t>>* rounds) {
+  for (std::size_t q = 0; q < batch->size(); ++q) {
+    const std::uint64_t before = ctx.current_round();
+    co_await knn_step(ctx, (*batch)[q][ctx.id()], ell, algo, knn_config,
+                      (*slots)[q][ctx.id()]);
+    (*rounds)[q][ctx.id()] = ctx.current_round() - before;
   }
 }
 
@@ -174,6 +194,65 @@ std::vector<std::vector<Key>> quantize_scored_shards(std::vector<std::vector<Key
     for (auto& key : shard) key.rank = quantize_rank(key.rank, drop_bits);
   }
   return shards;
+}
+
+std::vector<FlatStore> make_flat_stores(const std::vector<VectorShard>& shards) {
+  std::vector<FlatStore> stores;
+  stores.reserve(shards.size());
+  for (const auto& shard : shards) {
+    DKNN_REQUIRE(shard.points.size() == shard.ids.size(), "shard points/ids must align");
+    stores.emplace_back(std::span<const PointD>(shard.points),
+                        std::span<const PointId>(shard.ids));
+  }
+  return stores;
+}
+
+std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
+    const std::vector<FlatStore>& stores, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind) {
+  std::vector<std::vector<std::vector<Key>>> out(queries.size());
+  for (auto& per_shard : out) per_shard.resize(stores.size());
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> shard_keys;
+  for (std::size_t m = 0; m < stores.size(); ++m) {
+    // Shard-outer order: each SoA store streams through cache once for the
+    // whole query block.
+    fused_top_ell_batch(stores[m], queries, static_cast<std::size_t>(ell), kind, shard_keys,
+                        scratch);
+    for (std::size_t q = 0; q < queries.size(); ++q) out[q][m] = std::move(shard_keys[q]);
+  }
+  return out;
+}
+
+BatchRunResult run_knn_batch(const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+                             std::uint64_t ell, KnnAlgo algo, const EngineConfig& engine_config,
+                             const KnnConfig& knn_config) {
+  DKNN_REQUIRE(!scored_batch.empty(), "need at least one query");
+  const std::size_t world = scored_batch.front().size();
+  DKNN_REQUIRE(world > 0, "need at least one shard");
+  for (const auto& per_shard : scored_batch) {
+    DKNN_REQUIRE(per_shard.size() == world, "all queries must cover the same shards");
+  }
+
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(world);
+  Engine engine(config);
+  std::vector<std::vector<Slot>> slots(scored_batch.size(), std::vector<Slot>(world));
+  std::vector<std::vector<std::uint64_t>> rounds(scored_batch.size(),
+                                                 std::vector<std::uint64_t>(world, 0));
+  RunReport report = engine.run([&](Ctx& ctx) {
+    return knn_batch_program(ctx, &scored_batch, ell, algo, knn_config, &slots, &rounds);
+  });
+
+  BatchRunResult result;
+  result.per_query.reserve(scored_batch.size());
+  for (std::size_t q = 0; q < scored_batch.size(); ++q) {
+    GlobalRunResult one = merge_slots(std::move(slots[q]), RunReport{}, knn_config.leader);
+    one.report.rounds = rounds[q][knn_config.leader];
+    result.per_query.push_back(std::move(one));
+  }
+  result.report = std::move(report);
+  return result;
 }
 
 const char* knn_algo_name(KnnAlgo algo) {

@@ -10,15 +10,30 @@
 ///   auto scored = score_scalar_shards(ds, query);
 ///   auto result = run_knn(scored, ell, KnnAlgo::DistKnn, engine_config, {});
 ///
+/// Batched serving path (many queries against one resident dataset) —
+/// convert each shard to a contiguous SoA FlatStore once, score the whole
+/// query block with the fused kernels (per query and shard only the local
+/// top-ℓ keys are ever materialized), and run every query through one
+/// engine so setup cost amortizes:
+///
+///   auto shards = make_vector_shards(points, k, PartitionScheme::RoundRobin, rng);
+///   auto stores = make_flat_stores(shards);                      // once
+///   auto scored = score_vector_shards_batch(stores, queries, ell);
+///   auto batch  = run_knn_batch(scored, ell, KnnAlgo::DistKnn, engine_config);
+///   // batch.per_query[q].keys == run_knn(...) on query q's scores
+///
 /// Everything below is deterministic given (dataset, seeds, config).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/dist_knn.hpp"
 #include "core/dist_select.hpp"
+#include "data/flat_store.hpp"
 #include "data/generators.hpp"
 #include "data/ids.hpp"
+#include "data/kernels.hpp"
 #include "data/key.hpp"
 #include "data/metric.hpp"
 #include "data/partition.hpp"
@@ -92,6 +107,32 @@ template <MetricFor M>
   return out;
 }
 
+/// Default scoring: SquaredEuclidean.  The algorithms only compare
+/// distances, and ‖·‖₂² induces the same ℓ-NN order as ‖·‖₂ while dropping
+/// the per-point sqrt from the hot loop (identical selected ids,
+/// test-asserted in tests/test_kernels.cpp).
+[[nodiscard]] inline std::vector<Key> score_vector_shard(const VectorShard& shard,
+                                                         const PointD& query) {
+  return score_vector_shard(shard, query, SquaredEuclidean{});
+}
+[[nodiscard]] inline std::vector<std::vector<Key>> score_vector_shards(
+    const std::vector<VectorShard>& shards, const PointD& query) {
+  return score_vector_shards(shards, query, SquaredEuclidean{});
+}
+
+/// Converts each AoS shard to its contiguous SoA mirror (one-off O(n·d)
+/// per shard; after that, batched scoring never touches PointD).
+[[nodiscard]] std::vector<FlatStore> make_flat_stores(const std::vector<VectorShard>& shards);
+
+/// Batched local computation: scores every query against every SoA shard
+/// with the fused kernels.  Returns [query][shard] → that shard's local
+/// top-ℓ keys ascending.  Feeding a machine its local top-ℓ instead of all
+/// n keys leaves every algorithm's answer unchanged (Algorithm 2's first
+/// step is exactly this local cap) — property-tested for all metrics.
+[[nodiscard]] std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
+    const std::vector<FlatStore>& stores, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind = MetricKind::SquaredEuclidean);
+
 /// Which distributed ℓ-NN / selection algorithm to run.
 enum class KnnAlgo : std::uint8_t {
   DistKnn,      ///< the paper's Algorithm 2 (sampling + Algorithm 1)
@@ -126,6 +167,25 @@ struct GlobalRunResult {
                                       std::uint64_t ell, KnnAlgo algo,
                                       const EngineConfig& engine_config,
                                       const KnnConfig& knn_config = {});
+
+/// Outcome of a batched multi-query run.
+struct BatchRunResult {
+  /// Per-query results in query order.  Each element's `keys`,
+  /// `iterations`, `attempts`, `candidates`, `prune_ok` are as run_knn
+  /// would return for that query alone; its `report` carries only that
+  /// query's round count (traffic/compute are whole-batch, below).
+  std::vector<GlobalRunResult> per_query;
+  /// Whole-batch engine report: one engine, B queries — setup, scheduling
+  /// and warm-up amortize across the batch.
+  RunReport report;
+};
+
+/// Runs `algo` over a pre-scored query batch (`scored_batch[q][m]` =
+/// machine m's keys for query q, e.g. from score_vector_shards_batch) in a
+/// single engine run.  All queries must agree on the shard count.
+[[nodiscard]] BatchRunResult run_knn_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch, std::uint64_t ell,
+    KnnAlgo algo, const EngineConfig& engine_config, const KnnConfig& knn_config = {});
 
 /// Runs plain distributed selection (Algorithm 1) over raw key shards —
 /// the ℓ-smallest-points problem of §2.1.

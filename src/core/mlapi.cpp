@@ -25,11 +25,13 @@ struct MlSlot {
 
 using KeyedPayload = std::pair<Key, std::uint64_t>;
 
+/// One query's select-and-gather — shared by the single-query and batched
+/// programs.
 template <typename Lookup>
-Task<void> ml_program(Ctx& ctx, const std::vector<std::vector<Key>>* scored, std::uint64_t ell,
-                      KnnConfig knn_config, Lookup lookup, std::vector<MlSlot>* slots) {
-  MlSlot& slot = (*slots)[ctx.id()];
-  KnnLocal local = co_await dist_knn(ctx, (*scored)[ctx.id()], ell, knn_config);
+Task<void> ml_step(Ctx& ctx, const std::vector<std::vector<Key>>& scored, std::uint64_t ell,
+                   KnnConfig knn_config, Lookup& lookup, std::vector<MlSlot>& slots) {
+  MlSlot& slot = slots[ctx.id()];
+  KnnLocal local = co_await dist_knn(ctx, scored[ctx.id()], ell, knn_config);
   slot.selected = local.selected;
   slot.iterations = local.select_iterations;
   slot.attempts = local.attempts;
@@ -50,6 +52,60 @@ Task<void> ml_program(Ctx& ctx, const std::vector<std::vector<Key>>* scored, std
     std::sort(winners.begin(), winners.end());
     slot.winners = std::move(winners);
   }
+}
+
+template <typename Lookup>
+Task<void> ml_program(Ctx& ctx, const std::vector<std::vector<Key>>* scored, std::uint64_t ell,
+                      KnnConfig knn_config, Lookup lookup, std::vector<MlSlot>* slots) {
+  co_await ml_step(ctx, *scored, ell, knn_config, lookup, *slots);
+}
+
+/// Batched program: every query of the block runs back to back inside one
+/// engine (see session.hpp's pipelining note for why instances don't mix).
+template <typename Lookup>
+Task<void> ml_batch_program(Ctx& ctx, const std::vector<std::vector<std::vector<Key>>>* batch,
+                            std::uint64_t ell, KnnConfig knn_config, Lookup lookup,
+                            std::vector<std::vector<MlSlot>>* slots) {
+  for (std::size_t q = 0; q < batch->size(); ++q) {
+    co_await ml_step(ctx, (*batch)[q], ell, knn_config, lookup, (*slots)[q]);
+  }
+}
+
+/// Leader-side vote: fills result.votes and result.label from the winners.
+void finish_classify(ClassifyResult& result, const std::vector<KeyedPayload>& winners,
+                     VoteRule rule) {
+  // Weighted vote; ties resolved toward the smallest label (deterministic).
+  std::map<std::uint32_t, double> tally;
+  for (const auto& [key, payload] : winners) {
+    const auto label = static_cast<std::uint32_t>(payload);
+    result.votes.emplace_back(key, label);
+    double weight = 1.0;
+    if (rule == VoteRule::InverseDistance) {
+      // Ranks from make_labeled_key_shards are encode_distance-encoded.
+      weight = 1.0 / (decode_distance(key.rank) + 1e-9);
+    }
+    tally[label] += weight;
+  }
+  DKNN_REQUIRE(!result.votes.empty(), "classification needs at least one neighbor (ell >= 1)");
+  double best_weight = -1.0;
+  for (const auto& [label, weight] : tally) {
+    if (weight > best_weight) {  // map iterates ascending: first max wins ties
+      best_weight = weight;
+      result.label = label;
+    }
+  }
+}
+
+/// Leader-side average: fills result.contributions and result.prediction.
+void finish_regress(RegressResult& result, const std::vector<KeyedPayload>& winners) {
+  DKNN_REQUIRE(!winners.empty(), "regression needs at least one neighbor (ell >= 1)");
+  double sum = 0.0;
+  for (const auto& [key, payload] : winners) {
+    const double y = std::bit_cast<double>(payload);
+    result.contributions.emplace_back(key, y);
+    sum += y;
+  }
+  result.prediction = sum / static_cast<double>(result.contributions.size());
 }
 
 GlobalRunResult make_run_result(std::vector<MlSlot>& slots, RunReport report, MachineId leader) {
@@ -89,26 +145,7 @@ ClassifyResult classify_distributed(const std::vector<LabeledKeyShard>& shards, 
 
   ClassifyResult result;
   result.run = make_run_result(slots, std::move(report), knn_config.leader);
-  // Weighted vote; ties resolved toward the smallest label (deterministic).
-  std::map<std::uint32_t, double> tally;
-  for (const auto& [key, payload] : slots[knn_config.leader].winners) {
-    const auto label = static_cast<std::uint32_t>(payload);
-    result.votes.emplace_back(key, label);
-    double weight = 1.0;
-    if (rule == VoteRule::InverseDistance) {
-      // Ranks from make_labeled_key_shards are encode_distance-encoded.
-      weight = 1.0 / (decode_distance(key.rank) + 1e-9);
-    }
-    tally[label] += weight;
-  }
-  DKNN_REQUIRE(!result.votes.empty(), "classification needs at least one neighbor (ell >= 1)");
-  double best_weight = -1.0;
-  for (const auto& [label, weight] : tally) {
-    if (weight > best_weight) {  // map iterates ascending: first max wins ties
-      best_weight = weight;
-      result.label = label;
-    }
-  }
+  finish_classify(result, slots[knn_config.leader].winners, rule);
   return result;
 }
 
@@ -134,16 +171,100 @@ RegressResult regress_distributed(const std::vector<TargetKeyShard>& shards, std
 
   RegressResult result;
   result.run = make_run_result(slots, std::move(report), knn_config.leader);
-  DKNN_REQUIRE(!slots[knn_config.leader].winners.empty(),
-               "regression needs at least one neighbor (ell >= 1)");
-  double sum = 0.0;
-  for (const auto& [key, payload] : slots[knn_config.leader].winners) {
-    const double y = std::bit_cast<double>(payload);
-    result.contributions.emplace_back(key, y);
-    sum += y;
-  }
-  result.prediction = sum / static_cast<double>(result.contributions.size());
+  finish_regress(result, slots[knn_config.leader].winners);
   return result;
+}
+
+namespace {
+
+/// Shared scaffolding of the batched entry points: SoA conversion, fused
+/// batch scoring, one engine run over all queries.  `Payload` maps
+/// (machine, i) to the 64-bit payload of that machine's i-th point.
+template <typename Payload>
+std::vector<std::vector<MlSlot>> run_ml_batch(const std::vector<VectorShard>& shards,
+                                              std::span<const PointD> queries, std::uint64_t ell,
+                                              const EngineConfig& engine_config,
+                                              const KnnConfig& knn_config, MetricKind kind,
+                                              Payload payload, RunReport* report_out) {
+  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
+
+  const std::vector<FlatStore> stores = make_flat_stores(shards);
+  const auto scored = score_vector_shards_batch(stores, queries, ell, kind);
+
+  // id → payload tables, built once per shard for the whole batch.
+  std::vector<std::unordered_map<PointId, std::uint64_t>> tables(shards.size());
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    tables[m].reserve(shards[m].ids.size());
+    for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
+      tables[m].emplace(shards[m].ids[i], payload(m, i));
+    }
+  }
+  auto lookup = [&tables](MachineId machine, PointId id) -> std::uint64_t {
+    const auto it = tables[machine].find(id);
+    DKNN_REQUIRE(it != tables[machine].end(), "winner id has no payload on its machine");
+    return it->second;
+  };
+
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(shards.size());
+  Engine engine(config);
+  std::vector<std::vector<MlSlot>> slots(queries.size(), std::vector<MlSlot>(shards.size()));
+  *report_out = engine.run(
+      [&](Ctx& ctx) { return ml_batch_program(ctx, &scored, ell, knn_config, lookup, &slots); });
+  return slots;
+}
+
+}  // namespace
+
+std::vector<ClassifyResult> classify_batch(const std::vector<VectorShard>& shards,
+                                           const std::vector<std::vector<std::uint32_t>>& labels,
+                                           std::span<const PointD> queries, std::uint64_t ell,
+                                           const EngineConfig& engine_config,
+                                           const KnnConfig& knn_config, VoteRule rule,
+                                           MetricKind kind) {
+  DKNN_REQUIRE(shards.size() == labels.size(), "shards/labels must align");
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    DKNN_REQUIRE(shards[m].points.size() == labels[m].size(), "points/labels must align");
+  }
+  RunReport report;
+  auto slots = run_ml_batch(
+      shards, queries, ell, engine_config, knn_config, kind,
+      [&labels](std::size_t m, std::size_t i) -> std::uint64_t { return labels[m][i]; }, &report);
+
+  std::vector<ClassifyResult> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
+  }
+  return results;
+}
+
+std::vector<RegressResult> regress_batch(const std::vector<VectorShard>& shards,
+                                         const std::vector<std::vector<double>>& targets,
+                                         std::span<const PointD> queries, std::uint64_t ell,
+                                         const EngineConfig& engine_config,
+                                         const KnnConfig& knn_config, MetricKind kind) {
+  DKNN_REQUIRE(shards.size() == targets.size(), "shards/targets must align");
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    DKNN_REQUIRE(shards[m].points.size() == targets[m].size(), "points/targets must align");
+  }
+  RunReport report;
+  auto slots = run_ml_batch(
+      shards, queries, ell, engine_config, knn_config, kind,
+      [&targets](std::size_t m, std::size_t i) -> std::uint64_t {
+        return std::bit_cast<std::uint64_t>(targets[m][i]);
+      },
+      &report);
+
+  std::vector<RegressResult> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_regress(results[q], slots[q][knn_config.leader].winners);
+  }
+  return results;
 }
 
 }  // namespace dknn

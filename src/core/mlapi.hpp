@@ -16,6 +16,7 @@
 /// winners' labels ever cross the network — never the feature vectors.
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,28 @@ struct RegressResult {
                                                 const EngineConfig& engine_config,
                                                 const KnnConfig& knn_config = {});
 
+/// Batched classification: scores the whole query block against SoA
+/// mirrors of the shards with the fused kernels (data/kernels.hpp) and
+/// drives every query through one engine run, so shard conversion, label
+/// tables and engine setup all amortize across the batch.  Result q equals
+/// classify_distributed on shards scored for queries[q] under `kind`; the
+/// whole-batch engine report rides on result 0's `run.report` (later
+/// results carry empty reports — the engine ran once, not B times).
+/// Note: with the SquaredEuclidean default, VoteRule::InverseDistance
+/// weights by 1/(‖·‖₂² + ε) — still monotone in distance.
+[[nodiscard]] std::vector<ClassifyResult> classify_batch(
+    const std::vector<VectorShard>& shards, const std::vector<std::vector<std::uint32_t>>& labels,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config = {}, VoteRule rule = VoteRule::Majority,
+    MetricKind kind = MetricKind::SquaredEuclidean);
+
+/// Batched regression; result q equals regress_distributed on shards
+/// scored for queries[q] under `kind`.
+[[nodiscard]] std::vector<RegressResult> regress_batch(
+    const std::vector<VectorShard>& shards, const std::vector<std::vector<double>>& targets,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config = {}, MetricKind kind = MetricKind::SquaredEuclidean);
+
 /// Convenience: score labeled vector shards against a query under a metric.
 template <MetricFor M>
 [[nodiscard]] std::vector<LabeledKeyShard> make_labeled_key_shards(
@@ -103,6 +126,19 @@ template <MetricFor M>
     }
   }
   return out;
+}
+
+/// Default scoring: SquaredEuclidean — same selected neighbors as
+/// Euclidean (ordering-equivalent), no sqrt per point.
+[[nodiscard]] inline std::vector<LabeledKeyShard> make_labeled_key_shards(
+    const std::vector<VectorShard>& shards, const std::vector<std::vector<std::uint32_t>>& labels,
+    const PointD& query) {
+  return make_labeled_key_shards(shards, labels, query, SquaredEuclidean{});
+}
+[[nodiscard]] inline std::vector<TargetKeyShard> make_target_key_shards(
+    const std::vector<VectorShard>& shards, const std::vector<std::vector<double>>& targets,
+    const PointD& query) {
+  return make_target_key_shards(shards, targets, query, SquaredEuclidean{});
 }
 
 }  // namespace dknn

@@ -1,0 +1,24 @@
+#include "data/flat_store.hpp"
+
+namespace dknn {
+
+FlatStore::FlatStore(std::span<const PointD> points, std::span<const PointId> ids)
+    : n_(points.size()), d_(points.empty() ? 0 : points[0].dim()) {
+  DKNN_REQUIRE(points.size() == ids.size(), "FlatStore: points/ids must align");
+  coords_.resize(n_ * d_);
+  ids_.assign(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const PointD& p = points[i];
+    DKNN_REQUIRE(p.dim() == d_, "FlatStore: all points must share one dimension");
+    for (std::size_t j = 0; j < d_; ++j) coords_[j * n_ + i] = p[j];
+  }
+}
+
+PointD FlatStore::point(std::size_t i) const {
+  DKNN_REQUIRE(i < n_, "FlatStore: index out of range");
+  std::vector<double> c(d_);
+  for (std::size_t j = 0; j < d_; ++j) c[j] = coords_[j * n_ + i];
+  return PointD(std::move(c));
+}
+
+}  // namespace dknn

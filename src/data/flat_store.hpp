@@ -1,0 +1,69 @@
+#pragma once
+/// \file flat_store.hpp
+/// \brief Contiguous SoA (structure-of-arrays) storage for one machine's
+///        d-dimensional shard.
+///
+/// The AoS representation (`std::vector<PointD>`) pays one heap allocation
+/// and one pointer indirection per point — fine for protocol code, hostile
+/// to the scoring hot loop that §3's "local computation" discussion says
+/// dominates real wall-clock.  `FlatStore` keeps all n×d coordinates in one
+/// dimension-major buffer (`coords[j·n + i]` = coordinate j of point i)
+/// plus an id array aligned with point index, so the distance kernels in
+/// data/kernels.hpp stream each coordinate column contiguously and
+/// auto-vectorize across points (the PANDA-style layout, see PAPERS.md).
+///
+/// A store is immutable after construction: build it once per shard, score
+/// any number of queries against it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/point.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+
+/// One machine's shard as contiguous dimension-major coordinates + ids.
+class FlatStore {
+public:
+  /// Empty store of dimension `dim` (scoring it yields no keys).
+  FlatStore() = default;
+  explicit FlatStore(std::size_t dim) : d_(dim) {}
+
+  /// Packs `points` (all of dimension points[0].dim()) and their aligned
+  /// ids.  Empty `points` gives an empty store of dimension 0.
+  FlatStore(std::span<const PointD> points, std::span<const PointId> ids);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return d_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  /// Coordinate j of every point — one contiguous column of n doubles.
+  [[nodiscard]] std::span<const double> dim_coords(std::size_t j) const {
+    DKNN_ASSERT(j < d_, "FlatStore: dimension out of range");
+    return {coords_.data() + j * n_, n_};
+  }
+
+  [[nodiscard]] double coord(std::size_t i, std::size_t j) const {
+    DKNN_ASSERT(i < n_ && j < d_, "FlatStore: index out of range");
+    return coords_[j * n_ + i];
+  }
+
+  [[nodiscard]] std::span<const PointId> ids() const { return ids_; }
+  [[nodiscard]] PointId id(std::size_t i) const {
+    DKNN_ASSERT(i < n_, "FlatStore: index out of range");
+    return ids_[i];
+  }
+
+  /// Gathers point i back into AoS form (tests / debugging; O(d)).
+  [[nodiscard]] PointD point(std::size_t i) const;
+
+private:
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::vector<double> coords_;  ///< dimension-major: coords_[j * n_ + i]
+  std::vector<PointId> ids_;
+};
+
+}  // namespace dknn

@@ -1,0 +1,321 @@
+#include "data/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dknn {
+namespace {
+
+/// Points per block.  One column slice (8 KB) plus the distance tile stay
+/// resident while the whole query block streams over them.
+constexpr std::size_t kTile = 1024;
+
+/// Largest dimensionality with a fully-unrolled register-accumulating
+/// kernel; larger d falls back to the dimension-outer loop.
+constexpr std::size_t kMaxFixedDim = 16;
+
+using DistId = std::pair<double, PointId>;
+
+/// Raw per-tile scores: squared sums for the Euclidean family (the sqrt, if
+/// any, is applied lazily during selection), direct values for L1/L∞.
+/// Per point, coordinates accumulate in ascending dimension order — the
+/// exact operation sequence of the metric.hpp functors — so results are
+/// byte-identical to the AoS path.
+
+/// Fixed-dimension kernel: the j-loop fully unrolls and the accumulator
+/// chain lives in registers, so each point costs D column loads and one
+/// store; the i-loop auto-vectorizes.
+template <MetricKind K, std::size_t D>
+void tile_scores_fixed(const double* const* cols, const double* query, std::size_t t0,
+                       std::size_t m, double* __restrict dist) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < D; ++j) {
+      const double diff = cols[j][t0 + i] - query[j];
+      if constexpr (K == MetricKind::Euclidean || K == MetricKind::SquaredEuclidean) {
+        acc += diff * diff;
+      } else if constexpr (K == MetricKind::Manhattan) {
+        acc += std::fabs(diff);
+      } else {
+        static_assert(K == MetricKind::Chebyshev);
+        acc = std::max(acc, std::fabs(diff));
+      }
+    }
+    dist[i] = acc;
+  }
+}
+
+/// Dynamic-dimension fallback: dimension-outer accumulation through the
+/// tile buffer (still vectorized, but pays dist loads/stores per dim).
+template <MetricKind K>
+void tile_scores_dynamic(const double* const* cols, const double* query, std::size_t d,
+                         std::size_t t0, std::size_t m, double* __restrict dist) {
+  std::fill_n(dist, m, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double qj = query[j];
+    const double* __restrict col = cols[j] + t0;
+    if constexpr (K == MetricKind::Euclidean || K == MetricKind::SquaredEuclidean) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const double diff = col[i] - qj;
+        dist[i] += diff * diff;
+      }
+    } else if constexpr (K == MetricKind::Manhattan) {
+      for (std::size_t i = 0; i < m; ++i) dist[i] += std::fabs(col[i] - qj);
+    } else {
+      static_assert(K == MetricKind::Chebyshev);
+      for (std::size_t i = 0; i < m; ++i) dist[i] = std::max(dist[i], std::fabs(col[i] - qj));
+    }
+  }
+}
+
+template <MetricKind K>
+void tile_scores(const double* const* cols, const double* query, std::size_t d, std::size_t t0,
+                 std::size_t m, double* dist) {
+  switch (d) {
+#define DKNN_FIXED_DIM_CASE(D) \
+  case D: return tile_scores_fixed<K, D>(cols, query, t0, m, dist);
+    DKNN_FIXED_DIM_CASE(1)
+    DKNN_FIXED_DIM_CASE(2)
+    DKNN_FIXED_DIM_CASE(3)
+    DKNN_FIXED_DIM_CASE(4)
+    DKNN_FIXED_DIM_CASE(5)
+    DKNN_FIXED_DIM_CASE(6)
+    DKNN_FIXED_DIM_CASE(7)
+    DKNN_FIXED_DIM_CASE(8)
+    DKNN_FIXED_DIM_CASE(9)
+    DKNN_FIXED_DIM_CASE(10)
+    DKNN_FIXED_DIM_CASE(11)
+    DKNN_FIXED_DIM_CASE(12)
+    DKNN_FIXED_DIM_CASE(13)
+    DKNN_FIXED_DIM_CASE(14)
+    DKNN_FIXED_DIM_CASE(15)
+    DKNN_FIXED_DIM_CASE(16)
+#undef DKNN_FIXED_DIM_CASE
+    case 0: std::fill_n(dist, m, 0.0); return;
+    default: return tile_scores_dynamic<K>(cols, query, d, t0, m, dist);
+  }
+}
+static_assert(kMaxFixedDim == 16, "keep the dispatch table in sync");
+
+/// Column base pointers for one store: a stack array for the fixed-dim
+/// kernels, heap-backed past kMaxFixedDim.
+struct ColumnPointers {
+  const double* fixed[kMaxFixedDim];
+  std::vector<const double*> dynamic;
+
+  explicit ColumnPointers(const FlatStore& store) {
+    const std::size_t d = store.dim();
+    if (d > kMaxFixedDim) dynamic.resize(d);
+    double const** out = d > kMaxFixedDim ? dynamic.data() : fixed;
+    for (std::size_t j = 0; j < d; ++j) out[j] = store.dim_coords(j).data();
+  }
+  [[nodiscard]] const double* const* get() const {
+    return dynamic.empty() ? fixed : dynamic.data();
+  }
+};
+
+/// Bounded max-heap of (distance, id) over a caller-provided buffer.
+/// Lexicographic pair order matches Key order because encode_distance is
+/// strictly monotone.
+struct BoundedHeap {
+  DistId* data;
+  std::size_t size;
+  std::size_t cap;
+
+  [[nodiscard]] bool full() const { return size == cap; }
+  [[nodiscard]] const DistId& top() const { return data[0]; }
+  void push(DistId entry) {
+    data[size++] = entry;
+    std::push_heap(data, data + size);
+  }
+  void replace_top(DistId entry) {
+    std::pop_heap(data, data + size);
+    data[size - 1] = entry;
+    std::push_heap(data, data + size);
+  }
+};
+
+/// Conservative squared-domain rejection threshold for the lazy-sqrt
+/// Euclidean path.  Guarantee: raw > threshold  ⟹  sqrt(raw) > r, so a
+/// squared score above it can be rejected without computing its sqrt.
+/// Proof sketch: let r' = nextafter(r, ∞).  The returned value is ≥ r'² in
+/// real arithmetic (one round-to-nearest error is undone by the final
+/// next-up), so raw > threshold ⟹ √raw > r' in ℝ, and correctly-rounded
+/// monotone sqrt then gives fl(√raw) ≥ r' > r.  False *accepts* merely
+/// cost one sqrt and an exact comparison — never wrong answers.
+[[nodiscard]] double reject_threshold_sq(double r) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const double up = std::nextafter(r, inf);
+  return std::nextafter(up * up, inf);
+}
+
+/// Streams one scored tile into the heap.  For Euclidean, `raw` holds
+/// squared sums and sqrt is applied only to candidates that survive the
+/// threshold prefilter (O(ℓ log n) of them, not n); selection operates on
+/// the exact sqrt values, so parity with the AoS path is bit-exact.
+template <MetricKind K>
+void heap_update(BoundedHeap& heap, double& threshold, const double* raw, const PointId* ids,
+                 std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double s = raw[i];
+    if (heap.full() && s > threshold) continue;  // common case: one compare
+    if constexpr (K == MetricKind::Euclidean) {
+      const DistId cand{std::sqrt(s), ids[i]};
+      if (!heap.full()) {
+        heap.push(cand);
+        if (heap.full()) threshold = reject_threshold_sq(heap.top().first);
+      } else if (cand < heap.top()) {
+        heap.replace_top(cand);
+        threshold = reject_threshold_sq(heap.top().first);
+      }
+    } else {
+      const DistId cand{s, ids[i]};
+      if (!heap.full()) {
+        heap.push(cand);
+        if (heap.full()) threshold = heap.top().first;
+      } else if (cand < heap.top()) {
+        heap.replace_top(cand);
+        threshold = heap.top().first;
+      }
+    }
+  }
+}
+
+template <MetricKind K>
+void batch_impl(const FlatStore& store, std::span<const PointD> queries, std::size_t cap,
+                std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+  const std::size_t n = store.size();
+  const std::size_t d = store.dim();
+  const std::size_t num_queries = queries.size();
+  scratch.dist.resize(kTile);
+  scratch.heaps.resize(num_queries * cap);
+  scratch.heap_sizes.assign(num_queries, 0);
+  const PointId* ids = store.ids().data();
+  const ColumnPointers cols(store);
+
+  // Rejection thresholds, one per query (+∞ until that heap fills).
+  scratch.thresholds.assign(num_queries, std::numeric_limits<double>::infinity());
+
+  for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+    const std::size_t m = std::min(kTile, n - t0);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      tile_scores<K>(cols.get(), queries[q].coords.data(), d, t0, m, scratch.dist.data());
+      BoundedHeap heap{scratch.heaps.data() + q * cap, scratch.heap_sizes[q], cap};
+      heap_update<K>(heap, scratch.thresholds[q], scratch.dist.data(), ids + t0, m);
+      scratch.heap_sizes[q] = heap.size;
+    }
+  }
+
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    DistId* heap = scratch.heaps.data() + q * cap;
+    const std::size_t size = scratch.heap_sizes[q];
+    std::sort_heap(heap, heap + size);
+    out[q].clear();
+    out[q].reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      out[q].push_back(Key{encode_distance(heap[i].first), heap[i].second});
+    }
+  }
+}
+
+template <MetricKind K>
+void score_store_impl(const FlatStore& store, const PointD& query, std::vector<Key>& out) {
+  const std::size_t n = store.size();
+  const std::size_t d = store.dim();
+  const PointId* ids = store.ids().data();
+  const ColumnPointers cols(store);
+  double dist[kTile];
+  out.resize(n);
+  for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+    const std::size_t m = std::min(kTile, n - t0);
+    tile_scores<K>(cols.get(), query.coords.data(), d, t0, m, dist);
+    // Materialization forces every rank into the metric's domain — the
+    // fused path's lazy sqrt is exactly what this variant cannot do.
+    if constexpr (K == MetricKind::Euclidean) {
+      for (std::size_t i = 0; i < m; ++i) dist[i] = std::sqrt(dist[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      out[t0 + i] = Key{encode_distance(dist[i]), ids[t0 + i]};
+    }
+  }
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Euclidean: return "euclidean";
+    case MetricKind::SquaredEuclidean: return "squared-euclidean";
+    case MetricKind::Manhattan: return "manhattan";
+    case MetricKind::Chebyshev: return "chebyshev";
+  }
+  return "unknown";
+}
+
+double metric_distance(MetricKind kind, const PointD& a, const PointD& b) {
+  switch (kind) {
+    case MetricKind::Euclidean: return EuclideanMetric{}(a, b);
+    case MetricKind::SquaredEuclidean: return SquaredEuclidean{}(a, b);
+    case MetricKind::Manhattan: return ManhattanMetric{}(a, b);
+    case MetricKind::Chebyshev: return ChebyshevMetric{}(a, b);
+  }
+  panic("metric_distance: unknown MetricKind");
+}
+
+void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries,
+                         std::size_t ell, MetricKind kind,
+                         std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+  out.resize(queries.size());
+  // An empty store has no knowable dimension (mirrors the AoS path, which
+  // never checks dims against an empty shard); a non-empty one validates
+  // even when ell == 0 so caller bugs aren't masked by empty results.
+  if (!store.empty()) {
+    for (const PointD& query : queries) {
+      DKNN_REQUIRE(query.dim() == store.dim(), "fused_top_ell_batch: dimension mismatch");
+    }
+  }
+  if (ell == 0 || store.empty()) {
+    for (auto& keys : out) keys.clear();
+    return;
+  }
+  const std::size_t cap = std::min(ell, store.size());
+  switch (kind) {
+    case MetricKind::Euclidean:
+      return batch_impl<MetricKind::Euclidean>(store, queries, cap, out, scratch);
+    case MetricKind::SquaredEuclidean:
+      return batch_impl<MetricKind::SquaredEuclidean>(store, queries, cap, out, scratch);
+    case MetricKind::Manhattan:
+      return batch_impl<MetricKind::Manhattan>(store, queries, cap, out, scratch);
+    case MetricKind::Chebyshev:
+      return batch_impl<MetricKind::Chebyshev>(store, queries, cap, out, scratch);
+  }
+  panic("fused_top_ell_batch: unknown MetricKind");
+}
+
+std::vector<Key> fused_top_ell(const FlatStore& store, const PointD& query, std::size_t ell,
+                               MetricKind kind) {
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  fused_top_ell_batch(store, std::span<const PointD>(&query, 1), ell, kind, out, scratch);
+  return std::move(out[0]);
+}
+
+void score_store(const FlatStore& store, const PointD& query, MetricKind kind,
+                 std::vector<Key>& out) {
+  if (store.empty()) {
+    out.clear();
+    return;
+  }
+  DKNN_REQUIRE(query.dim() == store.dim(), "score_store: dimension mismatch");
+  switch (kind) {
+    case MetricKind::Euclidean: return score_store_impl<MetricKind::Euclidean>(store, query, out);
+    case MetricKind::SquaredEuclidean:
+      return score_store_impl<MetricKind::SquaredEuclidean>(store, query, out);
+    case MetricKind::Manhattan: return score_store_impl<MetricKind::Manhattan>(store, query, out);
+    case MetricKind::Chebyshev: return score_store_impl<MetricKind::Chebyshev>(store, query, out);
+  }
+  panic("score_store: unknown MetricKind");
+}
+
+}  // namespace dknn

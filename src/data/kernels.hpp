@@ -1,0 +1,81 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Fused batched scoring / top-ℓ kernels over FlatStore shards.
+///
+/// The per-query AoS path (`score_vector_shard` + `top_ell_smallest`)
+/// materializes a full n-element `std::vector<Key>` per shard per query and
+/// chases one heap pointer per point.  These kernels instead
+///
+///   * stream each coordinate *column* of a FlatStore contiguously
+///     (auto-vectorizing across points),
+///   * process a block of queries against each block of points while the
+///     block is cache-hot, and
+///   * fuse selection into scoring with a bounded max-heap per query, so
+///     when ℓ ≪ n nothing of size n is ever allocated — with a reused
+///     `KernelScratch`, the per-query hot path is allocation-free after
+///     warm-up.
+///
+/// Parity contract (tested in tests/test_kernels.cpp): for every MetricKind
+/// the fused kernels return *byte-identical* Key sets to the per-query AoS
+/// path under the corresponding metric functor.  Distances are accumulated
+/// in the same dimension order as the functors, and Euclidean applies its
+/// sqrt before selection, so even rounding ties break identically.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/flat_store.hpp"
+#include "data/key.hpp"
+#include "data/metric.hpp"
+#include "data/point.hpp"
+
+namespace dknn {
+
+/// Runtime metric selector for the kernel layer (the template functors in
+/// metric.hpp stay the extensible API; kernels specialize the four the
+/// paper's workloads use).
+enum class MetricKind : std::uint8_t {
+  Euclidean,         ///< ‖a − b‖₂
+  SquaredEuclidean,  ///< ‖a − b‖₂² — same ℓ-NN order, no sqrt
+  Manhattan,         ///< ‖a − b‖₁
+  Chebyshev,         ///< ‖a − b‖∞
+};
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+/// Applies `kind` to one AoS pair — the reference the kernels are tested
+/// against (dispatches to the metric.hpp functors).
+[[nodiscard]] double metric_distance(MetricKind kind, const PointD& a, const PointD& b);
+
+/// Reusable scratch for the fused kernels.  Buffers grow to the high-water
+/// mark and are then reused; keep one per thread / call site to make the
+/// steady-state query loop allocation-free.
+struct KernelScratch {
+  std::vector<double> dist;                            ///< per-tile distances
+  std::vector<std::pair<double, PointId>> heaps;       ///< Q bounded max-heaps, flattened
+  std::vector<std::size_t> heap_sizes;                 ///< live entries per heap
+  std::vector<double> thresholds;                      ///< per-query rejection thresholds
+};
+
+/// Scores every point of `store` against every query in `queries`, fused
+/// with bounded top-ℓ selection.  `out` is resized to queries.size();
+/// out[q] holds query q's min(ℓ, n) best keys ascending, ranks
+/// encode_distance-encoded.  Point blocks are reused across the whole query
+/// block while cache-hot.
+void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries,
+                         std::size_t ell, MetricKind kind,
+                         std::vector<std::vector<Key>>& out, KernelScratch& scratch);
+
+/// Single-query convenience over fused_top_ell_batch.
+[[nodiscard]] std::vector<Key> fused_top_ell(const FlatStore& store, const PointD& query,
+                                             std::size_t ell, MetricKind kind);
+
+/// Materializing SoA kernel: all n keys in point order (the AoS path's
+/// output shape, minus the per-point indirection).  Benchmarked against the
+/// fused path in bench/micro_kernels.cpp.
+void score_store(const FlatStore& store, const PointD& query, MetricKind kind,
+                 std::vector<Key>& out);
+
+}  // namespace dknn

@@ -24,7 +24,9 @@
 #include "sim/engine.hpp"         // IWYU pragma: export
 
 // data and sequential algorithms
+#include "data/flat_store.hpp"    // IWYU pragma: export
 #include "data/generators.hpp"    // IWYU pragma: export
+#include "data/kernels.hpp"       // IWYU pragma: export
 #include "data/key.hpp"           // IWYU pragma: export
 #include "data/metric.hpp"        // IWYU pragma: export
 #include "data/partition.hpp"     // IWYU pragma: export
