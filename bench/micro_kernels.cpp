@@ -12,10 +12,12 @@
 //
 // This binary carries its own main: with --json=PATH it first times the
 // canonical serving workload (100k points, d=8, ℓ=64, 32-query block) on
-// the AoS per-query path vs the fused SoA batch path and writes the
-// medians to PATH — the machine-readable perf trajectory
-// (BENCH_kernels.json) the ROADMAP tracks.  Without the flag it is a
-// plain google-benchmark binary.
+// the AoS per-query path, the fused SoA batch path, the work-stealing
+// parallel batch path (threads recorded in the workload stanza — the
+// parallel-vs-serial ratio only means something at 4+ hardware threads),
+// and the kd-tree/FlatStore hybrid, and writes the medians to PATH — the
+// machine-readable perf trajectory (BENCH_kernels.json) the ROADMAP
+// tracks.  Without the flag it is a plain google-benchmark binary.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -233,6 +236,44 @@ void BM_SoaFusedTopEllBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SoaFusedTopEllBatch)->Args({1 << 16, 8, 64, 32})->Args({1 << 16, 32, 64, 32});
 
+/// Whole query block tiled over the work-stealing pool (hardware threads,
+/// query_block 4).  Compare against BM_SoaFusedTopEllBatch for the
+/// parallel-vs-serial scaling row; output bytes are identical.
+void BM_SoaFusedTopEllBatchParallel(benchmark::State& state) {
+  const auto num_queries = static_cast<std::size_t>(state.range(3));
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), num_queries);
+  const auto ell = static_cast<std::uint64_t>(state.range(2));
+  const auto indexes = make_shard_indexes({fx.shard}, ScoringPolicy::Brute);
+  ThreadPool pool;  // persistent across iterations: measure scoring, not spawn
+  BatchScoringConfig config{.query_block = 4};
+  config.pool = &pool;
+  for (auto _ : state) {
+    auto out = score_vector_shards_batch(indexes, fx.queries, ell, MetricKind::Euclidean, config);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * static_cast<std::int64_t>(num_queries));
+}
+BENCHMARK(BM_SoaFusedTopEllBatchParallel)->Args({1 << 16, 8, 64, 32});
+
+/// kd-tree prune + fused kernel on surviving leaves, serial, whole block.
+/// Compare against BM_SoaFusedTopEllBatch for the hybrid-vs-brute row.
+void BM_HybridTopEllBatch(benchmark::State& state) {
+  const auto num_queries = static_cast<std::size_t>(state.range(3));
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), num_queries);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  const KdRangeIndex index(fx.shard.points, fx.shard.ids);
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  for (auto _ : state) {
+    hybrid_top_ell_batch(index, fx.queries, ell, MetricKind::Euclidean, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * static_cast<std::int64_t>(num_queries));
+}
+BENCHMARK(BM_HybridTopEllBatch)->Args({1 << 16, 8, 64, 32})->Args({1 << 16, 3, 64, 32});
+
 void BM_KdTreeBuild(benchmark::State& state) {
   Rng rng(3);
   const auto points = uniform_points(static_cast<std::size_t>(state.range(0)), 3, 100.0, rng);
@@ -383,6 +424,30 @@ int emit_bench_json(const std::string& path) {
     benchmark::DoNotOptimize(out);
   });
 
+  // Parallel brute: the same fused kernels, shard × query-block tiles over
+  // the work-stealing pool.  The ≥2× acceptance target for this row is
+  // conditioned on 4+ hardware threads — "threads" below records what this
+  // run actually had (a 1-core box measures pool overhead, not scaling).
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const auto indexes = make_shard_indexes({fx.shard}, ScoringPolicy::Brute);
+  ThreadPool pool;  // persistent, like a serving loop: spawn cost amortizes
+  BatchScoringConfig par_config{.query_block = 4};
+  par_config.pool = &pool;
+  const PathTiming parallel = time_path(kRepeats, kPoints, kQueries, [&] {
+    auto scored =
+        score_vector_shards_batch(indexes, fx.queries, kEll, MetricKind::Euclidean, par_config);
+    benchmark::DoNotOptimize(scored);
+  });
+
+  // kd-tree hybrid: prune against the running top-ℓ bound, fused kernel on
+  // surviving leaf ranges, serial.
+  const KdRangeIndex tree(fx.shard.points, fx.shard.ids);
+  const PathTiming hybrid = time_path(kRepeats, kPoints, kQueries, [&] {
+    hybrid_top_ell_batch(tree, fx.queries, kEll, MetricKind::Euclidean, out, scratch);
+    benchmark::DoNotOptimize(out);
+  });
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -391,19 +456,27 @@ int emit_bench_json(const std::string& path) {
   std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
   std::fprintf(f,
                "  \"workload\": {\"points\": %zu, \"dim\": %zu, \"ell\": %zu, "
-               "\"queries\": %zu, \"metric\": \"euclidean\", \"repeats\": %zu},\n",
-               kPoints, kDim, kEll, kQueries, kRepeats);
+               "\"queries\": %zu, \"metric\": \"euclidean\", \"repeats\": %zu, "
+               "\"threads\": %zu},\n",
+               kPoints, kDim, kEll, kQueries, kRepeats, threads);
   std::fprintf(f, "  \"paths\": {\n");
   write_path(f, "aos_per_query", aos, true);
   write_path(f, "soa_materialized", soa_mat, true);
-  write_path(f, "soa_fused_batch", fused, false);
+  write_path(f, "soa_fused_batch", fused, true);
+  write_path(f, "soa_fused_batch_parallel", parallel, true);
+  write_path(f, "kdtree_hybrid", hybrid, false);
   std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"speedup_fused_vs_aos\": %.2f\n}\n", aos.median_ms / fused.median_ms);
+  std::fprintf(f, "  \"speedup_fused_vs_aos\": %.2f,\n", aos.median_ms / fused.median_ms);
+  std::fprintf(f, "  \"speedup_parallel_vs_serial\": %.2f,\n",
+               fused.median_ms / parallel.median_ms);
+  std::fprintf(f, "  \"speedup_hybrid_vs_brute\": %.2f\n}\n", fused.median_ms / hybrid.median_ms);
   std::fclose(f);
   std::printf("wrote %s (aos %.2f ms, soa-materialized %.2f ms, soa-fused %.2f ms, "
-              "speedup %.2fx)\n",
+              "parallel %.2f ms @%zu threads, hybrid %.2f ms; fused/aos %.2fx, "
+              "parallel/serial %.2fx, hybrid/brute %.2fx)\n",
               path.c_str(), aos.median_ms, soa_mat.median_ms, fused.median_ms,
-              aos.median_ms / fused.median_ms);
+              parallel.median_ms, threads, hybrid.median_ms, aos.median_ms / fused.median_ms,
+              fused.median_ms / parallel.median_ms, fused.median_ms / hybrid.median_ms);
   return 0;
 }
 

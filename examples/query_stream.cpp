@@ -9,6 +9,13 @@
 // Theorem 2.4 steady state as setup amortizes away.
 //
 //   ./query_stream [--k=32] [--ell=32] [--queries=25] [--dim=8]
+//                  [--policy=auto] [--threads=0]
+//
+// --policy selects the local-scoring structure per shard (brute = dense
+// fused scan, tree = kd-tree prune + fused kernel on surviving leaves,
+// auto = per-shard n·d heuristic); --threads > 1 tiles the shard ×
+// query-block grid over the work-stealing pool.  Results are byte-identical
+// across every combination — only the wall-clock changes.
 
 #include <cinttypes>
 #include <cstdio>
@@ -26,6 +33,8 @@ int main(int argc, char** argv) {
   cli.add_flag("points-per-machine", "points held by each machine", "16384");
   cli.add_flag("dim", "point dimensionality", "8");
   cli.add_flag("seed", "experiment seed", "42");
+  cli.add_flag("policy", "local scoring: brute | tree | auto", "auto");
+  cli.add_flag("threads", "scoring worker threads (1 = serial, 0 = hardware)", "0");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto k = static_cast<std::uint32_t>(cli.get_uint("k"));
@@ -43,13 +52,30 @@ int main(int argc, char** argv) {
       dknn::make_vector_shards(std::move(points), k, dknn::PartitionScheme::RoundRobin, rng);
   auto queries = dknn::uniform_points(cli.get_uint("queries"), dim, 100.0, rng);
 
-  // One-off SoA conversion, then the whole block through the fused kernels.
+  const std::string policy_name = cli.get("policy");
+  dknn::ScoringPolicy policy = dknn::ScoringPolicy::Auto;
+  if (policy_name == "brute") {
+    policy = dknn::ScoringPolicy::Brute;
+  } else if (policy_name == "tree") {
+    policy = dknn::ScoringPolicy::Tree;
+  } else if (policy_name != "auto") {
+    std::printf("unknown --policy=%s (want brute | tree | auto)\n", policy_name.c_str());
+    return 1;
+  }
+  dknn::BatchScoringConfig scoring;
+  scoring.threads = static_cast<std::size_t>(cli.get_uint("threads"));
+
+  // One-off index build (SoA stores + kd-trees where the policy says so),
+  // then the whole block through the fused / hybrid kernels.
   dknn::WallTimer timer;
-  const auto stores = dknn::make_flat_stores(shards);
+  const auto indexes = dknn::make_shard_indexes(shards, policy);
   const double convert_ms = dknn::ns_to_ms(timer.elapsed_ns());
+  std::size_t trees = 0;
+  for (const auto& index : indexes) trees += index.has_tree();
 
   timer.reset();
-  const auto scored = dknn::score_vector_shards_batch(stores, queries, ell);
+  const auto scored = dknn::score_vector_shards_batch(indexes, queries, ell,
+                                                      dknn::MetricKind::SquaredEuclidean, scoring);
   const double score_ms = dknn::ns_to_ms(timer.elapsed_ns());
 
   dknn::EngineConfig engine;
@@ -60,9 +86,9 @@ int main(int argc, char** argv) {
 
   std::printf("batch: %u machines, %zu queries, dim %zu, ell %" PRIu64 "\n", k, queries.size(),
               dim, ell);
-  std::printf("local compute: SoA convert %.2f ms (once), fused scoring %.2f ms "
-              "(%.0f queries/sec); protocol %.2f ms\n\n",
-              convert_ms, score_ms,
+  std::printf("local compute: policy %s (%zu/%zu shards tree-indexed), index build %.2f ms "
+              "(once), scoring %.2f ms (%.0f queries/sec); protocol %.2f ms\n\n",
+              dknn::scoring_policy_name(policy), trees, indexes.size(), convert_ms, score_ms,
               static_cast<double>(queries.size()) / (score_ms * 1e-3), protocol_ms);
   std::printf("%-8s %-10s %-10s %s\n", "query#", "rounds", "attempts",
               "nearest (squared distance, id)");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "core/binsearch.hpp"
 #include "core/saukas_song.hpp"
@@ -221,6 +222,113 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
                         scratch);
     for (std::size_t q = 0; q < queries.size(); ++q) out[q][m] = std::move(shard_keys[q]);
   }
+  return out;
+}
+
+const char* scoring_policy_name(ScoringPolicy policy) {
+  switch (policy) {
+    case ScoringPolicy::Brute: return "brute";
+    case ScoringPolicy::Tree: return "tree";
+    case ScoringPolicy::Auto: return "auto";
+  }
+  return "unknown";
+}
+
+bool tree_pays_off(std::size_t n, std::size_t dim) {
+  // Boxes stop pruning once n ≲ 2^d (every leaf straddles the query's
+  // bound), and small shards never amortize the O(n·d·log n) build.
+  if (dim == 0 || dim > 16) return false;
+  return n >= 2048 && n >= (std::size_t{1} << dim);
+}
+
+std::vector<ShardIndex> make_shard_indexes(const std::vector<VectorShard>& shards,
+                                           ScoringPolicy policy, std::size_t leaf_size) {
+  std::vector<ShardIndex> indexes(shards.size());
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    const auto& shard = shards[m];
+    DKNN_REQUIRE(shard.points.size() == shard.ids.size(), "shard points/ids must align");
+    const bool eligible = !shard.points.empty() && shard.points[0].dim() >= 1;
+    const bool tree =
+        eligible && (policy == ScoringPolicy::Tree ||
+                     (policy == ScoringPolicy::Auto &&
+                      tree_pays_off(shard.points.size(), shard.points[0].dim())));
+    if (tree) {
+      indexes[m].tree = std::make_unique<KdRangeIndex>(
+          std::span<const PointD>(shard.points), std::span<const PointId>(shard.ids), leaf_size);
+    } else {
+      indexes[m].flat =
+          FlatStore(std::span<const PointD>(shard.points), std::span<const PointId>(shard.ids));
+    }
+  }
+  return indexes;
+}
+
+namespace {
+
+/// One (shard, query block) tile through the shard's policy path.
+void score_tile(const ShardIndex& index, std::span<const PointD> queries, std::uint64_t ell,
+                MetricKind kind, std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
+  if (index.has_tree()) {
+    hybrid_top_ell_batch(*index.tree, queries, static_cast<std::size_t>(ell), kind, keys,
+                         scratch);
+  } else {
+    fused_top_ell_batch(index.store(), queries, static_cast<std::size_t>(ell), kind, keys,
+                        scratch);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
+    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, const BatchScoringConfig& config) {
+  std::vector<std::vector<std::vector<Key>>> out(queries.size());
+  for (auto& per_shard : out) per_shard.resize(indexes.size());
+  if (queries.empty() || indexes.empty()) return out;
+
+  ThreadPool* pool = config.pool;
+  const std::size_t threads =
+      pool != nullptr ? pool->thread_count()
+      : config.threads != 0
+          ? config.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (pool == nullptr && threads <= 1) {
+    // Serial: shard-outer, whole query block per shard (maximal cache reuse).
+    KernelScratch scratch;
+    std::vector<std::vector<Key>> keys;
+    for (std::size_t m = 0; m < indexes.size(); ++m) {
+      score_tile(indexes[m], queries, ell, kind, keys, scratch);
+      for (std::size_t q = 0; q < queries.size(); ++q) out[q][m] = std::move(keys[q]);
+    }
+    return out;
+  }
+
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(threads, config.seed);
+    pool = owned.get();
+  }
+
+  // Tile the shard × query-block grid.  Each task owns disjoint pre-sized
+  // out[q][m] slots, so the assembled result is independent of the steal
+  // schedule; ~4 tasks per worker leaves the pool room to rebalance shards
+  // of uneven size.
+  const std::size_t block =
+      config.query_block != 0
+          ? config.query_block
+          : std::max<std::size_t>(1, (queries.size() + threads * 4 - 1) / (threads * 4));
+  for (std::size_t m = 0; m < indexes.size(); ++m) {
+    for (std::size_t q0 = 0; q0 < queries.size(); q0 += block) {
+      const std::size_t len = std::min(block, queries.size() - q0);
+      pool->submit([&out, &index = indexes[m], queries, ell, kind, m, q0, len] {
+        KernelScratch scratch;
+        std::vector<std::vector<Key>> keys;
+        score_tile(index, queries.subspan(q0, len), ell, kind, keys, scratch);
+        for (std::size_t i = 0; i < len; ++i) out[q0 + i][m] = std::move(keys[i]);
+      });
+    }
+  }
+  pool->wait_idle();
   return out;
 }
 

@@ -11,20 +11,28 @@
 ///   auto result = run_knn(scored, ell, KnnAlgo::DistKnn, engine_config, {});
 ///
 /// Batched serving path (many queries against one resident dataset) —
-/// convert each shard to a contiguous SoA FlatStore once, score the whole
-/// query block with the fused kernels (per query and shard only the local
-/// top-ℓ keys are ever materialized), and run every query through one
-/// engine so setup cost amortizes:
+/// build each shard's scoring structures once (SoA FlatStore, plus a
+/// kd-tree when the ScoringPolicy picks the hybrid), score the whole query
+/// block with the fused kernels (per query and shard only the local top-ℓ
+/// keys are ever materialized), and run every query through one engine so
+/// setup cost amortizes:
 ///
-///   auto shards = make_vector_shards(points, k, PartitionScheme::RoundRobin, rng);
-///   auto stores = make_flat_stores(shards);                      // once
-///   auto scored = score_vector_shards_batch(stores, queries, ell);
-///   auto batch  = run_knn_batch(scored, ell, KnnAlgo::DistKnn, engine_config);
+///   auto shards  = make_vector_shards(points, k, PartitionScheme::RoundRobin, rng);
+///   auto indexes = make_shard_indexes(shards, ScoringPolicy::Auto);   // once
+///   auto scored  = score_vector_shards_batch(indexes, queries, ell,
+///                      MetricKind::SquaredEuclidean, {.threads = 0});  // pool
+///   auto batch   = run_knn_batch(scored, ell, KnnAlgo::DistKnn, engine_config);
 ///   // batch.per_query[q].keys == run_knn(...) on query q's scores
+///
+/// Scoring parallelism (BatchScoringConfig::threads) and protocol-side
+/// parallelism (EngineConfig::parallel for run_knn / run_knn_batch) both
+/// ride the work-stealing pool in sim/thread_pool.hpp; neither changes a
+/// single output byte (tests/test_parity.cpp fuzzes this).
 ///
 /// Everything below is deterministic given (dataset, seeds, config).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,7 +46,9 @@
 #include "data/metric.hpp"
 #include "data/partition.hpp"
 #include "data/point.hpp"
+#include "seq/kdtree.hpp"
 #include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace dknn {
 
@@ -132,6 +142,67 @@ template <MetricFor M>
 [[nodiscard]] std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     const std::vector<FlatStore>& stores, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind = MetricKind::SquaredEuclidean);
+
+/// How each shard's local scoring runs (the kd-tree role the paper's §1.4
+/// assigns to trees: accelerate local computation, not rounds).
+enum class ScoringPolicy : std::uint8_t {
+  Brute,  ///< fused SoA scan of the whole shard
+  Tree,   ///< KdRangeIndex prune, fused kernel on surviving leaves
+  Auto,   ///< per-shard n·d heuristic (see tree_pays_off)
+};
+
+[[nodiscard]] const char* scoring_policy_name(ScoringPolicy policy);
+
+/// Auto's per-shard heuristic: kd-tree pruning beats the dense scan only
+/// when the shard is big enough to amortize the build and the
+/// dimensionality low enough that boxes still prune (curse of
+/// dimensionality: a tree needs n ≫ 2^d to discard anything).
+[[nodiscard]] bool tree_pays_off(std::size_t n, std::size_t dim);
+
+/// One shard's resident scoring structures: always an SoA store, plus the
+/// kd-tree when the policy selected the hybrid path for this shard.
+struct ShardIndex {
+  FlatStore flat;                      ///< engaged iff tree == nullptr
+  std::unique_ptr<KdRangeIndex> tree;  ///< engaged iff the tree path won
+
+  [[nodiscard]] bool has_tree() const { return tree != nullptr; }
+  /// The store brute scans: the tree's reordered mirror when present.
+  [[nodiscard]] const FlatStore& store() const { return tree ? tree->store() : flat; }
+};
+
+/// Builds each shard's scoring structures once per resident dataset
+/// (replaces make_flat_stores when a policy other than Brute may run).
+[[nodiscard]] std::vector<ShardIndex> make_shard_indexes(
+    const std::vector<VectorShard>& shards, ScoringPolicy policy,
+    std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize);
+
+/// Execution knobs for the policy-aware batched scoring step.
+struct BatchScoringConfig {
+  /// Worker threads: 1 = serial in the calling thread (no pool), 0 =
+  /// hardware concurrency, else exactly that many.  Ignored when `pool`
+  /// is set.
+  std::size_t threads = 1;
+  /// Queries per task tile; 0 = auto (targets ~4 tasks per worker so
+  /// work stealing can rebalance uneven shards).
+  std::size_t query_block = 0;
+  /// Seed for the pool's victim-selection streams (reproducibility only —
+  /// results are schedule-independent by construction).  Ignored when
+  /// `pool` is set.
+  std::uint64_t seed = ThreadPool::kDefaultSeed;
+  /// Externally-owned pool to score on, amortizing thread spawn across
+  /// batches in a serving loop.  The call barriers on it via wait_idle(),
+  /// so don't share a pool that other threads submit to concurrently.
+  ThreadPool* pool = nullptr;
+};
+
+/// Policy-aware, optionally parallel batched scoring.  Tiles the
+/// shard × query-block grid over a work-stealing pool; every task writes
+/// its own pre-sized [query][shard] slots, so the output is byte-identical
+/// to the serial brute path regardless of policy, thread count, or
+/// schedule (fuzzed across paths in tests/test_parity.cpp).
+[[nodiscard]] std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
+    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind = MetricKind::SquaredEuclidean, const BatchScoringConfig& config = {});
 
 /// Which distributed ℓ-NN / selection algorithm to run.
 enum class KnnAlgo : std::uint8_t {

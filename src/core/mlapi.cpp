@@ -185,12 +185,14 @@ std::vector<std::vector<MlSlot>> run_ml_batch(const std::vector<VectorShard>& sh
                                               std::span<const PointD> queries, std::uint64_t ell,
                                               const EngineConfig& engine_config,
                                               const KnnConfig& knn_config, MetricKind kind,
-                                              Payload payload, RunReport* report_out) {
+                                              ScoringPolicy policy,
+                                              const BatchScoringConfig& scoring, Payload payload,
+                                              RunReport* report_out) {
   DKNN_REQUIRE(!shards.empty(), "need at least one shard");
   DKNN_REQUIRE(!queries.empty(), "need at least one query");
 
-  const std::vector<FlatStore> stores = make_flat_stores(shards);
-  const auto scored = score_vector_shards_batch(stores, queries, ell, kind);
+  const std::vector<ShardIndex> indexes = make_shard_indexes(shards, policy);
+  const auto scored = score_vector_shards_batch(indexes, queries, ell, kind, scoring);
 
   // id → payload tables, built once per shard for the whole batch.
   std::vector<std::unordered_map<PointId, std::uint64_t>> tables(shards.size());
@@ -222,14 +224,15 @@ std::vector<ClassifyResult> classify_batch(const std::vector<VectorShard>& shard
                                            std::span<const PointD> queries, std::uint64_t ell,
                                            const EngineConfig& engine_config,
                                            const KnnConfig& knn_config, VoteRule rule,
-                                           MetricKind kind) {
+                                           MetricKind kind, ScoringPolicy policy,
+                                           const BatchScoringConfig& scoring) {
   DKNN_REQUIRE(shards.size() == labels.size(), "shards/labels must align");
   for (std::size_t m = 0; m < shards.size(); ++m) {
     DKNN_REQUIRE(shards[m].points.size() == labels[m].size(), "points/labels must align");
   }
   RunReport report;
   auto slots = run_ml_batch(
-      shards, queries, ell, engine_config, knn_config, kind,
+      shards, queries, ell, engine_config, knn_config, kind, policy, scoring,
       [&labels](std::size_t m, std::size_t i) -> std::uint64_t { return labels[m][i]; }, &report);
 
   std::vector<ClassifyResult> results(queries.size());
@@ -245,14 +248,16 @@ std::vector<RegressResult> regress_batch(const std::vector<VectorShard>& shards,
                                          const std::vector<std::vector<double>>& targets,
                                          std::span<const PointD> queries, std::uint64_t ell,
                                          const EngineConfig& engine_config,
-                                         const KnnConfig& knn_config, MetricKind kind) {
+                                         const KnnConfig& knn_config, MetricKind kind,
+                                         ScoringPolicy policy,
+                                         const BatchScoringConfig& scoring) {
   DKNN_REQUIRE(shards.size() == targets.size(), "shards/targets must align");
   for (std::size_t m = 0; m < shards.size(); ++m) {
     DKNN_REQUIRE(shards[m].points.size() == targets[m].size(), "points/targets must align");
   }
   RunReport report;
   auto slots = run_ml_batch(
-      shards, queries, ell, engine_config, knn_config, kind,
+      shards, queries, ell, engine_config, knn_config, kind, policy, scoring,
       [&targets](std::size_t m, std::size_t i) -> std::uint64_t {
         return std::bit_cast<std::uint64_t>(targets[m][i]);
       },

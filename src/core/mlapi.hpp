@@ -81,18 +81,25 @@ struct RegressResult {
 /// results carry empty reports — the engine ran once, not B times).
 /// Note: with the SquaredEuclidean default, VoteRule::InverseDistance
 /// weights by 1/(‖·‖₂² + ε) — still monotone in distance.
+/// `policy` selects each shard's local-scoring structure (brute scan /
+/// kd-tree hybrid / auto heuristic) and `scoring` the thread count and
+/// tiling of the scoring step — neither changes any result byte
+/// (cross-path parity is fuzzed in tests/test_parity.cpp).
 [[nodiscard]] std::vector<ClassifyResult> classify_batch(
     const std::vector<VectorShard>& shards, const std::vector<std::vector<std::uint32_t>>& labels,
     std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
     const KnnConfig& knn_config = {}, VoteRule rule = VoteRule::Majority,
-    MetricKind kind = MetricKind::SquaredEuclidean);
+    MetricKind kind = MetricKind::SquaredEuclidean,
+    ScoringPolicy policy = ScoringPolicy::Brute, const BatchScoringConfig& scoring = {});
 
 /// Batched regression; result q equals regress_distributed on shards
-/// scored for queries[q] under `kind`.
+/// scored for queries[q] under `kind`.  `policy` / `scoring` as in
+/// classify_batch.
 [[nodiscard]] std::vector<RegressResult> regress_batch(
     const std::vector<VectorShard>& shards, const std::vector<std::vector<double>>& targets,
     std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
-    const KnnConfig& knn_config = {}, MetricKind kind = MetricKind::SquaredEuclidean);
+    const KnnConfig& knn_config = {}, MetricKind kind = MetricKind::SquaredEuclidean,
+    ScoringPolicy policy = ScoringPolicy::Brute, const BatchScoringConfig& scoring = {});
 
 /// Convenience: score labeled vector shards against a query under a metric.
 template <MetricFor M>

@@ -293,6 +293,59 @@ void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries
   panic("fused_top_ell_batch: unknown MetricKind");
 }
 
+RangeTopEll::RangeTopEll(const FlatStore& store, const PointD& query, std::size_t ell,
+                         MetricKind kind, KernelScratch& scratch)
+    : store_(store), query_(query), kind_(kind), scratch_(scratch),
+      threshold_(std::numeric_limits<double>::infinity()) {
+  if (!store.empty()) {
+    DKNN_REQUIRE(query.dim() == store.dim(), "RangeTopEll: dimension mismatch");
+  }
+  cap_ = std::min(ell, store.size());
+  if (cap_ == 0) return;
+  // All buffers live in the caller's scratch (reused across the query
+  // block), so steady-state hybrid scoring is allocation-free like the
+  // fused batch path.
+  scratch_.dist.resize(kTile);
+  scratch_.heaps.resize(cap_);
+  scratch_.cols.resize(store.dim());
+  for (std::size_t j = 0; j < store.dim(); ++j) scratch_.cols[j] = store.dim_coords(j).data();
+}
+
+template <MetricKind K>
+void RangeTopEll::range_impl(std::size_t lo, std::size_t hi) {
+  const PointId* ids = store_.ids().data();
+  BoundedHeap heap{scratch_.heaps.data(), heap_size_, cap_};
+  for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
+    const std::size_t m = std::min(kTile, hi - t0);
+    tile_scores<K>(scratch_.cols.data(), query_.coords.data(), store_.dim(), t0, m,
+                   scratch_.dist.data());
+    heap_update<K>(heap, threshold_, scratch_.dist.data(), ids + t0, m);
+  }
+  heap_size_ = heap.size;
+}
+
+void RangeTopEll::score_range(std::size_t lo, std::size_t hi) {
+  DKNN_ASSERT(lo <= hi && hi <= store_.size(), "RangeTopEll: range out of bounds");
+  if (cap_ == 0 || lo == hi) return;
+  switch (kind_) {
+    case MetricKind::Euclidean: return range_impl<MetricKind::Euclidean>(lo, hi);
+    case MetricKind::SquaredEuclidean: return range_impl<MetricKind::SquaredEuclidean>(lo, hi);
+    case MetricKind::Manhattan: return range_impl<MetricKind::Manhattan>(lo, hi);
+    case MetricKind::Chebyshev: return range_impl<MetricKind::Chebyshev>(lo, hi);
+  }
+  panic("RangeTopEll: unknown MetricKind");
+}
+
+void RangeTopEll::finish(std::vector<Key>& out) {
+  DistId* heap = scratch_.heaps.data();
+  std::sort_heap(heap, heap + heap_size_);
+  out.clear();
+  out.reserve(heap_size_);
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    out.push_back(Key{encode_distance(heap[i].first), heap[i].second});
+  }
+}
+
 std::vector<Key> fused_top_ell(const FlatStore& store, const PointD& query, std::size_t ell,
                                MetricKind kind) {
   KernelScratch scratch;

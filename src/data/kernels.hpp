@@ -57,6 +57,7 @@ struct KernelScratch {
   std::vector<std::pair<double, PointId>> heaps;       ///< Q bounded max-heaps, flattened
   std::vector<std::size_t> heap_sizes;                 ///< live entries per heap
   std::vector<double> thresholds;                      ///< per-query rejection thresholds
+  std::vector<const double*> cols;                     ///< RangeTopEll column pointers
 };
 
 /// Scores every point of `store` against every query in `queries`, fused
@@ -77,5 +78,44 @@ void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries
 /// fused path in bench/micro_kernels.cpp.
 void score_store(const FlatStore& store, const PointD& query, MetricKind kind,
                  std::vector<Key>& out);
+
+/// Single-query fused scorer over arbitrary contiguous index ranges of one
+/// store — the leaf-range entry point for kd-tree-pruned scoring
+/// (seq/kdtree.hpp's hybrid path).  Runs exactly the bounded-heap +
+/// lazy-sqrt machinery of fused_top_ell_batch, so scoring *any*
+/// decomposition of [0, n) into ranges, in any order, finishes with
+/// byte-identical keys; skipping a range is sound whenever every point in
+/// it provably scores above threshold().
+class RangeTopEll {
+ public:
+  /// Borrows `store`, `query` and `scratch` for its lifetime.
+  RangeTopEll(const FlatStore& store, const PointD& query, std::size_t ell, MetricKind kind,
+              KernelScratch& scratch);
+
+  /// Scores points [lo, hi); requires lo <= hi <= store.size().
+  void score_range(std::size_t lo, std::size_t hi);
+
+  /// Conservative rejection threshold in the kernel's raw-score domain
+  /// (squared sums for the Euclidean family, direct values for L1/L∞): a
+  /// point or subtree whose raw score provably exceeds this cannot enter
+  /// the heap and may be skipped.  +∞ until the heap holds ℓ entries.
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  /// Sorts the selected keys ascending into `out`; the instance must not be
+  /// fed further ranges afterwards.
+  void finish(std::vector<Key>& out);
+
+ private:
+  template <MetricKind K>
+  void range_impl(std::size_t lo, std::size_t hi);
+
+  const FlatStore& store_;
+  const PointD& query_;
+  MetricKind kind_;
+  std::size_t cap_ = 0;       ///< min(ℓ, n); 0 disables scoring entirely
+  KernelScratch& scratch_;    ///< dist tile, heap and column-pointer storage
+  std::size_t heap_size_ = 0;
+  double threshold_ = 0.0;
+};
 
 }  // namespace dknn

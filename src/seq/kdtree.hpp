@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "data/flat_store.hpp"
+#include "data/kernels.hpp"
 #include "data/key.hpp"
 #include "data/point.hpp"
 
@@ -64,5 +66,78 @@ private:
   std::size_t dim_ = 0;
   mutable std::size_t last_visited_ = 0;
 };
+
+/// Range-leaf kd-tree over a FlatStore — the tree half of the hybrid local
+/// scoring mode (PANDA's prune-then-partition structure, see PAPERS.md).
+///
+/// Construction reorders the shard so every tree node covers a *contiguous
+/// index range* of the rebuilt SoA store; internal nodes carry bounding
+/// boxes and a median split (axis = widest extent, deterministic id
+/// tie-break), leaves hold up to `leaf_size` points.  A query traversal
+/// prunes whole subtrees against the running top-ℓ bound and hands each
+/// surviving leaf range to the fused SoA kernel (data/kernels.hpp's
+/// RangeTopEll), so the scan cost drops toward the tree-pruned point count
+/// while the per-point arithmetic stays the vectorized column kernel.
+class KdRangeIndex {
+ public:
+  /// Points per leaf.  A quarter of the kernels' 1024-point tile: small
+  /// enough to prune meaningfully, large enough that the column kernel
+  /// still amortizes its setup over each surviving leaf.
+  static constexpr std::size_t kDefaultLeafSize = 256;
+
+  /// Builds the reordered store + tree; O(n·d·log(n/leaf_size)).
+  /// `ids[i]` labels `points[i]`; all points must share one dimension ≥ 1
+  /// (an empty input builds an empty index).
+  KdRangeIndex(std::span<const PointD> points, std::span<const PointId> ids,
+               std::size_t leaf_size = kDefaultLeafSize);
+
+  /// The tree-ordered SoA mirror of the construction input.  Node ranges
+  /// index into this store; brute-force scans of it select the same keys as
+  /// scans of the original order (selection is order-blind).
+  [[nodiscard]] const FlatStore& store() const { return store_; }
+
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  [[nodiscard]] std::size_t dim() const { return store_.dim(); }
+  [[nodiscard]] bool empty() const { return store_.empty(); }
+  [[nodiscard]] std::size_t leaf_size() const { return leaf_size_; }
+
+  struct Node {
+    std::size_t lo = 0, hi = 0;           ///< store index range [lo, hi)
+    std::int32_t left = -1, right = -1;   ///< node indices; leaf iff left < 0
+    std::uint32_t axis = 0;               ///< split axis (internal nodes)
+    double split = 0.0;                   ///< near-side routing value
+  };
+
+  /// Preorder nodes; index 0 is the root when non-empty.
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+
+  /// Bounding box of node `i`: dim() lower / upper coordinates.
+  [[nodiscard]] std::span<const double> box_lo(std::size_t i) const {
+    return {box_lo_.data() + i * store_.dim(), store_.dim()};
+  }
+  [[nodiscard]] std::span<const double> box_hi(std::size_t i) const {
+    return {box_hi_.data() + i * store_.dim(), store_.dim()};
+  }
+
+ private:
+  std::int32_t build(std::span<const PointD> points, std::span<const PointId> ids,
+                     std::vector<std::size_t>& order, std::size_t lo, std::size_t hi);
+
+  FlatStore store_;
+  std::vector<Node> nodes_;
+  std::vector<double> box_lo_, box_hi_;  ///< nodes × dim, aligned with nodes_
+  std::size_t leaf_size_ = kDefaultLeafSize;
+};
+
+/// Tree-pruned batched scoring: per query, descend `index`, skip subtrees
+/// whose conservative raw-domain box bound exceeds the current rejection
+/// threshold, and run the fused kernel on surviving leaf ranges.  The box
+/// bound folds per-dimension gaps in the exact accumulation order of the
+/// kernels, so (by monotonicity of rounding) it never exceeds any covered
+/// point's raw score — pruning is lossless and the output is byte-identical
+/// to fused_top_ell_batch over index.store() (fuzzed in tests/test_parity.cpp).
+void hybrid_top_ell_batch(const KdRangeIndex& index, std::span<const PointD> queries,
+                          std::size_t ell, MetricKind kind,
+                          std::vector<std::vector<Key>>& out, KernelScratch& scratch);
 
 }  // namespace dknn

@@ -36,7 +36,10 @@ RunReport Engine::run(const MachineProgram& program) {
   }
 
   std::unique_ptr<ThreadPool> pool;
-  if (config_.parallel && k > 1) pool = std::make_unique<ThreadPool>(config_.threads);
+  // Pool victim-selection streams derive from the run seed, so a parallel
+  // run's scheduling randomness is reproducible run-to-run like every other
+  // random choice in the simulation.
+  if (config_.parallel && k > 1) pool = std::make_unique<ThreadPool>(config_.threads, config_.seed);
 
   RunReport report;
   std::vector<std::uint64_t> step_ns(k, 0);

@@ -1,57 +1,162 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace dknn {
+namespace {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+/// Worker identity for nested submission: set for the lifetime of
+/// worker_loop, so submit() can route a job to the submitting worker's own
+/// deque instead of bouncing it through another worker.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, std::uint64_t seed) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  const Rng root(seed);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Same (root seed, index) stream derivation the engine uses for machine
+    // RNGs: worker streams are reproducible run-to-run for a fixed seed.
+    workers_.push_back(std::make_unique<Worker>(root.split(i)));
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    std::lock_guard lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& thread : threads_) thread.join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  std::size_t target;
+  if (tl_pool == this) {
+    target = tl_worker;  // nested submission: stay on the submitting worker
+  } else {
+    target = next_external_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  // Publish the counters *before* the job becomes stealable, so neither can
+  // be observed at zero while the job is live.
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(job));
+    std::lock_guard lock(workers_[target]->mutex);
+    workers_[target]->jobs.push_back(std::move(job));
+  }
+  {
+    std::lock_guard lock(sleep_mutex_);
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::unique_lock lock(sleep_mutex_);
+  all_done_.wait(lock, [this] { return unfinished_.load(std::memory_order_acquire) == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
-void ThreadPool::worker_loop() {
-  while (true) {
-    std::function<void()> job;
+bool ThreadPool::try_pop_local(std::size_t index, std::function<void()>& job) {
+  Worker& self = *workers_[index];
+  std::lock_guard lock(self.mutex);
+  if (self.jobs.empty()) return false;
+  job = std::move(self.jobs.back());  // LIFO: nested submissions run cache-hot
+  self.jobs.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t index, std::function<void()>& job) {
+  const std::size_t count = workers_.size();
+  if (count <= 1) return false;
+  Worker& self = *workers_[index];
+
+  auto plunder = [&](std::size_t v) -> bool {
+    Worker& victim = *workers_[v];
+    std::vector<std::function<void()>> loot;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      std::lock_guard lock(victim.mutex);
+      const std::size_t avail = victim.jobs.size();
+      if (avail == 0) return false;
+      // Steal half, oldest first: the front of the deque holds the coarsest
+      // not-yet-started work, so one steal rebalances a whole burst.
+      const std::size_t take = (avail + 1) / 2;
+      loot.reserve(take);
+      for (std::size_t t = 0; t < take; ++t) {
+        loot.push_back(std::move(victim.jobs.front()));
+        victim.jobs.pop_front();
+      }
     }
+    job = std::move(loot.front());
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (loot.size() > 1) {
+      std::lock_guard lock(self.mutex);
+      for (std::size_t t = 1; t < loot.size(); ++t) self.jobs.push_back(std::move(loot[t]));
+    }
+    return true;
+  };
+
+  // A few random probes (per-worker deterministic stream), then one full
+  // sweep so an empty-handed return really means "nothing was visible".
+  for (int probe = 0; probe < 4; ++probe) {
+    const auto v = static_cast<std::size_t>(self.rng.below(count));
+    if (v != index && plunder(v)) return true;
+  }
+  for (std::size_t v = 0; v < count; ++v) {
+    if (v != index && plunder(v)) return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_job(std::function<void()>& job) {
+  try {
     job();
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+  } catch (...) {
+    std::lock_guard lock(sleep_mutex_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+  job = nullptr;  // drop closure state before declaring the job finished
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(sleep_mutex_);
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker = index;
+  std::function<void()> job;
+  while (true) {
+    if (try_pop_local(index, job) || try_steal(index, job)) {
+      run_job(job);
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    work_available_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+    // Drain-on-shutdown: exit only once no job is visible anywhere.  A job
+    // still *running* elsewhere may spawn nested work, but that lands on
+    // its own worker's deque, which that worker drains before exiting.
+    if (stopping_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
     }
   }
 }

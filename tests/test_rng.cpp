@@ -178,6 +178,28 @@ TEST(Rng, SplitIsDeterministicAndIndependent) {
   EXPECT_LE(equal, 1);
 }
 
+TEST(Rng, SplitStreamKnownAnswer) {
+  // Rng(seed).split(i) is the stream derivation for BOTH the engine's
+  // per-machine RNGs and the thread pool's per-worker victim-selection
+  // RNGs (sim/thread_pool.cpp), so it is part of the parallel-run
+  // reproducibility contract.  Pin actual output words: a platform or
+  // refactor that shifts these streams silently changes every "parallel
+  // run equals serial run" guarantee downstream.
+  const Rng root(2026);
+  const std::uint64_t expected[3][3] = {
+      {12851956997773424818ULL, 3107675999915196463ULL, 12758612543946084076ULL},
+      {3139358567881785589ULL, 10787654849195158847ULL, 11044682715369037546ULL},
+      {16056279658431172356ULL, 12514546682306110315ULL, 10431118161487611348ULL},
+  };
+  for (std::uint64_t worker = 0; worker < 3; ++worker) {
+    Rng stream = root.split(worker);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(stream.next_u64(), expected[worker][i])
+          << "worker " << worker << " draw " << i;
+    }
+  }
+}
+
 TEST(Rng, SplitDoesNotAdvanceParent) {
   Rng r1(123), r2(123);
   (void)r1.split(7);
