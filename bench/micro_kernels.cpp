@@ -24,12 +24,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/driver.hpp"
 #include "data/flat_store.hpp"
+#include "data/simd/dispatch.hpp"
 #include "data/generators.hpp"
 #include "data/ids.hpp"
 #include "data/kernels.hpp"
@@ -236,6 +238,37 @@ void BM_SoaFusedTopEllBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SoaFusedTopEllBatch)->Args({1 << 16, 8, 64, 32})->Args({1 << 16, 32, 64, 32});
 
+/// Fused batch with the kernel ISA pinned (arg 4: 0 = scalar, 1 = AVX2,
+/// 2 = AVX-512) — the per-ISA rows behind BENCH_kernels.json.  Levels the
+/// running CPU lacks are skipped with an error note rather than measured
+/// as a silent fallback.
+void BM_SoaFusedTopEllBatchIsa(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(4));
+  if (!simd::isa_supported(isa)) {
+    state.SkipWithError("ISA not supported by this build/CPU");
+    return;
+  }
+  const auto num_queries = static_cast<std::size_t>(state.range(3));
+  const auto fx = make_scoring_fixture(static_cast<std::size_t>(state.range(0)),
+                                       static_cast<std::size_t>(state.range(1)), num_queries);
+  const auto ell = static_cast<std::size_t>(state.range(2));
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  {
+    const simd::ScopedForceIsa pin(isa);
+    for (auto _ : state) {
+      fused_top_ell_batch(fx.store, fx.queries, ell, MetricKind::Euclidean, out, scratch);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * static_cast<std::int64_t>(num_queries));
+}
+BENCHMARK(BM_SoaFusedTopEllBatchIsa)
+    ->Args({1 << 16, 8, 64, 32, 0})
+    ->Args({1 << 16, 8, 64, 32, 1})
+    ->Args({1 << 16, 8, 64, 32, 2});
+
 /// Whole query block tiled over the work-stealing pool (hardware threads,
 /// query_block 4).  Compare against BM_SoaFusedTopEllBatch for the
 /// parallel-vs-serial scaling row; output bytes are identical.
@@ -383,11 +416,20 @@ PathTiming time_path(std::size_t repeats, std::size_t points, std::size_t num_qu
   return t;
 }
 
-void write_path(std::FILE* f, const char* name, const PathTiming& t, bool trailing_comma) {
-  std::fprintf(f,
-               "    \"%s\": {\"median_ms\": %.3f, \"ns_per_point\": %.3f, "
-               "\"queries_per_sec\": %.1f}%s\n",
-               name, t.median_ms, t.ns_per_point, t.queries_per_sec, trailing_comma ? "," : "");
+/// A path row; nullopt timing = recorded-as-skipped (emitted as JSON null,
+/// e.g. the parallel row on a <4-thread box).
+using PathRow = std::pair<std::string, std::optional<PathTiming>>;
+
+void write_path(std::FILE* f, const PathRow& row, bool trailing_comma) {
+  if (row.second.has_value()) {
+    std::fprintf(f,
+                 "    \"%s\": {\"median_ms\": %.3f, \"ns_per_point\": %.3f, "
+                 "\"queries_per_sec\": %.1f}%s\n",
+                 row.first.c_str(), row.second->median_ms, row.second->ns_per_point,
+                 row.second->queries_per_sec, trailing_comma ? "," : "");
+  } else {
+    std::fprintf(f, "    \"%s\": null%s\n", row.first.c_str(), trailing_comma ? "," : "");
+  }
 }
 
 /// The canonical serving workload the ROADMAP's perf trajectory tracks.
@@ -419,26 +461,53 @@ int emit_bench_json(const std::string& path) {
 
   KernelScratch scratch;
   std::vector<std::vector<Key>> out;
+  // Dispatched fused row: whatever ISA the runtime CPUID dispatch picked.
   const PathTiming fused = time_path(kRepeats, kPoints, kQueries, [&] {
     fused_top_ell_batch(fx.store, fx.queries, kEll, MetricKind::Euclidean, out, scratch);
     benchmark::DoNotOptimize(out);
   });
 
+  // Per-ISA rows: the same fused kernel pinned to each supported level.
+  // The scalar row IS the PR 1 auto-vectorized kernel (relocated behind
+  // the dispatch table) — the dispatched row is expected to beat it on
+  // AVX2-capable hardware.
+  std::vector<PathRow> isa_rows;
+  std::optional<double> scalar_forced_ms;
+  for (std::size_t level = 0; level < simd::kIsaCount; ++level) {
+    const auto isa = static_cast<simd::Isa>(level);
+    if (!simd::isa_supported(isa)) continue;
+    const simd::ScopedForceIsa pin(isa);
+    const PathTiming timing = time_path(kRepeats, kPoints, kQueries, [&] {
+      fused_top_ell_batch(fx.store, fx.queries, kEll, MetricKind::Euclidean, out, scratch);
+      benchmark::DoNotOptimize(out);
+    });
+    if (isa == simd::Isa::Scalar) scalar_forced_ms = timing.median_ms;
+    isa_rows.emplace_back(std::string("soa_fused_batch_") + simd::isa_name(isa), timing);
+  }
+
   // Parallel brute: the same fused kernels, shard × query-block tiles over
-  // the work-stealing pool.  The ≥2× acceptance target for this row is
-  // conditioned on 4+ hardware threads — "threads" below records what this
-  // run actually had (a 1-core box measures pool overhead, not scaling).
+  // the work-stealing pool.  On fewer than 4 hardware threads the ratio
+  // would measure pool overhead, not scaling (the ROADMAP's ≥2× target is
+  // conditioned on 4+), so the row is recorded as explicitly skipped
+  // (JSON null) instead of polluting the perf trajectory.
   const std::size_t threads =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  const auto indexes = make_shard_indexes({fx.shard}, ScoringPolicy::Brute);
-  ThreadPool pool;  // persistent, like a serving loop: spawn cost amortizes
-  BatchScoringConfig par_config{.query_block = 4};
-  par_config.pool = &pool;
-  const PathTiming parallel = time_path(kRepeats, kPoints, kQueries, [&] {
-    auto scored =
-        score_vector_shards_batch(indexes, fx.queries, kEll, MetricKind::Euclidean, par_config);
-    benchmark::DoNotOptimize(scored);
-  });
+  std::optional<PathTiming> parallel;
+  if (threads >= 4) {
+    const auto indexes = make_shard_indexes({fx.shard}, ScoringPolicy::Brute);
+    ThreadPool pool;  // persistent, like a serving loop: spawn cost amortizes
+    BatchScoringConfig par_config{.query_block = 4};
+    par_config.pool = &pool;
+    parallel = time_path(kRepeats, kPoints, kQueries, [&] {
+      auto scored =
+          score_vector_shards_batch(indexes, fx.queries, kEll, MetricKind::Euclidean, par_config);
+      benchmark::DoNotOptimize(scored);
+    });
+  } else {
+    std::printf("parallel row skipped: %zu hardware thread(s) < 4 — would measure pool "
+                "overhead, not scaling\n",
+                threads);
+  }
 
   // kd-tree hybrid: prune against the running top-ℓ bound, fused kernel on
   // surviving leaf ranges, serial.
@@ -447,6 +516,14 @@ int emit_bench_json(const std::string& path) {
     hybrid_top_ell_batch(tree, fx.queries, kEll, MetricKind::Euclidean, out, scratch);
     benchmark::DoNotOptimize(out);
   });
+
+  std::vector<PathRow> rows;
+  rows.emplace_back("aos_per_query", aos);
+  rows.emplace_back("soa_materialized", soa_mat);
+  rows.emplace_back("soa_fused_batch", fused);
+  for (const auto& row : isa_rows) rows.push_back(row);
+  rows.emplace_back("soa_fused_batch_parallel", parallel);
+  rows.emplace_back("kdtree_hybrid", hybrid);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -457,26 +534,44 @@ int emit_bench_json(const std::string& path) {
   std::fprintf(f,
                "  \"workload\": {\"points\": %zu, \"dim\": %zu, \"ell\": %zu, "
                "\"queries\": %zu, \"metric\": \"euclidean\", \"repeats\": %zu, "
-               "\"threads\": %zu},\n",
-               kPoints, kDim, kEll, kQueries, kRepeats, threads);
+               "\"threads\": %zu, \"simd_isa\": \"%s\"},\n",
+               kPoints, kDim, kEll, kQueries, kRepeats, threads,
+               simd::isa_name(simd::active_isa()));
   std::fprintf(f, "  \"paths\": {\n");
-  write_path(f, "aos_per_query", aos, true);
-  write_path(f, "soa_materialized", soa_mat, true);
-  write_path(f, "soa_fused_batch", fused, true);
-  write_path(f, "soa_fused_batch_parallel", parallel, true);
-  write_path(f, "kdtree_hybrid", hybrid, false);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    write_path(f, rows[i], i + 1 < rows.size());
+  }
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"speedup_fused_vs_aos\": %.2f,\n", aos.median_ms / fused.median_ms);
-  std::fprintf(f, "  \"speedup_parallel_vs_serial\": %.2f,\n",
-               fused.median_ms / parallel.median_ms);
+  if (scalar_forced_ms.has_value()) {
+    std::fprintf(f, "  \"speedup_simd_vs_scalar\": %.2f,\n", *scalar_forced_ms / fused.median_ms);
+  } else {
+    std::fprintf(f, "  \"speedup_simd_vs_scalar\": null,\n");
+  }
+  if (parallel.has_value()) {
+    std::fprintf(f, "  \"speedup_parallel_vs_serial\": %.2f,\n",
+                 fused.median_ms / parallel->median_ms);
+  } else {
+    std::fprintf(f, "  \"speedup_parallel_vs_serial\": null,\n");
+  }
   std::fprintf(f, "  \"speedup_hybrid_vs_brute\": %.2f\n}\n", fused.median_ms / hybrid.median_ms);
   std::fclose(f);
-  std::printf("wrote %s (aos %.2f ms, soa-materialized %.2f ms, soa-fused %.2f ms, "
-              "parallel %.2f ms @%zu threads, hybrid %.2f ms; fused/aos %.2fx, "
-              "parallel/serial %.2fx, hybrid/brute %.2fx)\n",
+  std::printf("wrote %s (aos %.2f ms, soa-materialized %.2f ms, soa-fused %.2f ms [%s]",
               path.c_str(), aos.median_ms, soa_mat.median_ms, fused.median_ms,
-              parallel.median_ms, threads, hybrid.median_ms, aos.median_ms / fused.median_ms,
-              fused.median_ms / parallel.median_ms, fused.median_ms / hybrid.median_ms);
+              simd::isa_name(simd::active_isa()));
+  for (const auto& row : isa_rows) {
+    std::printf(", %s %.2f ms", row.first.c_str(), row.second->median_ms);
+  }
+  if (parallel.has_value()) {
+    std::printf(", parallel %.2f ms @%zu threads", parallel->median_ms, threads);
+  } else {
+    std::printf(", parallel skipped @%zu threads", threads);
+  }
+  std::printf(", hybrid %.2f ms; fused/aos %.2fx", hybrid.median_ms, aos.median_ms / fused.median_ms);
+  if (scalar_forced_ms.has_value()) {
+    std::printf(", simd/scalar %.2fx", *scalar_forced_ms / fused.median_ms);
+  }
+  std::printf(", hybrid/brute %.2fx)\n", fused.median_ms / hybrid.median_ms);
   return 0;
 }
 

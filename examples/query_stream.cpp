@@ -9,18 +9,21 @@
 // Theorem 2.4 steady state as setup amortizes away.
 //
 //   ./query_stream [--k=32] [--ell=32] [--queries=25] [--dim=8]
-//                  [--policy=auto] [--threads=0]
+//                  [--policy=auto] [--threads=0] [--isa=auto]
 //
 // --policy selects the local-scoring structure per shard (brute = dense
 // fused scan, tree = kd-tree prune + fused kernel on surviving leaves,
 // auto = per-shard n·d heuristic); --threads > 1 tiles the shard ×
-// query-block grid over the work-stealing pool.  Results are byte-identical
-// across every combination — only the wall-clock changes.
+// query-block grid over the work-stealing pool; --isa pins the scoring
+// kernels to one ISA level (scalar | avx2 | avx512; auto = widest the CPU
+// supports, also settable process-wide via DKNN_FORCE_ISA).  Results are
+// byte-identical across every combination — only the wall-clock changes.
 
 #include <cinttypes>
 #include <cstdio>
 
 #include "core/driver.hpp"
+#include "data/simd/dispatch.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "experiment seed", "42");
   cli.add_flag("policy", "local scoring: brute | tree | auto", "auto");
   cli.add_flag("threads", "scoring worker threads (1 = serial, 0 = hardware)", "0");
+  cli.add_flag("isa", "scoring kernel ISA: scalar | avx2 | avx512 | auto", "auto");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto k = static_cast<std::uint32_t>(cli.get_uint("k"));
@@ -62,6 +66,19 @@ int main(int argc, char** argv) {
     std::printf("unknown --policy=%s (want brute | tree | auto)\n", policy_name.c_str());
     return 1;
   }
+  const std::string isa_flag = cli.get("isa");
+  if (isa_flag != "auto") {
+    const auto isa = dknn::simd::parse_isa(isa_flag);
+    if (!isa.has_value()) {
+      std::printf("unknown --isa=%s (want scalar | avx2 | avx512 | auto)\n", isa_flag.c_str());
+      return 1;
+    }
+    if (!dknn::simd::isa_supported(*isa)) {
+      std::printf("--isa=%s not supported by this build/CPU\n", isa_flag.c_str());
+      return 1;
+    }
+    dknn::simd::force_isa(*isa);
+  }
   dknn::BatchScoringConfig scoring;
   scoring.threads = static_cast<std::size_t>(cli.get_uint("threads"));
 
@@ -86,9 +103,10 @@ int main(int argc, char** argv) {
 
   std::printf("batch: %u machines, %zu queries, dim %zu, ell %" PRIu64 "\n", k, queries.size(),
               dim, ell);
-  std::printf("local compute: policy %s (%zu/%zu shards tree-indexed), index build %.2f ms "
-              "(once), scoring %.2f ms (%.0f queries/sec); protocol %.2f ms\n\n",
-              dknn::scoring_policy_name(policy), trees, indexes.size(), convert_ms, score_ms,
+  std::printf("local compute: policy %s (%zu/%zu shards tree-indexed), kernels %s, index "
+              "build %.2f ms (once), scoring %.2f ms (%.0f queries/sec); protocol %.2f ms\n\n",
+              dknn::scoring_policy_name(policy), trees, indexes.size(),
+              dknn::simd::isa_name(dknn::simd::active_isa()), convert_ms, score_ms,
               static_cast<double>(queries.size()) / (score_ms * 1e-3), protocol_ms);
   std::printf("%-8s %-10s %-10s %s\n", "query#", "rounds", "attempts",
               "nearest (squared distance, id)");

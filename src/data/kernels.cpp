@@ -3,111 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <type_traits>
+
+#include "data/simd/dispatch.hpp"
 
 namespace dknn {
 namespace {
 
+using simd::HeapState;
+using simd::KernelOps;
+
 /// Points per block.  One column slice (8 KB) plus the distance tile stay
-/// resident while the whole query block streams over them.
+/// resident while the whole query block streams over them.  Must be a
+/// multiple of simd::kTilePad: the vector kernels full-width-store scored
+/// tails and full-width-load prefilter blocks into the tile buffer, and
+/// round_up(m, kTilePad) <= kTile is what bounds those accesses.
 constexpr std::size_t kTile = 1024;
+static_assert(kTile % simd::kTilePad == 0, "tile buffer must absorb vector tails");
 
-/// Largest dimensionality with a fully-unrolled register-accumulating
-/// kernel; larger d falls back to the dimension-outer loop.
-constexpr std::size_t kMaxFixedDim = 16;
+using DistId = simd::DistId;
+static_assert(std::is_same_v<DistId, std::pair<double, PointId>>,
+              "KernelScratch::heaps element layout is the dispatch ABI");
 
-using DistId = std::pair<double, PointId>;
-
-/// Raw per-tile scores: squared sums for the Euclidean family (the sqrt, if
-/// any, is applied lazily during selection), direct values for L1/L∞.
-/// Per point, coordinates accumulate in ascending dimension order — the
-/// exact operation sequence of the metric.hpp functors — so results are
-/// byte-identical to the AoS path.
-
-/// Fixed-dimension kernel: the j-loop fully unrolls and the accumulator
-/// chain lives in registers, so each point costs D column loads and one
-/// store; the i-loop auto-vectorizes.
-template <MetricKind K, std::size_t D>
-void tile_scores_fixed(const double* const* cols, const double* query, std::size_t t0,
-                       std::size_t m, double* __restrict dist) {
-  for (std::size_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < D; ++j) {
-      const double diff = cols[j][t0 + i] - query[j];
-      if constexpr (K == MetricKind::Euclidean || K == MetricKind::SquaredEuclidean) {
-        acc += diff * diff;
-      } else if constexpr (K == MetricKind::Manhattan) {
-        acc += std::fabs(diff);
-      } else {
-        static_assert(K == MetricKind::Chebyshev);
-        acc = std::max(acc, std::fabs(diff));
-      }
-    }
-    dist[i] = acc;
-  }
-}
-
-/// Dynamic-dimension fallback: dimension-outer accumulation through the
-/// tile buffer (still vectorized, but pays dist loads/stores per dim).
-template <MetricKind K>
-void tile_scores_dynamic(const double* const* cols, const double* query, std::size_t d,
-                         std::size_t t0, std::size_t m, double* __restrict dist) {
-  std::fill_n(dist, m, 0.0);
-  for (std::size_t j = 0; j < d; ++j) {
-    const double qj = query[j];
-    const double* __restrict col = cols[j] + t0;
-    if constexpr (K == MetricKind::Euclidean || K == MetricKind::SquaredEuclidean) {
-      for (std::size_t i = 0; i < m; ++i) {
-        const double diff = col[i] - qj;
-        dist[i] += diff * diff;
-      }
-    } else if constexpr (K == MetricKind::Manhattan) {
-      for (std::size_t i = 0; i < m; ++i) dist[i] += std::fabs(col[i] - qj);
-    } else {
-      static_assert(K == MetricKind::Chebyshev);
-      for (std::size_t i = 0; i < m; ++i) dist[i] = std::max(dist[i], std::fabs(col[i] - qj));
-    }
-  }
-}
-
-template <MetricKind K>
-void tile_scores(const double* const* cols, const double* query, std::size_t d, std::size_t t0,
-                 std::size_t m, double* dist) {
-  switch (d) {
-#define DKNN_FIXED_DIM_CASE(D) \
-  case D: return tile_scores_fixed<K, D>(cols, query, t0, m, dist);
-    DKNN_FIXED_DIM_CASE(1)
-    DKNN_FIXED_DIM_CASE(2)
-    DKNN_FIXED_DIM_CASE(3)
-    DKNN_FIXED_DIM_CASE(4)
-    DKNN_FIXED_DIM_CASE(5)
-    DKNN_FIXED_DIM_CASE(6)
-    DKNN_FIXED_DIM_CASE(7)
-    DKNN_FIXED_DIM_CASE(8)
-    DKNN_FIXED_DIM_CASE(9)
-    DKNN_FIXED_DIM_CASE(10)
-    DKNN_FIXED_DIM_CASE(11)
-    DKNN_FIXED_DIM_CASE(12)
-    DKNN_FIXED_DIM_CASE(13)
-    DKNN_FIXED_DIM_CASE(14)
-    DKNN_FIXED_DIM_CASE(15)
-    DKNN_FIXED_DIM_CASE(16)
-#undef DKNN_FIXED_DIM_CASE
-    case 0: std::fill_n(dist, m, 0.0); return;
-    default: return tile_scores_dynamic<K>(cols, query, d, t0, m, dist);
-  }
-}
-static_assert(kMaxFixedDim == 16, "keep the dispatch table in sync");
-
-/// Column base pointers for one store: a stack array for the fixed-dim
-/// kernels, heap-backed past kMaxFixedDim.
+/// Column base pointers for one store: a stack array for typical
+/// dimensionalities, heap-backed beyond.
+constexpr std::size_t kMaxStackDims = 16;
 struct ColumnPointers {
-  const double* fixed[kMaxFixedDim];
+  const double* fixed[kMaxStackDims];
   std::vector<const double*> dynamic;
 
   explicit ColumnPointers(const FlatStore& store) {
     const std::size_t d = store.dim();
-    if (d > kMaxFixedDim) dynamic.resize(d);
-    double const** out = d > kMaxFixedDim ? dynamic.data() : fixed;
+    if (d > kMaxStackDims) dynamic.resize(d);
+    double const** out = d > kMaxStackDims ? dynamic.data() : fixed;
     for (std::size_t j = 0; j < d; ++j) out[j] = store.dim_coords(j).data();
   }
   [[nodiscard]] const double* const* get() const {
@@ -115,75 +44,8 @@ struct ColumnPointers {
   }
 };
 
-/// Bounded max-heap of (distance, id) over a caller-provided buffer.
-/// Lexicographic pair order matches Key order because encode_distance is
-/// strictly monotone.
-struct BoundedHeap {
-  DistId* data;
-  std::size_t size;
-  std::size_t cap;
-
-  [[nodiscard]] bool full() const { return size == cap; }
-  [[nodiscard]] const DistId& top() const { return data[0]; }
-  void push(DistId entry) {
-    data[size++] = entry;
-    std::push_heap(data, data + size);
-  }
-  void replace_top(DistId entry) {
-    std::pop_heap(data, data + size);
-    data[size - 1] = entry;
-    std::push_heap(data, data + size);
-  }
-};
-
-/// Conservative squared-domain rejection threshold for the lazy-sqrt
-/// Euclidean path.  Guarantee: raw > threshold  ⟹  sqrt(raw) > r, so a
-/// squared score above it can be rejected without computing its sqrt.
-/// Proof sketch: let r' = nextafter(r, ∞).  The returned value is ≥ r'² in
-/// real arithmetic (one round-to-nearest error is undone by the final
-/// next-up), so raw > threshold ⟹ √raw > r' in ℝ, and correctly-rounded
-/// monotone sqrt then gives fl(√raw) ≥ r' > r.  False *accepts* merely
-/// cost one sqrt and an exact comparison — never wrong answers.
-[[nodiscard]] double reject_threshold_sq(double r) {
-  constexpr double inf = std::numeric_limits<double>::infinity();
-  const double up = std::nextafter(r, inf);
-  return std::nextafter(up * up, inf);
-}
-
-/// Streams one scored tile into the heap.  For Euclidean, `raw` holds
-/// squared sums and sqrt is applied only to candidates that survive the
-/// threshold prefilter (O(ℓ log n) of them, not n); selection operates on
-/// the exact sqrt values, so parity with the AoS path is bit-exact.
-template <MetricKind K>
-void heap_update(BoundedHeap& heap, double& threshold, const double* raw, const PointId* ids,
-                 std::size_t m) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const double s = raw[i];
-    if (heap.full() && s > threshold) continue;  // common case: one compare
-    if constexpr (K == MetricKind::Euclidean) {
-      const DistId cand{std::sqrt(s), ids[i]};
-      if (!heap.full()) {
-        heap.push(cand);
-        if (heap.full()) threshold = reject_threshold_sq(heap.top().first);
-      } else if (cand < heap.top()) {
-        heap.replace_top(cand);
-        threshold = reject_threshold_sq(heap.top().first);
-      }
-    } else {
-      const DistId cand{s, ids[i]};
-      if (!heap.full()) {
-        heap.push(cand);
-        if (heap.full()) threshold = heap.top().first;
-      } else if (cand < heap.top()) {
-        heap.replace_top(cand);
-        threshold = heap.top().first;
-      }
-    }
-  }
-}
-
-template <MetricKind K>
-void batch_impl(const FlatStore& store, std::span<const PointD> queries, std::size_t cap,
+void batch_impl(const KernelOps& ops, MetricKind kind, const FlatStore& store,
+                std::span<const PointD> queries, std::size_t cap,
                 std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
   const std::size_t n = store.size();
   const std::size_t d = store.dim();
@@ -200,9 +62,10 @@ void batch_impl(const FlatStore& store, std::span<const PointD> queries, std::si
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t m = std::min(kTile, n - t0);
     for (std::size_t q = 0; q < num_queries; ++q) {
-      tile_scores<K>(cols.get(), queries[q].coords.data(), d, t0, m, scratch.dist.data());
-      BoundedHeap heap{scratch.heaps.data() + q * cap, scratch.heap_sizes[q], cap};
-      heap_update<K>(heap, scratch.thresholds[q], scratch.dist.data(), ids + t0, m);
+      ops.tile_scores(kind, cols.get(), queries[q].coords.data(), d, t0, m,
+                      scratch.dist.data());
+      HeapState heap{scratch.heaps.data() + q * cap, scratch.heap_sizes[q], cap};
+      ops.heap_update(kind, heap, scratch.thresholds[q], scratch.dist.data(), ids + t0, m);
       scratch.heap_sizes[q] = heap.size;
     }
   }
@@ -210,6 +73,9 @@ void batch_impl(const FlatStore& store, std::span<const PointD> queries, std::si
   for (std::size_t q = 0; q < num_queries; ++q) {
     DistId* heap = scratch.heaps.data() + q * cap;
     const std::size_t size = scratch.heap_sizes[q];
+    // Any ISA's heap is a valid max-heap in Key order (distinct ids make
+    // the order total), so sort_heap lands on the same ascending bytes
+    // whatever layout the push sequence produced.
     std::sort_heap(heap, heap + size);
     out[q].clear();
     out[q].reserve(size);
@@ -219,8 +85,8 @@ void batch_impl(const FlatStore& store, std::span<const PointD> queries, std::si
   }
 }
 
-template <MetricKind K>
-void score_store_impl(const FlatStore& store, const PointD& query, std::vector<Key>& out) {
+void score_store_impl(const KernelOps& ops, MetricKind kind, const FlatStore& store,
+                      const PointD& query, std::vector<Key>& out) {
   const std::size_t n = store.size();
   const std::size_t d = store.dim();
   const PointId* ids = store.ids().data();
@@ -229,16 +95,35 @@ void score_store_impl(const FlatStore& store, const PointD& query, std::vector<K
   out.resize(n);
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t m = std::min(kTile, n - t0);
-    tile_scores<K>(cols.get(), query.coords.data(), d, t0, m, dist);
+    ops.tile_scores(kind, cols.get(), query.coords.data(), d, t0, m, dist);
     // Materialization forces every rank into the metric's domain — the
     // fused path's lazy sqrt is exactly what this variant cannot do.
-    if constexpr (K == MetricKind::Euclidean) {
+    if (kind == MetricKind::Euclidean) {
       for (std::size_t i = 0; i < m; ++i) dist[i] = std::sqrt(dist[i]);
     }
     for (std::size_t i = 0; i < m; ++i) {
       out[t0 + i] = Key{encode_distance(dist[i]), ids[t0 + i]};
     }
   }
+}
+
+}  // namespace
+
+namespace {
+
+/// The per-ISA entry switches can't panic themselves (the variant TUs stay
+/// free of std::string-dragging headers — see data/simd/README.md), so an
+/// out-of-enum kind would silently no-op into empty results.  Validate at
+/// every public kernel entry instead, preserving the pre-dispatch loud
+/// failure.
+void require_known_kind(MetricKind kind, const char* where) {
+  switch (kind) {
+    case MetricKind::Euclidean:
+    case MetricKind::SquaredEuclidean:
+    case MetricKind::Manhattan:
+    case MetricKind::Chebyshev: return;
+  }
+  panic(std::string(where) + ": unknown MetricKind");
 }
 
 }  // namespace
@@ -266,6 +151,7 @@ double metric_distance(MetricKind kind, const PointD& a, const PointD& b) {
 void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries,
                          std::size_t ell, MetricKind kind,
                          std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+  require_known_kind(kind, "fused_top_ell_batch");
   out.resize(queries.size());
   // An empty store has no knowable dimension (mirrors the AoS path, which
   // never checks dims against an empty shard); a non-empty one validates
@@ -280,23 +166,14 @@ void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries
     return;
   }
   const std::size_t cap = std::min(ell, store.size());
-  switch (kind) {
-    case MetricKind::Euclidean:
-      return batch_impl<MetricKind::Euclidean>(store, queries, cap, out, scratch);
-    case MetricKind::SquaredEuclidean:
-      return batch_impl<MetricKind::SquaredEuclidean>(store, queries, cap, out, scratch);
-    case MetricKind::Manhattan:
-      return batch_impl<MetricKind::Manhattan>(store, queries, cap, out, scratch);
-    case MetricKind::Chebyshev:
-      return batch_impl<MetricKind::Chebyshev>(store, queries, cap, out, scratch);
-  }
-  panic("fused_top_ell_batch: unknown MetricKind");
+  batch_impl(simd::kernel_ops(), kind, store, queries, cap, out, scratch);
 }
 
 RangeTopEll::RangeTopEll(const FlatStore& store, const PointD& query, std::size_t ell,
                          MetricKind kind, KernelScratch& scratch)
-    : store_(store), query_(query), kind_(kind), scratch_(scratch),
-      threshold_(std::numeric_limits<double>::infinity()) {
+    : store_(store), query_(query), kind_(kind), ops_(&simd::kernel_ops()),
+      scratch_(scratch), threshold_(std::numeric_limits<double>::infinity()) {
+  require_known_kind(kind, "RangeTopEll");
   if (!store.empty()) {
     DKNN_REQUIRE(query.dim() == store.dim(), "RangeTopEll: dimension mismatch");
   }
@@ -311,29 +188,18 @@ RangeTopEll::RangeTopEll(const FlatStore& store, const PointD& query, std::size_
   for (std::size_t j = 0; j < store.dim(); ++j) scratch_.cols[j] = store.dim_coords(j).data();
 }
 
-template <MetricKind K>
-void RangeTopEll::range_impl(std::size_t lo, std::size_t hi) {
-  const PointId* ids = store_.ids().data();
-  BoundedHeap heap{scratch_.heaps.data(), heap_size_, cap_};
-  for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
-    const std::size_t m = std::min(kTile, hi - t0);
-    tile_scores<K>(scratch_.cols.data(), query_.coords.data(), store_.dim(), t0, m,
-                   scratch_.dist.data());
-    heap_update<K>(heap, threshold_, scratch_.dist.data(), ids + t0, m);
-  }
-  heap_size_ = heap.size;
-}
-
 void RangeTopEll::score_range(std::size_t lo, std::size_t hi) {
   DKNN_ASSERT(lo <= hi && hi <= store_.size(), "RangeTopEll: range out of bounds");
   if (cap_ == 0 || lo == hi) return;
-  switch (kind_) {
-    case MetricKind::Euclidean: return range_impl<MetricKind::Euclidean>(lo, hi);
-    case MetricKind::SquaredEuclidean: return range_impl<MetricKind::SquaredEuclidean>(lo, hi);
-    case MetricKind::Manhattan: return range_impl<MetricKind::Manhattan>(lo, hi);
-    case MetricKind::Chebyshev: return range_impl<MetricKind::Chebyshev>(lo, hi);
+  const PointId* ids = store_.ids().data();
+  HeapState heap{scratch_.heaps.data(), heap_size_, cap_};
+  for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
+    const std::size_t m = std::min(kTile, hi - t0);
+    ops_->tile_scores(kind_, scratch_.cols.data(), query_.coords.data(), store_.dim(), t0, m,
+                      scratch_.dist.data());
+    ops_->heap_update(kind_, heap, threshold_, scratch_.dist.data(), ids + t0, m);
   }
-  panic("RangeTopEll: unknown MetricKind");
+  heap_size_ = heap.size;
 }
 
 void RangeTopEll::finish(std::vector<Key>& out) {
@@ -356,19 +222,13 @@ std::vector<Key> fused_top_ell(const FlatStore& store, const PointD& query, std:
 
 void score_store(const FlatStore& store, const PointD& query, MetricKind kind,
                  std::vector<Key>& out) {
+  require_known_kind(kind, "score_store");
   if (store.empty()) {
     out.clear();
     return;
   }
   DKNN_REQUIRE(query.dim() == store.dim(), "score_store: dimension mismatch");
-  switch (kind) {
-    case MetricKind::Euclidean: return score_store_impl<MetricKind::Euclidean>(store, query, out);
-    case MetricKind::SquaredEuclidean:
-      return score_store_impl<MetricKind::SquaredEuclidean>(store, query, out);
-    case MetricKind::Manhattan: return score_store_impl<MetricKind::Manhattan>(store, query, out);
-    case MetricKind::Chebyshev: return score_store_impl<MetricKind::Chebyshev>(store, query, out);
-  }
-  panic("score_store: unknown MetricKind");
+  score_store_impl(simd::kernel_ops(), kind, store, query, out);
 }
 
 }  // namespace dknn

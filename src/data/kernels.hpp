@@ -20,6 +20,12 @@
 /// path under the corresponding metric functor.  Distances are accumulated
 /// in the same dimension order as the functors, and Euclidean applies its
 /// sqrt before selection, so even rounding ties break identically.
+///
+/// The inner loops (tile scoring + fused heap selection) are runtime-ISA
+/// dispatched: data/simd/dispatch.hpp picks scalar / AVX2 / AVX-512 per
+/// CPUID, every level byte-identical to the scalar reference (fuzzed in
+/// tests/test_simd_parity.cpp), overridable via DKNN_FORCE_ISA or
+/// simd::force_isa() for testing.
 
 #include <cstdint>
 #include <span>
@@ -29,21 +35,14 @@
 #include "data/flat_store.hpp"
 #include "data/key.hpp"
 #include "data/metric.hpp"
+#include "data/metric_kind.hpp"
 #include "data/point.hpp"
 
 namespace dknn {
 
-/// Runtime metric selector for the kernel layer (the template functors in
-/// metric.hpp stay the extensible API; kernels specialize the four the
-/// paper's workloads use).
-enum class MetricKind : std::uint8_t {
-  Euclidean,         ///< ‖a − b‖₂
-  SquaredEuclidean,  ///< ‖a − b‖₂² — same ℓ-NN order, no sqrt
-  Manhattan,         ///< ‖a − b‖₁
-  Chebyshev,         ///< ‖a − b‖∞
-};
-
-[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+namespace simd {
+struct KernelOps;  // data/simd/kernel_ops.hpp — the per-ISA op table
+}  // namespace simd
 
 /// Applies `kind` to one AoS pair — the reference the kernels are tested
 /// against (dispatches to the metric.hpp functors).
@@ -106,12 +105,10 @@ class RangeTopEll {
   void finish(std::vector<Key>& out);
 
  private:
-  template <MetricKind K>
-  void range_impl(std::size_t lo, std::size_t hi);
-
   const FlatStore& store_;
   const PointD& query_;
   MetricKind kind_;
+  const simd::KernelOps* ops_ = nullptr;  ///< ISA resolved once at construction
   std::size_t cap_ = 0;       ///< min(ℓ, n); 0 disables scoring entirely
   KernelScratch& scratch_;    ///< dist tile, heap and column-pointer storage
   std::size_t heap_size_ = 0;

@@ -1,0 +1,27 @@
+#pragma once
+/// \file metric_kind.hpp
+/// \brief Runtime metric selector shared by the kernel layer and the
+///        per-ISA SIMD translation units.
+///
+/// Split out of kernels.hpp so the ISA-specific TUs under data/simd/ can
+/// see the enum without pulling in FlatStore/PointD (which drag std::vector
+/// into TUs compiled with AVX flags — see src/data/simd/README.md for why
+/// those TUs must stay free of shared template instantiations).
+
+#include <cstdint>
+
+namespace dknn {
+
+/// Runtime metric selector for the kernel layer (the template functors in
+/// metric.hpp stay the extensible API; kernels specialize the four the
+/// paper's workloads use).
+enum class MetricKind : std::uint8_t {
+  Euclidean,         ///< ‖a − b‖₂
+  SquaredEuclidean,  ///< ‖a − b‖₂² — same ℓ-NN order, no sqrt
+  Manhattan,         ///< ‖a − b‖₁
+  Chebyshev,         ///< ‖a − b‖∞
+};
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+}  // namespace dknn

@@ -1,0 +1,73 @@
+#pragma once
+/// \file dispatch.hpp
+/// \brief Runtime ISA selection for the scoring kernels.
+///
+/// At first use the dispatcher picks the widest implementation the CPU
+/// supports (CPUID, including OS XSAVE state via __builtin_cpu_supports)
+/// out of whatever the build compiled in.  Two overrides exist, both for
+/// testing and benchmarking — they never change a single output byte,
+/// because every ISA is byte-identical by contract (fuzzed in
+/// tests/test_simd_parity.cpp):
+///
+///   * environment: DKNN_FORCE_ISA=scalar|avx2|avx512 pins the whole
+///     process (read once, at first dispatch; unknown or unsupported
+///     values abort with a diagnostic rather than silently mis-measure);
+///   * programmatic: force_isa(...) from tests/benches, which overrides
+///     the environment and can be reverted with std::nullopt.
+///
+/// Thread-safe: selection is an atomic; force_isa() publishes before the
+/// next kernel_ops() load.  Do not call force_isa() while another thread
+/// is mid-score (the parity suites force only around serial calls).
+
+#include <optional>
+#include <string_view>
+
+#include "data/simd/kernel_ops.hpp"
+
+namespace dknn::simd {
+
+/// ISA levels in ascending preference order (dispatch picks the highest
+/// supported).  Values are contiguous from 0 so tests can iterate.
+enum class Isa : std::uint8_t {
+  Scalar = 0,  ///< portable C++ reference (compiler auto-vectorization)
+  Avx2 = 1,    ///< 4-wide doubles, 8-wide heap prefilter blocks
+  Avx512 = 2,  ///< 8-wide doubles, 16-wide heap prefilter blocks, masked tails
+};
+inline constexpr std::size_t kIsaCount = 3;
+
+[[nodiscard]] const char* isa_name(Isa isa);
+
+/// Parses "scalar" / "avx2" / "avx512"; nullopt on anything else.
+[[nodiscard]] std::optional<Isa> parse_isa(std::string_view name);
+
+/// True iff `isa` was compiled into this binary AND the running CPU (and
+/// OS) support it.  Scalar is always supported.
+[[nodiscard]] bool isa_supported(Isa isa);
+
+/// The widest supported ISA — what auto-dispatch uses.
+[[nodiscard]] Isa best_supported_isa();
+
+/// Pins dispatch to `isa` (DKNN_REQUIREs isa_supported) until reverted
+/// with std::nullopt.  Takes precedence over DKNN_FORCE_ISA.
+void force_isa(std::optional<Isa> isa);
+
+/// The ISA the next kernel call will run: forced > DKNN_FORCE_ISA > best.
+[[nodiscard]] Isa active_isa();
+
+/// The op table for active_isa().
+[[nodiscard]] const KernelOps& kernel_ops();
+
+/// RAII pin for tests and benches: forces `isa` for the object's lifetime
+/// and restores auto-dispatch (DKNN_FORCE_ISA still honoured) on scope
+/// exit — exception- and early-return-safe, so an assertion failure can't
+/// leak a pinned ISA into later tests.  Not nestable: destruction restores
+/// auto, not any outer pin.
+class ScopedForceIsa {
+ public:
+  explicit ScopedForceIsa(Isa isa) { force_isa(isa); }
+  ~ScopedForceIsa() { force_isa(std::nullopt); }
+  ScopedForceIsa(const ScopedForceIsa&) = delete;
+  ScopedForceIsa& operator=(const ScopedForceIsa&) = delete;
+};
+
+}  // namespace dknn::simd

@@ -1,0 +1,105 @@
+#pragma once
+/// \file kernel_ops.hpp
+/// \brief The contract between the generic kernel layer (data/kernels.cpp)
+///        and the per-ISA scoring implementations (kernels_scalar.cpp,
+///        kernels_avx2.cpp, kernels_avx512.cpp).
+///
+/// A `KernelOps` is a table of two function pointers — tile scoring and
+/// fused heap selection — filled in by exactly one translation unit per
+/// ISA.  Each TU is compiled with its own target flags (see CMakeLists.txt)
+/// and nothing else in the binary may inline code from it, so a machine
+/// without AVX-512 never executes an AVX-512 instruction as long as
+/// dispatch (data/simd/dispatch.hpp) never hands out that table.
+///
+/// This header is included by TUs compiled at *different* ISA levels, so it
+/// must not define anything the linker could merge across them: only plain
+/// structs, and helpers marked `static` (internal linkage — every TU gets
+/// its own copy compiled at its own level).  See README.md in this
+/// directory for the full rule set.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "data/metric_kind.hpp"
+
+namespace dknn::simd {
+
+/// (distance, point id) — first/second order matches Key order because
+/// encode_distance is strictly monotone.  Identical layout to the
+/// KernelScratch::heaps element type in data/kernels.hpp.
+using DistId = std::pair<double, std::uint64_t>;
+
+/// One query's bounded max-heap, stored in caller-owned scratch.  Passed by
+/// reference across the dispatch boundary; implementations update `size`.
+struct HeapState {
+  DistId* data = nullptr;  ///< capacity `cap` entries
+  std::size_t size = 0;    ///< live entries (valid max-heap in Key order)
+  std::size_t cap = 0;     ///< min(ℓ, n) — never 0 at a dispatch call
+};
+
+/// Padding contract for the tile buffers: `dist`/`raw` below must be
+/// readable AND writable for `round_up(m, kTilePad)` doubles.  The vector
+/// kernels full-width-store scored tails and full-width-load prefilter
+/// blocks instead of running scalar remainder loops; lanes at index ≥ m are
+/// scratch (their values are ignored, never NaN-trapped, and never reach
+/// the heap).  data/kernels.cpp sizes its tile buffer to a multiple of
+/// this, which upper-bounds every in-tile access.
+inline constexpr std::size_t kTilePad = 16;
+
+/// One ISA's scoring implementation.
+struct KernelOps {
+  const char* name;  ///< "scalar" / "avx2" / "avx512"
+
+  /// Raw scores for points [t0, t0 + m) of the column set: squared sums
+  /// for the Euclidean family (sqrt is applied lazily during selection),
+  /// direct values for L1/L∞.  Per point, coordinates accumulate in
+  /// ascending dimension order with one rounding per operation — the exact
+  /// operation sequence of the metric.hpp functors — so every ISA is
+  /// byte-identical to the scalar reference (no FMA, no reassociation).
+  /// `dist` obeys the kTilePad contract above.
+  void (*tile_scores)(MetricKind kind, const double* const* cols, const double* query,
+                      std::size_t d, std::size_t t0, std::size_t m, double* dist);
+
+  /// Streams one scored tile into the bounded heap, updating `threshold`
+  /// (the raw-domain rejection bound: +∞ until the heap fills, then
+  /// heap-top-derived).  For Euclidean, sqrt is applied only to candidates
+  /// that survive the threshold prefilter; selection compares exact sqrt
+  /// values, so parity with the AoS path is bit-exact.  `raw` obeys the
+  /// kTilePad contract; `ids[0..m)` are the tile's point ids.
+  void (*heap_update)(MetricKind kind, HeapState& heap, double& threshold, const double* raw,
+                      const std::uint64_t* ids, std::size_t m);
+};
+
+/// Conservative squared-domain rejection threshold for the lazy-sqrt
+/// Euclidean path.  Guarantee: raw > threshold  ⟹  sqrt(raw) > r, so a
+/// squared score above it can be rejected without computing its sqrt.
+/// Proof sketch: let r' = nextafter(r, ∞).  The returned value is ≥ r'² in
+/// real arithmetic (one round-to-nearest error is undone by the final
+/// next-up), so raw > threshold ⟹ √raw > r' in ℝ, and correctly-rounded
+/// monotone sqrt then gives fl(√raw) ≥ r' > r.  False *accepts* merely
+/// cost one sqrt and an exact comparison — never wrong answers.
+///
+/// `static`, not `inline`: each ISA TU must keep its own copy (an inline
+/// definition is a comdat the linker may resolve to the copy compiled with
+/// AVX-512 flags — an illegal-instruction trap on older machines).
+[[nodiscard]] [[maybe_unused]] static double reject_threshold_sq(double r) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const double up = std::nextafter(r, inf);
+  return std::nextafter(up * up, inf);
+}
+
+/// The portable reference implementation (plain C++; whatever the compiler
+/// auto-vectorizes at the build's baseline flags).  Always available.
+[[nodiscard]] const KernelOps& scalar_ops();
+
+/// Explicit-intrinsics implementations; defined only when the build
+/// compiles the x86 variant TUs (CMake option DKNN_SIMD on an x86-64
+/// toolchain — the TUs set DKNN_SIMD_X86).  Never call these directly:
+/// go through dispatch.hpp, which checks CPUID first.
+[[nodiscard]] const KernelOps& avx2_ops();
+[[nodiscard]] const KernelOps& avx512_ops();
+
+}  // namespace dknn::simd

@@ -1,0 +1,54 @@
+/// \file kernels_avx512.cpp
+/// \brief AVX-512 scoring kernels: 8-wide double lanes, 16-wide heap
+///        prefilter blocks, native masked-load tails.
+///
+/// Compiled with -mavx512f as its own TU (CMakeLists.txt); dispatch only
+/// hands out avx512_ops() after __builtin_cpu_supports("avx512f") — which
+/// also verifies the OS enabled the ZMM state.  All logic lives in
+/// simd_body.inl — this file supplies only the vector abstraction.  No FMA
+/// intrinsics anywhere (byte parity; see README.md).
+
+#include "data/simd/kernel_ops.hpp"
+
+#if defined(DKNN_SIMD_X86)
+
+#include <immintrin.h>
+
+namespace dknn::simd {
+namespace {
+
+struct V {
+  static constexpr std::size_t kWidth = 8;
+  __m512d v;
+
+  static V load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static V load_partial(const double* p, std::size_t n) {
+    const auto mask = static_cast<__mmask8>((1u << n) - 1u);
+    return {_mm512_maskz_loadu_pd(mask, p)};
+  }
+  static V broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static V zero() { return {_mm512_setzero_pd()}; }
+  friend V operator+(V a, V b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend V operator-(V a, V b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend V operator*(V a, V b) { return {_mm512_mul_pd(a.v, b.v)}; }
+  static V max(V a, V b) { return {_mm512_max_pd(a.v, b.v)}; }
+  static V abs(V a) { return {_mm512_abs_pd(a.v)}; }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+  static unsigned le_mask(V a, V b) {
+    // _CMP_LE_OQ: ordered ≤ — inputs are never NaN (kernel invariant).
+    return static_cast<unsigned>(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ));
+  }
+};
+
+#include "data/simd/simd_body.inl"
+
+}  // namespace
+
+const KernelOps& avx512_ops() {
+  static constexpr KernelOps ops{"avx512", &tile_scores_entry, &heap_update_entry};
+  return ops;
+}
+
+}  // namespace dknn::simd
+
+#endif  // DKNN_SIMD_X86

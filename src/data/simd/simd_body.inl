@@ -1,0 +1,264 @@
+// \file simd_body.inl
+// \brief The ISA-generic body of the explicit-SIMD scoring kernels.
+//
+// Not a header.  Each vector TU (kernels_avx2.cpp, kernels_avx512.cpp)
+// defines a vector abstraction `V` and then #includes this file INSIDE an
+// anonymous namespace inside dknn::simd, so every definition here has
+// internal linkage and is compiled exactly once per ISA with that ISA's
+// flags.  Required V API (all static / value semantics):
+//
+//   static constexpr std::size_t kWidth;          // doubles per vector
+//   static V load(const double* p);               // unaligned full load
+//   static V load_partial(const double* p, n);    // first n lanes, rest 0.0
+//   static V broadcast(double x);
+//   static V zero();
+//   V operator+(V, V); V operator-(V, V); V operator*(V, V);
+//   static V max(V, V);  static V abs(V);
+//   void store(double* p) const;                  // unaligned full store
+//   static unsigned le_mask(V a, V b);            // bit i set iff a[i] <= b[i]
+//
+// Byte-parity rules (see README.md): lanes map to points, so each point's
+// coordinates accumulate in ascending dimension order with one rounding
+// per operation — the exact scalar sequence.  Never use FMA intrinsics.
+// Tail handling is mask-based: load_partial for column reads, full-width
+// stores/loads into the kTilePad'd tile buffer, and a lane-validity mask
+// on the prefilter — no scalar remainder loops over points.
+//
+// ODR rule for everything in this file: no std:: algorithm/container
+// templates (their comdat instantiations could be merged across TUs
+// compiled at different ISA levels, and the linker may keep the wrong
+// one).  Heap maintenance is hand-rolled below for exactly that reason;
+// math goes through __builtin_* which always inlines.
+
+constexpr std::size_t kMaxFixedDim = 16;
+
+template <MetricKind K>
+inline V accumulate_lane(V acc, V diff) {
+  if constexpr (K == MetricKind::Euclidean || K == MetricKind::SquaredEuclidean) {
+    return acc + diff * diff;
+  } else if constexpr (K == MetricKind::Manhattan) {
+    return acc + V::abs(diff);
+  } else {
+    static_assert(K == MetricKind::Chebyshev);
+    return V::max(acc, V::abs(diff));
+  }
+}
+
+/// Fixed-dimension kernel: the j-loop fully unrolls, the query broadcasts
+/// hoist out of the i-loop, and the accumulator chain lives in one vector
+/// register — each block of kWidth points costs D column loads and one
+/// store.
+template <MetricKind K, std::size_t D>
+void tile_scores_fixed(const double* const* cols, const double* query, std::size_t t0,
+                       std::size_t m, double* dist) {
+  constexpr std::size_t W = V::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= m; i += W) {
+    V acc = V::zero();
+    for (std::size_t j = 0; j < D; ++j) {
+      acc = accumulate_lane<K>(acc, V::load(cols[j] + t0 + i) - V::broadcast(query[j]));
+    }
+    acc.store(dist + i);
+  }
+  if (i < m) {
+    const std::size_t rem = m - i;
+    V acc = V::zero();
+    for (std::size_t j = 0; j < D; ++j) {
+      acc = accumulate_lane<K>(acc,
+                               V::load_partial(cols[j] + t0 + i, rem) - V::broadcast(query[j]));
+    }
+    acc.store(dist + i);  // full-width; kTilePad guarantees room past m
+  }
+}
+
+/// Dynamic-dimension fallback: identical structure with a runtime j-loop.
+/// Unlike the scalar TU's dimension-outer fallback the accumulator still
+/// lives in a register, but per point the partial results are the same
+/// ascending-j sequence, so the bytes match all other paths.
+template <MetricKind K>
+void tile_scores_dynamic(const double* const* cols, const double* query, std::size_t d,
+                         std::size_t t0, std::size_t m, double* dist) {
+  constexpr std::size_t W = V::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= m; i += W) {
+    V acc = V::zero();
+    for (std::size_t j = 0; j < d; ++j) {
+      acc = accumulate_lane<K>(acc, V::load(cols[j] + t0 + i) - V::broadcast(query[j]));
+    }
+    acc.store(dist + i);
+  }
+  if (i < m) {
+    const std::size_t rem = m - i;
+    V acc = V::zero();
+    for (std::size_t j = 0; j < d; ++j) {
+      acc = accumulate_lane<K>(acc,
+                               V::load_partial(cols[j] + t0 + i, rem) - V::broadcast(query[j]));
+    }
+    acc.store(dist + i);
+  }
+}
+
+template <MetricKind K>
+void tile_scores_k(const double* const* cols, const double* query, std::size_t d,
+                   std::size_t t0, std::size_t m, double* dist) {
+  switch (d) {
+#define DKNN_FIXED_DIM_CASE(D) \
+  case D: return tile_scores_fixed<K, D>(cols, query, t0, m, dist);
+    DKNN_FIXED_DIM_CASE(1)
+    DKNN_FIXED_DIM_CASE(2)
+    DKNN_FIXED_DIM_CASE(3)
+    DKNN_FIXED_DIM_CASE(4)
+    DKNN_FIXED_DIM_CASE(5)
+    DKNN_FIXED_DIM_CASE(6)
+    DKNN_FIXED_DIM_CASE(7)
+    DKNN_FIXED_DIM_CASE(8)
+    DKNN_FIXED_DIM_CASE(9)
+    DKNN_FIXED_DIM_CASE(10)
+    DKNN_FIXED_DIM_CASE(11)
+    DKNN_FIXED_DIM_CASE(12)
+    DKNN_FIXED_DIM_CASE(13)
+    DKNN_FIXED_DIM_CASE(14)
+    DKNN_FIXED_DIM_CASE(15)
+    DKNN_FIXED_DIM_CASE(16)
+#undef DKNN_FIXED_DIM_CASE
+    case 0:
+      for (std::size_t i = 0; i < m; ++i) dist[i] = 0.0;
+      return;
+    default: return tile_scores_dynamic<K>(cols, query, d, t0, m, dist);
+  }
+}
+static_assert(kMaxFixedDim == 16, "keep the dispatch table in sync");
+
+// --- bounded max-heap, hand-rolled (no std:: comdat in ISA TUs) -------------
+
+/// Exactly std::pair's operator< for (double, id) with NaN-free firsts —
+/// the Key order the whole repo selects on.
+inline bool dist_less(const DistId& a, const DistId& b) {
+  return a.first < b.first || (a.first == b.first && a.second < b.second);
+}
+
+inline void heap_swap(DistId& a, DistId& b) {
+  const DistId t = a;
+  a = b;
+  b = t;
+}
+
+/// Max-heap push in Key order; the result is a valid heap for
+/// std::sort_heap in the (baseline-compiled) kernel layer's epilogue.
+inline void heap_push(HeapState& h, DistId entry) {
+  std::size_t i = h.size++;
+  h.data[i] = entry;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!dist_less(h.data[parent], h.data[i])) break;
+    heap_swap(h.data[parent], h.data[i]);
+    i = parent;
+  }
+}
+
+inline void heap_replace_top(HeapState& h, DistId entry) {
+  h.data[0] = entry;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t big = i;
+    if (l < h.size && dist_less(h.data[big], h.data[l])) big = l;
+    if (r < h.size && dist_less(h.data[big], h.data[r])) big = r;
+    if (big == i) break;
+    heap_swap(h.data[i], h.data[big]);
+    i = big;
+  }
+}
+
+/// One candidate through the exact scalar-path acceptance sequence,
+/// including the re-check against the *current* threshold (the block-level
+/// prefilter below uses the threshold from the block's start, which only
+/// loosens — so survivors form a superset that this re-check trims back to
+/// scalar-identical decisions).
+template <MetricKind K>
+inline void accept_candidate(HeapState& heap, double& threshold, double s, std::uint64_t id) {
+  if (heap.size == heap.cap && s > threshold) return;
+  if constexpr (K == MetricKind::Euclidean) {
+    const DistId cand{__builtin_sqrt(s), id};
+    if (heap.size < heap.cap) {
+      heap_push(heap, cand);
+      if (heap.size == heap.cap) threshold = reject_threshold_sq(heap.data[0].first);
+    } else if (dist_less(cand, heap.data[0])) {
+      heap_replace_top(heap, cand);
+      threshold = reject_threshold_sq(heap.data[0].first);
+    }
+  } else {
+    const DistId cand{s, id};
+    if (heap.size < heap.cap) {
+      heap_push(heap, cand);
+      if (heap.size == heap.cap) threshold = heap.data[0].first;
+    } else if (dist_less(cand, heap.data[0])) {
+      heap_replace_top(heap, cand);
+      threshold = heap.data[0].first;
+    }
+  }
+}
+
+/// Vectorized heap prefilter: compares a whole block of 2·kWidth candidate
+/// distances (8 for AVX2, 16 for AVX-512) against the running heap bound
+/// with two vector compares and one branch, touching the heap only for
+/// lanes that survive.  Once the heap is warm almost every block rejects
+/// entirely — the branch-per-point of the scalar scan becomes a
+/// branch-per-16-points.
+template <MetricKind K>
+void heap_update_k(HeapState& heap, double& threshold, const double* raw,
+                   const std::uint64_t* ids, std::size_t m) {
+  constexpr std::size_t W = V::kWidth;
+  constexpr std::size_t B = 2 * W;
+  std::size_t i = 0;
+  // Fill + align: while the heap is short every point is accepted (the
+  // prefilter has nothing to reject), and blocks must start B-aligned so
+  // their full-width loads stay inside the kTilePad'd tile.
+  while (i < m && (heap.size < heap.cap || i % B != 0)) {
+    accept_candidate<K>(heap, threshold, raw[i], ids[i]);
+    ++i;
+  }
+  for (; i < m; i += B) {
+    const std::size_t rem = m - i;
+    const V bound = V::broadcast(threshold);
+    unsigned mask = V::le_mask(V::load(raw + i), bound) |
+                    (V::le_mask(V::load(raw + i + W), bound) << W);
+    if (rem < B) mask &= (1u << rem) - 1u;  // lanes past m are scratch
+    while (mask != 0) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctz(mask));
+      mask &= mask - 1u;
+      accept_candidate<K>(heap, threshold, raw[i + bit], ids[i + bit]);
+    }
+  }
+}
+
+// --- MetricKind entry points (what the KernelOps table points at) -----------
+
+void tile_scores_entry(MetricKind kind, const double* const* cols, const double* query,
+                       std::size_t d, std::size_t t0, std::size_t m, double* dist) {
+  switch (kind) {
+    case MetricKind::Euclidean:
+      return tile_scores_k<MetricKind::Euclidean>(cols, query, d, t0, m, dist);
+    case MetricKind::SquaredEuclidean:
+      return tile_scores_k<MetricKind::SquaredEuclidean>(cols, query, d, t0, m, dist);
+    case MetricKind::Manhattan:
+      return tile_scores_k<MetricKind::Manhattan>(cols, query, d, t0, m, dist);
+    case MetricKind::Chebyshev:
+      return tile_scores_k<MetricKind::Chebyshev>(cols, query, d, t0, m, dist);
+  }
+}
+
+void heap_update_entry(MetricKind kind, HeapState& heap, double& threshold, const double* raw,
+                       const std::uint64_t* ids, std::size_t m) {
+  switch (kind) {
+    case MetricKind::Euclidean:
+      return heap_update_k<MetricKind::Euclidean>(heap, threshold, raw, ids, m);
+    case MetricKind::SquaredEuclidean:
+      return heap_update_k<MetricKind::SquaredEuclidean>(heap, threshold, raw, ids, m);
+    case MetricKind::Manhattan:
+      return heap_update_k<MetricKind::Manhattan>(heap, threshold, raw, ids, m);
+    case MetricKind::Chebyshev:
+      return heap_update_k<MetricKind::Chebyshev>(heap, threshold, raw, ids, m);
+  }
+}

@@ -30,6 +30,7 @@
 #include "data/key.hpp"           // IWYU pragma: export
 #include "data/metric.hpp"        // IWYU pragma: export
 #include "data/partition.hpp"     // IWYU pragma: export
+#include "data/simd/dispatch.hpp" // IWYU pragma: export
 #include "seq/brute.hpp"          // IWYU pragma: export
 #include "seq/kdtree.hpp"         // IWYU pragma: export
 #include "seq/select.hpp"         // IWYU pragma: export

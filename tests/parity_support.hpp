@@ -1,0 +1,48 @@
+#pragma once
+/// \file parity_support.hpp
+/// \brief The shared ground-truth oracle for every scoring parity suite.
+///
+/// test_parity.cpp (cross-path), test_simd_parity.cpp (cross-ISA) and
+/// test_kernels.cpp (kernel + golden fixtures) all anchor on the same
+/// reference: a per-query AoS scan through the metric.hpp functors plus a
+/// bounded top-ℓ.  One definition here keeps the oracle from drifting
+/// between suites if Key encoding or metric semantics ever change.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "data/kernels.hpp"
+#include "seq/select.hpp"
+
+namespace dknn::testing_support {
+
+/// Ground truth no kernel TU touches: score everything via the functors,
+/// cap to ℓ.
+inline std::vector<Key> reference_top_ell(const VectorShard& shard, const PointD& query,
+                                          MetricKind kind, std::size_t ell) {
+  std::vector<Key> scored;
+  scored.reserve(shard.points.size());
+  for (std::size_t i = 0; i < shard.points.size(); ++i) {
+    scored.push_back(
+        Key{encode_distance(metric_distance(kind, shard.points[i], query)), shard.ids[i]});
+  }
+  return top_ell_smallest(std::span<const Key>(scored), ell);
+}
+
+/// Byte-level Key comparison; fatal on the first divergence (rank bits
+/// count, not just ids — a single rank bit can flip a selection far
+/// downstream).
+inline void expect_same_keys(const std::vector<Key>& expected, const std::vector<Key>& actual,
+                             const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].rank, actual[i].rank) << label << " rank at " << i;
+    ASSERT_EQ(expected[i].id, actual[i].id) << label << " id at " << i;
+  }
+}
+
+}  // namespace dknn::testing_support

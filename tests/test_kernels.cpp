@@ -17,41 +17,25 @@
 #include "data/generators.hpp"
 #include "data/ids.hpp"
 #include "data/kernels.hpp"
+#include "data/simd/dispatch.hpp"
+#include "parity_support.hpp"
 #include "rng/rng.hpp"
 #include "seq/select.hpp"
 
 namespace dknn {
 namespace {
 
+using testing_support::expect_same_keys;
+using testing_support::reference_top_ell;
+
 constexpr MetricKind kAllKinds[] = {MetricKind::Euclidean, MetricKind::SquaredEuclidean,
                                     MetricKind::Manhattan, MetricKind::Chebyshev};
-
-/// The existing per-query AoS reference: score everything, cap to ℓ.
-std::vector<Key> reference_top_ell(const VectorShard& shard, const PointD& query,
-                                   MetricKind kind, std::size_t ell) {
-  std::vector<Key> scored;
-  scored.reserve(shard.points.size());
-  for (std::size_t i = 0; i < shard.points.size(); ++i) {
-    scored.push_back(
-        Key{encode_distance(metric_distance(kind, shard.points[i], query)), shard.ids[i]});
-  }
-  return top_ell_smallest(std::span<const Key>(scored), ell);
-}
 
 VectorShard make_shard(std::size_t n, std::size_t dim, Rng& rng) {
   VectorShard shard;
   shard.points = uniform_points(n, dim, 50.0, rng);
   shard.ids = assign_random_ids(n, rng);
   return shard;
-}
-
-void expect_same_keys(const std::vector<Key>& expected, const std::vector<Key>& actual,
-                      const char* label) {
-  ASSERT_EQ(expected.size(), actual.size()) << label;
-  for (std::size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ(expected[i].rank, actual[i].rank) << label << " rank at " << i;
-    EXPECT_EQ(expected[i].id, actual[i].id) << label << " id at " << i;
-  }
 }
 
 // --- FlatStore --------------------------------------------------------------
@@ -217,6 +201,113 @@ TEST(ScoreStore, MatchesScoreVectorShard) {
     score_store(store, query, MetricKind::Euclidean, soa);
     const auto aos = score_vector_shard(shard, query, EuclideanMetric{});
     expect_same_keys(aos, soa, "score_store");
+  }
+}
+
+// --- golden known-answer fixtures -------------------------------------------
+//
+// Every other kernel test (and the whole of test_parity / test_simd_parity)
+// checks paths *against each other* — a bug shared by the reference and
+// every ISA would sail through.  These fixtures pin the exact expected Key
+// bytes, hand-computed from IEEE-754 bit layouts, so the absolute answer is
+// locked too.  Coordinates are chosen so every metric's distance is exactly
+// representable (3-4-5 family): for the query at the origin,
+//
+//   point        id   L2        L2²        L1        L∞
+//   (-3, -4)     10   5.0       25.0       7.0       4.0
+//   ( 3,  4)     20   5.0       25.0       7.0       4.0   (tie: id order)
+//   ( 0,  0)     30   0.0        0.0       0.0       0.0
+//   ( 6,  8)     40  10.0      100.0      14.0       8.0
+//   ( 0,  2)     50   2.0        4.0       2.0       2.0
+//
+// Rank constants below are the raw IEEE-754 doubles: 2.0 = 0x4000…,
+// 4.0 = 0x4010…, 5.0 = 0x4014…, 7.0 = 0x401C…, 8.0 = 0x4020…,
+// 10.0 = 0x4024…, 14.0 = 0x402C…, 25.0 = 0x4039…, 100.0 = 0x4059….
+
+struct GoldenCase {
+  MetricKind kind;
+  Key expected[5];  ///< ascending (rank, id)
+};
+
+/// Restores auto-dispatch even when an ASSERT bails out of the per-ISA
+/// block, so a golden failure can't leak a forced ISA into later tests.
+using ForcedIsa = simd::ScopedForceIsa;
+
+constexpr GoldenCase kGoldenCases[] = {
+    {MetricKind::Euclidean,
+     {Key{0x0000000000000000ULL, 30}, Key{0x4000000000000000ULL, 50},
+      Key{0x4014000000000000ULL, 10}, Key{0x4014000000000000ULL, 20},
+      Key{0x4024000000000000ULL, 40}}},
+    {MetricKind::SquaredEuclidean,
+     {Key{0x0000000000000000ULL, 30}, Key{0x4010000000000000ULL, 50},
+      Key{0x4039000000000000ULL, 10}, Key{0x4039000000000000ULL, 20},
+      Key{0x4059000000000000ULL, 40}}},
+    {MetricKind::Manhattan,
+     {Key{0x0000000000000000ULL, 30}, Key{0x4000000000000000ULL, 50},
+      Key{0x401C000000000000ULL, 10}, Key{0x401C000000000000ULL, 20},
+      Key{0x402C000000000000ULL, 40}}},
+    {MetricKind::Chebyshev,
+     {Key{0x0000000000000000ULL, 30}, Key{0x4000000000000000ULL, 50},
+      Key{0x4010000000000000ULL, 10}, Key{0x4010000000000000ULL, 20},
+      Key{0x4020000000000000ULL, 40}}},
+};
+
+TEST(GoldenKernels, ExactKeyBytesEveryMetricEveryIsaEveryPath) {
+  // Shard order is scrambled relative to the expected ascending output so
+  // selection, not insertion order, produces the ranking.
+  VectorShard shard;
+  shard.points = {PointD({3.0, 4.0}), PointD({6.0, 8.0}), PointD({0.0, 0.0}),
+                  PointD({-3.0, -4.0}), PointD({0.0, 2.0})};
+  shard.ids = {20, 40, 30, 10, 50};
+  const FlatStore store(shard.points, shard.ids);
+  const PointD query({0.0, 0.0});
+
+  for (const GoldenCase& gc : kGoldenCases) {
+    SCOPED_TRACE(metric_kind_name(gc.kind));
+    // The AoS functor reference must hit the golden bytes too — it is the
+    // anchor every parity suite compares against.
+    {
+      const auto ref = reference_top_ell(shard, query, gc.kind, 5);
+      ASSERT_EQ(ref.size(), 5u);
+      for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(ref[i].rank, gc.expected[i].rank) << "reference rank at " << i;
+        EXPECT_EQ(ref[i].id, gc.expected[i].id) << "reference id at " << i;
+      }
+    }
+    for (std::size_t level = 0; level < simd::kIsaCount; ++level) {
+      const auto isa = static_cast<simd::Isa>(level);
+      if (!simd::isa_supported(isa)) continue;
+      SCOPED_TRACE(simd::isa_name(isa));
+      const ForcedIsa pin(isa);
+      const auto fused = fused_top_ell(store, query, 5, gc.kind);
+      KernelScratch scratch;
+      RangeTopEll scorer(store, query, 5, gc.kind, scratch);
+      scorer.score_range(0, 2);
+      scorer.score_range(2, 5);
+      std::vector<Key> ranged;
+      scorer.finish(ranged);
+      std::vector<Key> scored;
+      score_store(store, query, gc.kind, scored);
+      const auto materialized = top_ell_smallest(std::span<const Key>(scored), 5);
+      ASSERT_EQ(fused.size(), 5u);
+      ASSERT_EQ(ranged.size(), 5u);
+      ASSERT_EQ(materialized.size(), 5u);
+      for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(fused[i].rank, gc.expected[i].rank) << "fused rank at " << i;
+        EXPECT_EQ(fused[i].id, gc.expected[i].id) << "fused id at " << i;
+        EXPECT_EQ(ranged[i].rank, gc.expected[i].rank) << "range rank at " << i;
+        EXPECT_EQ(ranged[i].id, gc.expected[i].id) << "range id at " << i;
+        EXPECT_EQ(materialized[i].rank, gc.expected[i].rank) << "materialized rank at " << i;
+        EXPECT_EQ(materialized[i].id, gc.expected[i].id) << "materialized id at " << i;
+      }
+    }
+    // Truncation keeps the ascending prefix: ℓ = 3 drops the two largest.
+    const auto top3 = fused_top_ell(store, query, 3, gc.kind);
+    ASSERT_EQ(top3.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(top3[i].rank, gc.expected[i].rank);
+      EXPECT_EQ(top3[i].id, gc.expected[i].id);
+    }
   }
 }
 

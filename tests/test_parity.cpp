@@ -22,6 +22,7 @@
 #include "core/driver.hpp"
 #include "data/generators.hpp"
 #include "data/kernels.hpp"
+#include "parity_support.hpp"
 #include "rng/rng.hpp"
 #include "seq/kdtree.hpp"
 #include "seq/select.hpp"
@@ -29,31 +30,18 @@
 namespace dknn {
 namespace {
 
+using testing_support::reference_top_ell;
+
 constexpr MetricKind kAllKinds[] = {MetricKind::Euclidean, MetricKind::SquaredEuclidean,
                                     MetricKind::Manhattan, MetricKind::Chebyshev};
 
-/// Ground truth: per-query AoS scan through the metric functors + bounded
-/// top-ℓ — the path the seed repo shipped with.
-std::vector<Key> reference_top_ell(const VectorShard& shard, const PointD& query,
-                                   MetricKind kind, std::size_t ell) {
-  std::vector<Key> scored;
-  scored.reserve(shard.points.size());
-  for (std::size_t i = 0; i < shard.points.size(); ++i) {
-    scored.push_back(
-        Key{encode_distance(metric_distance(kind, shard.points[i], query)), shard.ids[i]});
-  }
-  return top_ell_smallest(std::span<const Key>(scored), ell);
-}
-
+/// Thin wrapper over the shared oracle's comparison: folds the (query,
+/// shard) slot into the diagnostic label.
 void expect_same_keys(const std::vector<Key>& expected, const std::vector<Key>& actual,
                       const char* path, std::size_t q, std::size_t m) {
-  ASSERT_EQ(expected.size(), actual.size()) << path << " query " << q << " shard " << m;
-  for (std::size_t i = 0; i < expected.size(); ++i) {
-    ASSERT_EQ(expected[i].rank, actual[i].rank)
-        << path << " query " << q << " shard " << m << " rank at " << i;
-    ASSERT_EQ(expected[i].id, actual[i].id)
-        << path << " query " << q << " shard " << m << " id at " << i;
-  }
+  std::ostringstream label;
+  label << path << " query " << q << " shard " << m;
+  testing_support::expect_same_keys(expected, actual, label.str());
 }
 
 /// One fuzz trial's dataset + queries, fully determined by its seed.

@@ -1,0 +1,304 @@
+// Cross-ISA parity harness for the explicit-SIMD scoring kernels
+// (src/data/simd/): every ISA level the build + CPU supports — scalar,
+// AVX2, AVX-512, each pinned via simd::force_isa — must produce
+// *byte-identical* Key output to the AoS metric-functor reference, for all
+// four metrics, across
+//
+//   * d ∈ {1..24, 31, 32, 33, 63, 64, 65} (fixed-dim kernel table, the
+//     dynamic fallback, and power-of-two ± 1 column strides),
+//   * n hitting every tail residue mod 16 (the widest prefilter block),
+//     including n smaller than one vector,
+//   * exact distance ties and duplicated points (id-only tie-breaks),
+//   * ℓ = 1, ℓ ≥ n, and mid-range ℓ,
+//   * NaN-free denormal coordinates (masked lanes and underflowing
+//     accumulators must not flush, trap, or reorder),
+//
+// over the fused batch kernel, the RangeTopEll leaf scorer under random
+// range decompositions (the kd-hybrid entry point), the materializing
+// score_store, and the policy-aware parallel driver path.  Failures log
+// the trial seed via SCOPED_TRACE for a one-line repro.
+//
+// ISAs the running CPU lacks are skipped (and logged) — the scalar row is
+// always present, so the suite never passes vacuously.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "data/kernels.hpp"
+#include "data/simd/dispatch.hpp"
+#include "parity_support.hpp"
+#include "rng/rng.hpp"
+#include "seq/kdtree.hpp"
+#include "seq/select.hpp"
+
+namespace dknn {
+namespace {
+
+using testing_support::expect_same_keys;
+using testing_support::reference_top_ell;
+
+constexpr MetricKind kAllKinds[] = {MetricKind::Euclidean, MetricKind::SquaredEuclidean,
+                                    MetricKind::Manhattan, MetricKind::Chebyshev};
+
+/// The dimension schedule the issue pins: the whole fixed-dim table, the
+/// dynamic fallback, and ±1 around vector-width multiples.
+constexpr std::size_t kDims[] = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15, 16,
+                                 17, 18, 19, 20, 21, 22, 23, 24, 31, 32, 33, 63, 64, 65};
+
+std::vector<simd::Isa> supported_isas() {
+  std::vector<simd::Isa> out;
+  for (std::size_t i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_supported(isa)) out.push_back(isa);
+  }
+  return out;  // scalar is always supported
+}
+
+using ForcedIsa = simd::ScopedForceIsa;
+
+enum class CoordMode {
+  Continuous,  ///< full-range doubles
+  Grid,        ///< small integers — exact cross-point distance ties
+  Denormal,    ///< |x| ≲ 5e-308 — diffs/squares underflow into subnormals
+};
+
+double random_coord(CoordMode mode, Rng& rng) {
+  switch (mode) {
+    case CoordMode::Continuous: return rng.uniform01() * 100.0 - 50.0;
+    case CoordMode::Grid: return static_cast<double>(rng.below(4));
+    case CoordMode::Denormal: return (rng.uniform01() * 2.0 - 1.0) * 5e-308;
+  }
+  return 0.0;
+}
+
+PointD random_point(std::size_t dim, CoordMode mode, Rng& rng) {
+  std::vector<double> coords(dim);
+  for (std::size_t j = 0; j < dim; ++j) coords[j] = random_coord(mode, rng);
+  return PointD(std::move(coords));
+}
+
+struct Trial {
+  VectorShard shard;
+  PointD query;
+  std::size_t dim = 1;
+  std::size_t ell = 1;
+  MetricKind kind = MetricKind::Euclidean;
+  CoordMode mode = CoordMode::Continuous;
+};
+
+/// Deterministic shape from (seed, index): `index` walks the dimension
+/// table and 48 consecutive sizes (every tail residue mod 16, three times
+/// over), the seed drives everything else.
+Trial make_trial(std::uint64_t seed, std::uint64_t index) {
+  Rng rng(seed);
+  Trial t;
+  t.dim = kDims[index % std::size(kDims)];
+  t.kind = kAllKinds[rng.below(4)];
+  switch (rng.below(5)) {
+    case 0: t.mode = CoordMode::Grid; break;
+    case 1: t.mode = CoordMode::Denormal; break;
+    default: t.mode = CoordMode::Continuous; break;
+  }
+  // Small-n trials cross n < one vector / n < one prefilter block; the
+  // rest sweep 160..207 so n mod 16 covers every residue.
+  const std::size_t n =
+      (index % 7 == 0) ? 1 + index % 33 : 160 + static_cast<std::size_t>(index % 48);
+  std::uint64_t next_id = 1;
+  t.shard.points.reserve(n);
+  t.shard.ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!t.shard.points.empty() && rng.bernoulli(0.2)) {
+      // Duplicate under a fresh id: identical distance, id-only tie-break.
+      t.shard.points.push_back(t.shard.points[rng.below(t.shard.points.size())]);
+    } else {
+      t.shard.points.push_back(random_point(t.dim, t.mode, rng));
+    }
+    t.shard.ids.push_back(next_id);
+    next_id += 1 + rng.below(5);
+  }
+  switch (rng.below(4)) {
+    case 0: t.ell = 1; break;
+    case 1: t.ell = 1 + rng.below(64); break;
+    case 2: t.ell = n; break;
+    default: t.ell = n + 1 + rng.below(8); break;  // ℓ > n
+  }
+  t.query = random_point(t.dim, t.mode, rng);
+  return t;
+}
+
+/// Scores the trial on one pinned ISA via every kernel entry point and
+/// asserts byte parity with the reference.  `range_rng` drives the
+/// RangeTopEll decomposition (same stream across ISAs → same ranges).
+void check_isa(const Trial& t, const std::vector<Key>& expected, simd::Isa isa,
+               std::uint64_t range_seed) {
+  SCOPED_TRACE(simd::isa_name(isa));
+  ForcedIsa pin(isa);
+  const FlatStore store(t.shard.points, t.shard.ids);
+
+  {  // fused batch kernel
+    const auto got = fused_top_ell(store, t.query, t.ell, t.kind);
+    expect_same_keys(expected, got, "fused");
+  }
+
+  {  // RangeTopEll over a random decomposition of [0, n) — the kd-hybrid
+     // leaf entry point; skipping nothing, so the result must be exact.
+    Rng rng(range_seed);
+    KernelScratch scratch;
+    RangeTopEll scorer(store, t.query, t.ell, t.kind, scratch);
+    std::size_t lo = 0;
+    while (lo < store.size()) {
+      const std::size_t hi = lo + 1 + rng.below(store.size() - lo);
+      scorer.score_range(lo, hi);
+      lo = hi;
+    }
+    std::vector<Key> got;
+    scorer.finish(got);
+    expect_same_keys(expected, got, "range");
+  }
+
+  {  // materializing kernel + separate selection
+    std::vector<Key> scored;
+    score_store(store, t.query, t.kind, scored);
+    const auto got = top_ell_smallest(std::span<const Key>(scored), t.ell);
+    expect_same_keys(expected, got, "score_store");
+  }
+}
+
+void run_trial(std::uint64_t seed, std::uint64_t index, const std::vector<simd::Isa>& isas) {
+  const Trial t = make_trial(seed, index);
+  std::ostringstream trace;
+  trace << "repro: run_trial(0x" << std::hex << seed << std::dec << ", " << index
+        << ") — dim=" << t.dim << " n=" << t.shard.points.size() << " (mod16="
+        << t.shard.points.size() % 16 << ") metric=" << metric_kind_name(t.kind)
+        << " ell=" << t.ell << " mode=" << static_cast<int>(t.mode);
+  SCOPED_TRACE(trace.str());
+  const auto expected = reference_top_ell(t.shard, t.query, t.kind, t.ell);
+  for (const simd::Isa isa : isas) check_isa(t, expected, isa, seed ^ 0x5EEDULL);
+}
+
+TEST(SimdParity, DispatchReportsCoherently) {
+  const auto isas = supported_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::Scalar);
+  // Un-forced dispatch honours DKNN_FORCE_ISA when the environment sets it
+  // (the CI force-scalar leg does), else the widest supported level — so
+  // assert force/unpin restores whatever this process started with.
+  const simd::Isa unforced = simd::active_isa();
+  EXPECT_TRUE(simd::isa_supported(unforced));
+  for (const simd::Isa isa : isas) {
+    EXPECT_EQ(simd::parse_isa(simd::isa_name(isa)), isa);
+    ForcedIsa pin(isa);
+    EXPECT_EQ(simd::active_isa(), isa);
+    EXPECT_STREQ(simd::kernel_ops().name, simd::isa_name(isa));
+  }
+  EXPECT_EQ(simd::active_isa(), unforced);
+  EXPECT_FALSE(simd::parse_isa("sse9").has_value());
+  if (isas.size() < simd::kIsaCount) {
+    std::printf("[  NOTE    ] CPU supports %zu/%zu ISA levels — unsupported ones skipped\n",
+                isas.size(), simd::kIsaCount);
+  }
+}
+
+TEST(SimdParity, RandomizedTrials) {
+  // ≥1000 seeded trials (the acceptance floor); each walks the dimension
+  // table and the n-residue sweep deterministically, so any failure's
+  // SCOPED_TRACE seed+index replays exactly.
+  constexpr std::uint64_t kBaseSeed = 0x51DDBA17ULL;
+  const auto isas = supported_isas();
+  for (std::uint64_t i = 0; i < 1050; ++i) run_trial(kBaseSeed + i, i, isas);
+}
+
+TEST(SimdParity, EveryTailResidueTinyN) {
+  // n = 1..48 at the canonical d=8: every residue mod 16 three times,
+  // including n below one AVX2 vector, one AVX-512 vector, and one
+  // prefilter block — the pure-tail regime where masked loads do all the
+  // work.
+  const auto isas = supported_isas();
+  Rng rng(0xA11ULL);
+  for (std::size_t n = 1; n <= 48; ++n) {
+    Trial t;
+    t.dim = 8;
+    t.kind = kAllKinds[n % 4];
+    t.ell = 1 + n / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      t.shard.points.push_back(random_point(8, CoordMode::Continuous, rng));
+      t.shard.ids.push_back(100 + 3 * i);
+    }
+    t.query = random_point(8, CoordMode::Continuous, rng);
+    std::ostringstream trace;
+    trace << "n=" << n << " metric=" << metric_kind_name(t.kind);
+    SCOPED_TRACE(trace.str());
+    const auto expected = reference_top_ell(t.shard, t.query, t.kind, t.ell);
+    for (const simd::Isa isa : isas) check_isa(t, expected, isa, 0xFEEDULL + n);
+  }
+}
+
+TEST(SimdParity, DenormalSaturatedAllMetrics) {
+  // Every coordinate subnormal-adjacent: squared diffs underflow to 0 or
+  // subnormals, producing mass ties — selection must still match the
+  // functor reference bit for bit on every ISA (no FTZ/DAZ divergence).
+  const auto isas = supported_isas();
+  Rng rng(0xDE400ULL);
+  for (const MetricKind kind : kAllKinds) {
+    Trial t;
+    t.dim = 11;
+    t.kind = kind;
+    t.ell = 25;
+    t.mode = CoordMode::Denormal;
+    for (std::size_t i = 0; i < 200; ++i) {
+      t.shard.points.push_back(random_point(t.dim, t.mode, rng));
+      t.shard.ids.push_back(1 + 7 * i);
+    }
+    t.query = random_point(t.dim, t.mode, rng);
+    SCOPED_TRACE(metric_kind_name(kind));
+    const auto expected = reference_top_ell(t.shard, t.query, t.kind, t.ell);
+    for (const simd::Isa isa : isas) check_isa(t, expected, isa, 0xDE401ULL);
+  }
+}
+
+TEST(SimdParity, HybridAndParallelDriverPerIsa) {
+  // The full serving path — kd-tree hybrid pruning and the work-stealing
+  // parallel brute path — under each pinned ISA, against the functor
+  // reference.  Covers the dispatch hand-off inside pool workers and the
+  // RangeTopEll threshold()-driven subtree skipping.
+  const auto isas = supported_isas();
+  Rng rng(0xD121BULL);
+  auto points = uniform_points(1800, 6, 50.0, rng);
+  const auto shards = make_vector_shards(std::move(points), 3, PartitionScheme::RoundRobin, rng);
+  const auto queries = uniform_points(4, 6, 50.0, rng);
+  const std::uint64_t ell = 31;
+  for (const MetricKind kind : kAllKinds) {
+    std::vector<std::vector<std::vector<Key>>> expected(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const auto& shard : shards) {
+        expected[q].push_back(reference_top_ell(shard, queries[q], kind, ell));
+      }
+    }
+    for (const simd::Isa isa : isas) {
+      std::ostringstream trace;
+      trace << simd::isa_name(isa) << " metric=" << metric_kind_name(kind);
+      SCOPED_TRACE(trace.str());
+      ForcedIsa pin(isa);
+      for (const ScoringPolicy policy : {ScoringPolicy::Brute, ScoringPolicy::Tree}) {
+        const auto indexes = make_shard_indexes(shards, policy, 32);
+        const auto got = score_vector_shards_batch(indexes, queries, ell, kind,
+                                                   BatchScoringConfig{.threads = 3});
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          for (std::size_t m = 0; m < shards.size(); ++m) {
+            expect_same_keys(expected[q][m], got[q][m],
+                             policy == ScoringPolicy::Tree ? "tree" : "brute");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dknn
