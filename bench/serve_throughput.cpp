@@ -1,0 +1,315 @@
+// bench_serve — live-serving throughput and latency percentiles.
+//
+// The serving analogue of bench_micro_kernels' BENCH_kernels.json: a
+// SegmentStore under churn (inserts + deletes interleaved with traffic,
+// background compaction on the pool) answering queries through the
+// dynamic-batching QueryFrontEnd.  With --json=PATH it times the canonical
+// workload (100k resident points, d=8, ℓ=64, skewed 64-point query pool)
+// and writes BENCH_serve.json: queries/sec, p50/p95/p99 latency, cache hit
+// rate, and compaction debt.
+//
+// Row conventions match BENCH_kernels.json: the `concurrent` stanza
+// (multi-threaded closed-loop submitters, where micro-batching actually
+// coalesces) is recorded as JSON null on fewer than 4 hardware threads —
+// measuring scheduler thrash on a 1-core box would pollute the perf
+// trajectory; the single-threaded `serial` stanza is always measured.
+//
+//   ./bench_serve [--json=BENCH_serve.json] [--n=100000] [--dim=8] [--ell=64]
+//                 [--queries=2000] [--churn-every=4] [--seed=3]
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "data/simd/dispatch.hpp"
+#include "serve/compactor.hpp"
+#include "serve/front_end.hpp"
+#include "serve/segment_store.hpp"
+#include "sim/thread_pool.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace dknn;
+
+struct LatencyStats {
+  double queries_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted_ms, double p) {
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+LatencyStats latency_stats(std::vector<double> latencies_ms, double total_sec) {
+  LatencyStats stats;
+  if (latencies_ms.empty()) return stats;  // --queries too small for this stanza
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  stats.queries_per_sec = static_cast<double>(latencies_ms.size()) / total_sec;
+  stats.p50_ms = percentile(latencies_ms, 0.50);
+  stats.p95_ms = percentile(latencies_ms, 0.95);
+  stats.p99_ms = percentile(latencies_ms, 0.99);
+  return stats;
+}
+
+struct Workload {
+  std::size_t n = 100000;
+  std::size_t dim = 8;
+  std::size_t ell = 64;
+  std::size_t queries = 2000;
+  std::size_t churn_every = 4;  ///< one insert+delete pair per this many queries
+  std::uint64_t seed = 3;
+};
+
+/// One serving setup: loaded store + compactor + front end + query pool.
+struct Rig {
+  SegmentStore store;
+  ThreadPool pool;
+  Compactor compactor;
+  QueryFrontEnd front_end;
+  std::vector<PointD> query_pool;
+  std::vector<PointId> live;
+  PointId next_id = 0;
+  Rng rng;
+
+  // `coalesce_delay` is the front end's max_delay: the concurrent stanza
+  // keeps a real window so micro-batching can coalesce submitters; the
+  // serial stanza MUST pass zero — a one-thread closed loop never gets
+  // company, so any positive delay just adds a fixed sleep to every row.
+  Rig(const Workload& w, std::chrono::microseconds coalesce_delay)
+      // seal_threshold 256 so churn actually seals segments mid-run and
+      // min_segment_points 1024 then gives the compactor real merges to do
+      // — the stanza reports maintenance under load, not a frozen store.
+      : store(w.dim, ServeConfig{.seal_threshold = 256, .policy = ScoringPolicy::Auto}),
+        pool(2),
+        compactor(store, pool,
+                  CompactionConfig{.max_dead_fraction = 0.2, .min_segment_points = 1024}),
+        front_end(store, FrontEndConfig{.ell = w.ell, .kind = MetricKind::SquaredEuclidean,
+                                        .max_delay = coalesce_delay}),
+        rng(w.seed) {
+    const auto points = uniform_points(w.n, w.dim, 100.0, rng);
+    live.reserve(w.n);
+    for (std::size_t i = 0; i < w.n; ++i) live.push_back(i + 1);
+    store.insert_batch(points, live);
+    store.seal();
+    next_id = w.n + 1;
+    query_pool = uniform_points(64, w.dim, 100.0, rng);
+  }
+
+  /// One unit of churn: a point arrives, another expires.
+  void churn() {
+    store.insert(uniform_points(1, store.dim(), 100.0, rng)[0], next_id);
+    live.push_back(next_id++);
+    const std::size_t victim = rng.below(live.size());
+    (void)store.erase(live[victim]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+};
+
+/// Single-threaded closed loop: every query timed individually, churn
+/// interleaved, compaction polled.
+LatencyStats run_serial(Rig& rig, const Workload& w, std::uint64_t* debt_before) {
+  Rng traffic(w.seed + 1);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(w.queries);
+  *debt_before = rig.compactor.debt();
+  const WallTimer total;
+  for (std::size_t q = 0; q < w.queries; ++q) {
+    if (w.churn_every != 0 && q % w.churn_every == 0) {
+      rig.churn();
+      rig.compactor.maybe_schedule();
+    }
+    const PointD& query = rig.query_pool[traffic.below(rig.query_pool.size())];
+    const WallTimer timer;
+    const auto result = rig.front_end.query(query);
+    latencies_ms.push_back(ns_to_ms(timer.elapsed_ns()));
+    if (result.keys.empty()) std::fprintf(stderr, "empty answer?!\n");
+  }
+  const double total_sec = total.elapsed_sec();
+  rig.compactor.drain();
+  return latency_stats(std::move(latencies_ms), total_sec);
+}
+
+/// Multi-threaded closed loop: kSubmitters threads hammer query() so the
+/// leader-follower micro-batching actually coalesces.  Only meaningful
+/// with enough hardware threads (see the null-row convention above).
+std::optional<LatencyStats> run_concurrent(Rig& rig, const Workload& w,
+                                           std::size_t hardware_threads) {
+  if (hardware_threads < 4) return std::nullopt;
+  constexpr std::size_t kSubmitters = 4;
+  const std::size_t per_thread = w.queries / kSubmitters;
+  std::vector<std::vector<double>> latencies(kSubmitters);
+  std::vector<std::thread> threads;
+  const WallTimer total;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&rig, &latencies, w, t, per_thread] {
+      Rng traffic(w.seed + 100 + t);
+      latencies[t].reserve(per_thread);
+      for (std::size_t q = 0; q < per_thread; ++q) {
+        const PointD& query = rig.query_pool[traffic.below(rig.query_pool.size())];
+        const WallTimer timer;
+        const auto result = rig.front_end.query(query);
+        latencies[t].push_back(ns_to_ms(timer.elapsed_ns()));
+        if (result.keys.empty()) std::fprintf(stderr, "empty answer?!\n");
+      }
+    });
+  }
+  // Churn rides the main thread while submitters run.
+  for (std::size_t c = 0; c < w.queries / std::max<std::size_t>(1, w.churn_every); ++c) {
+    rig.churn();
+    rig.compactor.maybe_schedule();
+  }
+  for (auto& thread : threads) thread.join();
+  const double total_sec = total.elapsed_sec();
+  rig.compactor.drain();
+  std::vector<double> merged;
+  for (auto& part : latencies) merged.insert(merged.end(), part.begin(), part.end());
+  return latency_stats(std::move(merged), total_sec);
+}
+
+void write_latency(std::FILE* f, const char* name, const std::optional<LatencyStats>& stats,
+                   const char* extra, bool trailing_comma) {
+  if (stats.has_value()) {
+    std::fprintf(f,
+                 "  \"%s\": {\"queries_per_sec\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p95_ms\": %.4f, \"p99_ms\": %.4f%s}%s\n",
+                 name, stats->queries_per_sec, stats->p50_ms, stats->p95_ms, stats->p99_ms,
+                 extra, trailing_comma ? "," : "");
+  } else {
+    std::fprintf(f, "  \"%s\": null%s\n", name, trailing_comma ? "," : "");
+  }
+}
+
+int emit_json(const std::string& path, const Workload& w) {
+  const std::size_t hardware_threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  // Serial stanza (always measured) — fresh rig.
+  std::uint64_t debt_before = 0;
+  Rig serial_rig(w, std::chrono::microseconds{0});
+  const LatencyStats serial = run_serial(serial_rig, w, &debt_before);
+  const auto serial_fe = serial_rig.front_end.stats();
+  const auto serial_comp = serial_rig.compactor.stats();
+  const double hit_rate =
+      serial_fe.queries == 0
+          ? 0.0
+          : static_cast<double>(serial_fe.cache_hits) / static_cast<double>(serial_fe.queries);
+  const std::uint64_t debt_after = serial_rig.compactor.debt();
+
+  // Concurrent stanza — fresh rig so the serial run's cache/compaction
+  // state doesn't leak in; null below 4 hardware threads.
+  std::optional<LatencyStats> concurrent;
+  std::uint64_t concurrent_batches = 0;
+  double concurrent_hit_rate = 0.0;
+  {
+    Rig concurrent_rig(w, std::chrono::microseconds{200});
+    concurrent = run_concurrent(concurrent_rig, w, hardware_threads);
+    if (concurrent.has_value()) {
+      const auto fe = concurrent_rig.front_end.stats();
+      concurrent_batches = fe.batches;
+      concurrent_hit_rate = fe.queries == 0 ? 0.0
+                                            : static_cast<double>(fe.cache_hits) /
+                                                  static_cast<double>(fe.queries);
+    } else {
+      std::printf("concurrent stanza skipped: %zu hardware thread(s) < 4 — coalescing "
+                  "would measure scheduler thrash, not batching\n",
+                  hardware_threads);
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"points\": %zu, \"dim\": %zu, \"ell\": %zu, "
+               "\"queries\": %zu, \"churn_every\": %zu, \"query_pool\": 64, "
+               "\"metric\": \"squared-euclidean\", \"threads\": %zu, \"simd_isa\": \"%s\"},\n",
+               w.n, w.dim, w.ell, w.queries, w.churn_every, hardware_threads,
+               simd::isa_name(simd::active_isa()));
+  {
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"cache_hit_rate\": %.3f, \"micro_batches\": %" PRIu64, hit_rate,
+                  serial_fe.batches);
+    write_latency(f, "serial", serial, extra, true);
+  }
+  {
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"cache_hit_rate\": %.3f, \"micro_batches\": %" PRIu64 ", \"submitters\": 4",
+                  concurrent_hit_rate, concurrent_batches);
+    write_latency(f, "concurrent", concurrent, extra, true);
+  }
+  std::fprintf(f,
+               "  \"compaction\": {\"scheduled\": %" PRIu64 ", \"installed\": %" PRIu64
+               ", \"aborted\": %" PRIu64 ", \"debt_before\": %" PRIu64
+               ", \"debt_after\": %" PRIu64 "}\n}\n",
+               serial_comp.scheduled, serial_comp.installed, serial_comp.aborted, debt_before,
+               debt_after);
+  std::fclose(f);
+
+  std::printf("wrote %s (serial %.0f q/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
+              "cache hit %.1f%%; ",
+              path.c_str(), serial.queries_per_sec, serial.p50_ms, serial.p95_ms, serial.p99_ms,
+              100.0 * hit_rate);
+  if (concurrent.has_value()) {
+    std::printf("concurrent %.0f q/s p99 %.3f ms; ", concurrent->queries_per_sec,
+                concurrent->p99_ms);
+  } else {
+    std::printf("concurrent skipped @%zu threads; ", hardware_threads);
+  }
+  std::printf("compaction %" PRIu64 "/%" PRIu64 " installed, debt %" PRIu64 " -> %" PRIu64
+              ")\n",
+              serial_comp.installed, serial_comp.scheduled, debt_before, debt_after);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("json", "write BENCH_serve.json to this path (empty = print only)", "");
+  cli.add_flag("n", "resident points", "100000");
+  cli.add_flag("dim", "point dimensionality", "8");
+  cli.add_flag("ell", "neighbors per query", "64");
+  cli.add_flag("queries", "measured queries per stanza", "2000");
+  cli.add_flag("churn-every", "one insert+delete per this many queries (0 = frozen)", "4");
+  cli.add_flag("seed", "experiment seed", "3");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Workload w;
+  w.n = cli.get_uint("n");
+  w.dim = cli.get_uint("dim");
+  w.ell = cli.get_uint("ell");
+  w.queries = cli.get_uint("queries");
+  w.churn_every = cli.get_uint("churn-every");
+  w.seed = cli.get_uint("seed");
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) return emit_json(json_path, w);
+
+  // No JSON target: run the serial stanza and print it.
+  std::uint64_t debt_before = 0;
+  Rig rig(w, std::chrono::microseconds{0});
+  const LatencyStats serial = run_serial(rig, w, &debt_before);
+  const auto fe = rig.front_end.stats();
+  std::printf("serial: %.0f queries/sec, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+              serial.queries_per_sec, serial.p50_ms, serial.p95_ms, serial.p99_ms);
+  std::printf("cache: %" PRIu64 " hits / %" PRIu64 " queries; debt %" PRIu64 " -> %" PRIu64
+              "\n",
+              fe.cache_hits, fe.queries, debt_before, rig.compactor.debt());
+  return 0;
+}

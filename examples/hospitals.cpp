@@ -95,13 +95,19 @@ int main(int argc, char** argv) {
     coordinator = outcomes[0].leader;
   }
 
-  // Diagnose: distributed ℓ-NN classification with the elected coordinator.
-  // Default scoring (SquaredEuclidean): same neighbors as Euclidean, no
-  // sqrt per historical patient.
-  auto keyed = dknn::make_labeled_key_shards(sites, diagnoses, new_patient.x);
+  // Diagnose: distributed ℓ-NN classification with the elected coordinator,
+  // through the batched FlatStore path — each hospital's records convert to
+  // a resident SoA store (plus a kd-tree where the Auto policy says it pays
+  // off) scored by the fused kernels, so a stream of new patients would
+  // amortize all setup.  Default scoring (SquaredEuclidean): same neighbors
+  // as Euclidean, no sqrt per historical patient.
   dknn::KnnConfig knn;
   knn.leader = coordinator;
-  const auto result = dknn::classify_distributed(keyed, ell, engine, knn);
+  const std::vector<dknn::PointD> new_patients = {new_patient.x};
+  const auto result =
+      dknn::classify_batch(sites, diagnoses, new_patients, ell, engine, knn,
+                           dknn::VoteRule::Majority, dknn::MetricKind::SquaredEuclidean,
+                           dknn::ScoringPolicy::Auto)[0];
 
   std::printf("consulted %llu most similar historical patients across %u hospitals\n",
               static_cast<unsigned long long>(ell), k);

@@ -225,22 +225,6 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
   return out;
 }
 
-const char* scoring_policy_name(ScoringPolicy policy) {
-  switch (policy) {
-    case ScoringPolicy::Brute: return "brute";
-    case ScoringPolicy::Tree: return "tree";
-    case ScoringPolicy::Auto: return "auto";
-  }
-  return "unknown";
-}
-
-bool tree_pays_off(std::size_t n, std::size_t dim) {
-  // Boxes stop pruning once n ≲ 2^d (every leaf straddles the query's
-  // bound), and small shards never amortize the O(n·d·log n) build.
-  if (dim == 0 || dim > 16) return false;
-  return n >= 2048 && n >= (std::size_t{1} << dim);
-}
-
 std::vector<ShardIndex> make_shard_indexes(const std::vector<VectorShard>& shards,
                                            ScoringPolicy policy, std::size_t leaf_size) {
   std::vector<ShardIndex> indexes(shards.size());
@@ -277,14 +261,20 @@ void score_tile(const ShardIndex& index, std::span<const PointD> queries, std::u
   }
 }
 
-}  // namespace
-
-std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
-    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
-    MetricKind kind, const BatchScoringConfig& config) {
+/// Shared tiling engine of the batched scoring overloads: runs
+/// `score(m, query_subspan, keys, scratch)` over every (machine,
+/// query-block) tile — serial shard-outer below the parallel threshold,
+/// otherwise tiled over the work-stealing pool.  Each task owns disjoint
+/// pre-sized out[q][m] slots, so the assembled result is independent of
+/// the steal schedule.
+template <typename ScoreTile>
+std::vector<std::vector<std::vector<Key>>> score_tiled_grid(std::size_t machines,
+                                                            std::span<const PointD> queries,
+                                                            const BatchScoringConfig& config,
+                                                            const ScoreTile& score) {
   std::vector<std::vector<std::vector<Key>>> out(queries.size());
-  for (auto& per_shard : out) per_shard.resize(indexes.size());
-  if (queries.empty() || indexes.empty()) return out;
+  for (auto& per_shard : out) per_shard.resize(machines);
+  if (queries.empty() || machines == 0) return out;
 
   ThreadPool* pool = config.pool;
   const std::size_t threads =
@@ -296,8 +286,8 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     // Serial: shard-outer, whole query block per shard (maximal cache reuse).
     KernelScratch scratch;
     std::vector<std::vector<Key>> keys;
-    for (std::size_t m = 0; m < indexes.size(); ++m) {
-      score_tile(indexes[m], queries, ell, kind, keys, scratch);
+    for (std::size_t m = 0; m < machines; ++m) {
+      score(m, queries, keys, scratch);
       for (std::size_t q = 0; q < queries.size(); ++q) out[q][m] = std::move(keys[q]);
     }
     return out;
@@ -309,27 +299,53 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     pool = owned.get();
   }
 
-  // Tile the shard × query-block grid.  Each task owns disjoint pre-sized
-  // out[q][m] slots, so the assembled result is independent of the steal
-  // schedule; ~4 tasks per worker leaves the pool room to rebalance shards
-  // of uneven size.
+  // ~4 tasks per worker leaves the pool room to rebalance shards of
+  // uneven size.
   const std::size_t block =
       config.query_block != 0
           ? config.query_block
           : std::max<std::size_t>(1, (queries.size() + threads * 4 - 1) / (threads * 4));
-  for (std::size_t m = 0; m < indexes.size(); ++m) {
+  for (std::size_t m = 0; m < machines; ++m) {
     for (std::size_t q0 = 0; q0 < queries.size(); q0 += block) {
       const std::size_t len = std::min(block, queries.size() - q0);
-      pool->submit([&out, &index = indexes[m], queries, ell, kind, m, q0, len] {
+      pool->submit([&out, &score, queries, m, q0, len] {
         KernelScratch scratch;
         std::vector<std::vector<Key>> keys;
-        score_tile(index, queries.subspan(q0, len), ell, kind, keys, scratch);
+        score(m, queries.subspan(q0, len), keys, scratch);
         for (std::size_t i = 0; i < len; ++i) out[q0 + i][m] = std::move(keys[i]);
       });
     }
   }
   pool->wait_idle();
   return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
+    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, const BatchScoringConfig& config) {
+  return score_tiled_grid(
+      indexes.size(), queries, config,
+      [&indexes, ell, kind](std::size_t m, std::span<const PointD> block,
+                            std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
+        score_tile(indexes[m], block, ell, kind, keys, scratch);
+      });
+}
+
+std::vector<std::vector<std::vector<Key>>> score_serve_snapshots_batch(
+    std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, const BatchScoringConfig& config) {
+  for (const SnapshotPtr& snapshot : snapshots) {
+    DKNN_REQUIRE(snapshot != nullptr, "score_serve_snapshots_batch: null snapshot");
+  }
+  return score_tiled_grid(
+      snapshots.size(), queries, config,
+      [&snapshots, ell, kind](std::size_t m, std::span<const PointD> block,
+                              std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
+        snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind,
+                               keys, scratch);
+      });
 }
 
 BatchRunResult run_knn_batch(const std::vector<std::vector<std::vector<Key>>>& scored_batch,

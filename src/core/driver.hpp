@@ -47,6 +47,8 @@
 #include "data/partition.hpp"
 #include "data/point.hpp"
 #include "seq/kdtree.hpp"
+#include "seq/scoring_policy.hpp"  // IWYU pragma: export — ScoringPolicy lived here
+#include "serve/segment_store.hpp"
 #include "sim/engine.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -143,22 +145,6 @@ template <MetricFor M>
     const std::vector<FlatStore>& stores, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind = MetricKind::SquaredEuclidean);
 
-/// How each shard's local scoring runs (the kd-tree role the paper's §1.4
-/// assigns to trees: accelerate local computation, not rounds).
-enum class ScoringPolicy : std::uint8_t {
-  Brute,  ///< fused SoA scan of the whole shard
-  Tree,   ///< KdRangeIndex prune, fused kernel on surviving leaves
-  Auto,   ///< per-shard n·d heuristic (see tree_pays_off)
-};
-
-[[nodiscard]] const char* scoring_policy_name(ScoringPolicy policy);
-
-/// Auto's per-shard heuristic: kd-tree pruning beats the dense scan only
-/// when the shard is big enough to amortize the build and the
-/// dimensionality low enough that boxes still prune (curse of
-/// dimensionality: a tree needs n ≫ 2^d to discard anything).
-[[nodiscard]] bool tree_pays_off(std::size_t n, std::size_t dim);
-
 /// One shard's resident scoring structures: always an SoA store, plus the
 /// kd-tree when the policy selected the hybrid path for this shard.
 struct ShardIndex {
@@ -203,6 +189,19 @@ struct BatchScoringConfig {
 [[nodiscard]] std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind = MetricKind::SquaredEuclidean, const BatchScoringConfig& config = {});
+
+/// Serve-aware batched local scoring: machine m's resident dataset is the
+/// live set behind `snapshots[m]` (a SegmentStore frozen view — see
+/// src/serve/segment_store.hpp).  Same [query][machine] → local top-ℓ
+/// shape, tiling and pool semantics as the ShardIndex overload, so the
+/// result feeds run_knn_batch / run_knn unchanged; per machine the keys
+/// are byte-identical to scoring a FlatStore rebuilt from that machine's
+/// live set (fuzzed in tests/test_serve.cpp).  All snapshots with live
+/// points must share the query dimension.
+[[nodiscard]] std::vector<std::vector<std::vector<Key>>> score_serve_snapshots_batch(
+    std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries,
+    std::uint64_t ell, MetricKind kind = MetricKind::SquaredEuclidean,
+    const BatchScoringConfig& config = {});
 
 /// Which distributed ℓ-NN / selection algorithm to run.
 enum class KnnAlgo : std::uint8_t {

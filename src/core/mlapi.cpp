@@ -177,6 +177,28 @@ RegressResult regress_distributed(const std::vector<TargetKeyShard>& shards, std
 
 namespace {
 
+/// Innermost batched scaffolding: pre-scored [query][machine] keys plus an
+/// id → payload table per machine, one engine run over all queries.
+std::vector<std::vector<MlSlot>> run_ml_batch_scored(
+    const std::vector<std::vector<std::vector<Key>>>& scored, std::size_t world,
+    std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config,
+    const std::vector<std::unordered_map<PointId, std::uint64_t>>& tables,
+    RunReport* report_out) {
+  auto lookup = [&tables](MachineId machine, PointId id) -> std::uint64_t {
+    const auto it = tables[machine].find(id);
+    DKNN_REQUIRE(it != tables[machine].end(), "winner id has no payload on its machine");
+    return it->second;
+  };
+
+  EngineConfig config = engine_config;
+  config.world_size = static_cast<std::uint32_t>(world);
+  Engine engine(config);
+  std::vector<std::vector<MlSlot>> slots(scored.size(), std::vector<MlSlot>(world));
+  *report_out = engine.run(
+      [&](Ctx& ctx) { return ml_batch_program(ctx, &scored, ell, knn_config, lookup, &slots); });
+  return slots;
+}
+
 /// Shared scaffolding of the batched entry points: SoA conversion, fused
 /// batch scoring, one engine run over all queries.  `Payload` maps
 /// (machine, i) to the 64-bit payload of that machine's i-th point.
@@ -202,19 +224,33 @@ std::vector<std::vector<MlSlot>> run_ml_batch(const std::vector<VectorShard>& sh
       tables[m].emplace(shards[m].ids[i], payload(m, i));
     }
   }
-  auto lookup = [&tables](MachineId machine, PointId id) -> std::uint64_t {
-    const auto it = tables[machine].find(id);
-    DKNN_REQUIRE(it != tables[machine].end(), "winner id has no payload on its machine");
-    return it->second;
-  };
+  return run_ml_batch_scored(scored, shards.size(), ell, engine_config, knn_config, tables,
+                             report_out);
+}
 
-  EngineConfig config = engine_config;
-  config.world_size = static_cast<std::uint32_t>(shards.size());
-  Engine engine(config);
-  std::vector<std::vector<MlSlot>> slots(queries.size(), std::vector<MlSlot>(shards.size()));
-  *report_out = engine.run(
-      [&](Ctx& ctx) { return ml_batch_program(ctx, &scored, ell, knn_config, lookup, &slots); });
-  return slots;
+/// Serve-side scaffolding: the same engine run over snapshot-scored keys,
+/// with caller-supplied id-keyed payload maps (a live store's membership
+/// churns, so positional arrays cannot label it).
+template <typename PayloadValue, typename Encode>
+std::vector<std::vector<MlSlot>> run_ml_serve_batch(
+    std::span<const SnapshotPtr> snapshots,
+    const std::vector<std::unordered_map<PointId, PayloadValue>>& payloads,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config, MetricKind kind, const BatchScoringConfig& scoring,
+    Encode encode, RunReport* report_out) {
+  DKNN_REQUIRE(!snapshots.empty(), "need at least one machine");
+  DKNN_REQUIRE(snapshots.size() == payloads.size(), "snapshots/payloads must align");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
+
+  const auto scored = score_serve_snapshots_batch(snapshots, queries, ell, kind, scoring);
+
+  std::vector<std::unordered_map<PointId, std::uint64_t>> tables(payloads.size());
+  for (std::size_t m = 0; m < payloads.size(); ++m) {
+    tables[m].reserve(payloads[m].size());
+    for (const auto& [id, value] : payloads[m]) tables[m].emplace(id, encode(value));
+  }
+  return run_ml_batch_scored(scored, snapshots.size(), ell, engine_config, knn_config, tables,
+                             report_out);
 }
 
 }  // namespace
@@ -261,6 +297,46 @@ std::vector<RegressResult> regress_batch(const std::vector<VectorShard>& shards,
       [&targets](std::size_t m, std::size_t i) -> std::uint64_t {
         return std::bit_cast<std::uint64_t>(targets[m][i]);
       },
+      &report);
+
+  std::vector<RegressResult> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_regress(results[q], slots[q][knn_config.leader].winners);
+  }
+  return results;
+}
+
+std::vector<ClassifyResult> classify_serve_batch(
+    std::span<const SnapshotPtr> snapshots,
+    const std::vector<std::unordered_map<PointId, std::uint32_t>>& labels,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config, VoteRule rule, MetricKind kind,
+    const BatchScoringConfig& scoring) {
+  RunReport report;
+  auto slots = run_ml_serve_batch(
+      snapshots, labels, queries, ell, engine_config, knn_config, kind, scoring,
+      [](std::uint32_t label) -> std::uint64_t { return label; }, &report);
+
+  std::vector<ClassifyResult> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
+  }
+  return results;
+}
+
+std::vector<RegressResult> regress_serve_batch(
+    std::span<const SnapshotPtr> snapshots,
+    const std::vector<std::unordered_map<PointId, double>>& targets,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config, MetricKind kind, const BatchScoringConfig& scoring) {
+  RunReport report;
+  auto slots = run_ml_serve_batch(
+      snapshots, targets, queries, ell, engine_config, knn_config, kind, scoring,
+      [](double target) -> std::uint64_t { return std::bit_cast<std::uint64_t>(target); },
       &report);
 
   std::vector<RegressResult> results(queries.size());

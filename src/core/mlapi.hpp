@@ -101,6 +101,28 @@ struct RegressResult {
     const KnnConfig& knn_config = {}, MetricKind kind = MetricKind::SquaredEuclidean,
     ScoringPolicy policy = ScoringPolicy::Brute, const BatchScoringConfig& scoring = {});
 
+/// Serve-aware batched classification: machine m's labeled training data
+/// is the *live* set behind `snapshots[m]` (a SegmentStore frozen view),
+/// with `labels[m]` mapping point id → label — the id-keyed shape because
+/// a live store's membership churns while positional label arrays cannot.
+/// Labels may cover dead ids; only winners need an entry.  Result q equals
+/// classify_distributed over shards holding exactly each machine's live
+/// points (tested in tests/test_serve.cpp).
+[[nodiscard]] std::vector<ClassifyResult> classify_serve_batch(
+    std::span<const SnapshotPtr> snapshots,
+    const std::vector<std::unordered_map<PointId, std::uint32_t>>& labels,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config = {}, VoteRule rule = VoteRule::Majority,
+    MetricKind kind = MetricKind::SquaredEuclidean, const BatchScoringConfig& scoring = {});
+
+/// Serve-aware batched regression; `targets[m]` maps point id → target.
+[[nodiscard]] std::vector<RegressResult> regress_serve_batch(
+    std::span<const SnapshotPtr> snapshots,
+    const std::vector<std::unordered_map<PointId, double>>& targets,
+    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
+    const KnnConfig& knn_config = {}, MetricKind kind = MetricKind::SquaredEuclidean,
+    const BatchScoringConfig& scoring = {});
+
 /// Convenience: score labeled vector shards against a query under a metric.
 template <MetricFor M>
 [[nodiscard]] std::vector<LabeledKeyShard> make_labeled_key_shards(

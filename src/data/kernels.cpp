@@ -97,10 +97,10 @@ void score_store_impl(const KernelOps& ops, MetricKind kind, const FlatStore& st
     const std::size_t m = std::min(kTile, n - t0);
     ops.tile_scores(kind, cols.get(), query.coords.data(), d, t0, m, dist);
     // Materialization forces every rank into the metric's domain — the
-    // fused path's lazy sqrt is exactly what this variant cannot do.
-    if (kind == MetricKind::Euclidean) {
-      for (std::size_t i = 0; i < m; ++i) dist[i] = std::sqrt(dist[i]);
-    }
+    // fused path's lazy sqrt is exactly what this variant cannot do.  The
+    // epilogue rides the same dispatch table as scoring (vsqrtpd on the
+    // vector ISAs; correctly-rounded everywhere, so bytes never change).
+    if (kind == MetricKind::Euclidean) ops.sqrt_tile(dist, m);
     for (std::size_t i = 0; i < m; ++i) {
       out[t0 + i] = Key{encode_distance(dist[i]), ids[t0 + i]};
     }

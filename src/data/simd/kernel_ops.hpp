@@ -4,9 +4,9 @@
 ///        and the per-ISA scoring implementations (kernels_scalar.cpp,
 ///        kernels_avx2.cpp, kernels_avx512.cpp).
 ///
-/// A `KernelOps` is a table of two function pointers — tile scoring and
-/// fused heap selection — filled in by exactly one translation unit per
-/// ISA.  Each TU is compiled with its own target flags (see CMakeLists.txt)
+/// A `KernelOps` is a table of three function pointers — tile scoring,
+/// fused heap selection, and the materializing sqrt epilogue — filled in
+/// by exactly one translation unit per ISA.  Each TU is compiled with its own target flags (see CMakeLists.txt)
 /// and nothing else in the binary may inline code from it, so a machine
 /// without AVX-512 never executes an AVX-512 instruction as long as
 /// dispatch (data/simd/dispatch.hpp) never hands out that table.
@@ -71,6 +71,15 @@ struct KernelOps {
   /// kTilePad contract; `ids[0..m)` are the tile's point ids.
   void (*heap_update)(MetricKind kind, HeapState& heap, double& threshold, const double* raw,
                       const std::uint64_t* ids, std::size_t m);
+
+  /// In-place sqrt over dist[0, m) — the materializing score_store's
+  /// Euclidean epilogue, where *every* rank must land in the metric's
+  /// domain (exactly what the fused path's lazy sqrt avoids).  IEEE-754
+  /// sqrt is correctly rounded at every ISA, so vector lanes are
+  /// byte-identical to the scalar loop.  `dist` obeys the kTilePad
+  /// contract: lanes in [m, round_up(m, kTilePad)) may be overwritten
+  /// with scratch (the masked tail load keeps them finite).
+  void (*sqrt_tile)(double* dist, std::size_t m);
 };
 
 /// Conservative squared-domain rejection threshold for the lazy-sqrt

@@ -31,6 +31,7 @@ struct V {
   friend V operator*(V a, V b) { return {_mm256_mul_pd(a.v, b.v)}; }
   static V max(V a, V b) { return {_mm256_max_pd(a.v, b.v)}; }
   static V abs(V a) { return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)}; }
+  static V sqrt(V a) { return {_mm256_sqrt_pd(a.v)}; }
   void store(double* p) const { _mm256_storeu_pd(p, v); }
   static unsigned le_mask(V a, V b) {
     // _CMP_LE_OQ: ordered ≤ — inputs are never NaN (kernel invariant).
@@ -51,7 +52,8 @@ struct V {
 }  // namespace
 
 const KernelOps& avx2_ops() {
-  static constexpr KernelOps ops{"avx2", &tile_scores_entry, &heap_update_entry};
+  static constexpr KernelOps ops{"avx2", &tile_scores_entry, &heap_update_entry,
+                                 &sqrt_tile_entry};
   return ops;
 }
 

@@ -33,6 +33,7 @@ struct V {
   friend V operator*(V a, V b) { return {_mm512_mul_pd(a.v, b.v)}; }
   static V max(V a, V b) { return {_mm512_max_pd(a.v, b.v)}; }
   static V abs(V a) { return {_mm512_abs_pd(a.v)}; }
+  static V sqrt(V a) { return {_mm512_sqrt_pd(a.v)}; }
   void store(double* p) const { _mm512_storeu_pd(p, v); }
   static unsigned le_mask(V a, V b) {
     // _CMP_LE_OQ: ordered ≤ — inputs are never NaN (kernel invariant).
@@ -45,7 +46,8 @@ struct V {
 }  // namespace
 
 const KernelOps& avx512_ops() {
-  static constexpr KernelOps ops{"avx512", &tile_scores_entry, &heap_update_entry};
+  static constexpr KernelOps ops{"avx512", &tile_scores_entry, &heap_update_entry,
+                                 &sqrt_tile_entry};
   return ops;
 }
 

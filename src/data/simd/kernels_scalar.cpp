@@ -180,10 +180,17 @@ void heap_update_entry(MetricKind kind, HeapState& heap, double& threshold, cons
   }
 }
 
+/// The reference the vector sqrt epilogues must match byte-for-byte —
+/// trivially so, because IEEE sqrt is correctly rounded everywhere.
+void sqrt_tile_entry(double* dist, std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dist[i] = std::sqrt(dist[i]);
+}
+
 }  // namespace
 
 const KernelOps& scalar_ops() {
-  static constexpr KernelOps ops{"scalar", &tile_scores_entry, &heap_update_entry};
+  static constexpr KernelOps ops{"scalar", &tile_scores_entry, &heap_update_entry,
+                                 &sqrt_tile_entry};
   return ops;
 }
 

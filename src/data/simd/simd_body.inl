@@ -13,7 +13,7 @@
 //   static V broadcast(double x);
 //   static V zero();
 //   V operator+(V, V); V operator-(V, V); V operator*(V, V);
-//   static V max(V, V);  static V abs(V);
+//   static V max(V, V);  static V abs(V);  static V sqrt(V);
 //   void store(double* p) const;                  // unaligned full store
 //   static unsigned le_mask(V a, V b);            // bit i set iff a[i] <= b[i]
 //
@@ -230,6 +230,22 @@ void heap_update_k(HeapState& heap, double& threshold, const double* raw,
       mask &= mask - 1u;
       accept_candidate<K>(heap, threshold, raw[i + bit], ids[i + bit]);
     }
+  }
+}
+
+/// In-place vector sqrt over dist[0, m) — score_store's materializing
+/// Euclidean epilogue.  Hardware vsqrtpd is correctly rounded (IEEE-754
+/// requires it), so every lane matches the scalar std::sqrt byte-for-byte.
+/// Tail handling per the kTilePad contract: masked load (missing lanes
+/// read as 0.0, whose sqrt is 0.0 — finite), full-width store into the pad.
+void sqrt_tile_entry(double* dist, std::size_t m) {
+  constexpr std::size_t W = V::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= m; i += W) {
+    V::sqrt(V::load(dist + i)).store(dist + i);
+  }
+  if (i < m) {
+    V::sqrt(V::load_partial(dist + i, m - i)).store(dist + i);
   }
 }
 

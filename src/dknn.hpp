@@ -33,6 +33,7 @@
 #include "data/simd/dispatch.hpp" // IWYU pragma: export
 #include "seq/brute.hpp"          // IWYU pragma: export
 #include "seq/kdtree.hpp"         // IWYU pragma: export
+#include "seq/scoring_policy.hpp" // IWYU pragma: export
 #include "seq/select.hpp"         // IWYU pragma: export
 
 // leader election
@@ -49,3 +50,8 @@
 #include "core/session.hpp"       // IWYU pragma: export
 #include "core/simple_knn.hpp"    // IWYU pragma: export
 #include "core/vector_index.hpp"  // IWYU pragma: export
+
+// live serving (epoch-snapshotted segment store + compaction + batching)
+#include "serve/compactor.hpp"      // IWYU pragma: export
+#include "serve/front_end.hpp"      // IWYU pragma: export
+#include "serve/segment_store.hpp"  // IWYU pragma: export

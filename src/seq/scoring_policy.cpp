@@ -1,0 +1,21 @@
+#include "seq/scoring_policy.hpp"
+
+namespace dknn {
+
+const char* scoring_policy_name(ScoringPolicy policy) {
+  switch (policy) {
+    case ScoringPolicy::Brute: return "brute";
+    case ScoringPolicy::Tree: return "tree";
+    case ScoringPolicy::Auto: return "auto";
+  }
+  return "unknown";
+}
+
+bool tree_pays_off(std::size_t n, std::size_t dim) {
+  // Boxes stop pruning once n ≲ 2^d (every leaf straddles the query's
+  // bound), and small shards never amortize the O(n·d·log n) build.
+  if (dim == 0 || dim > 16) return false;
+  return n >= 2048 && n >= (std::size_t{1} << dim);
+}
+
+}  // namespace dknn

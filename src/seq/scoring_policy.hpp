@@ -1,0 +1,33 @@
+#pragma once
+/// \file scoring_policy.hpp
+/// \brief How a resident shard's local scoring structures are chosen.
+///
+/// Historically declared in core/driver.hpp next to ShardIndex; split out
+/// so layers below the driver (notably the live-serving SegmentStore in
+/// src/serve/, which decides per sealed segment whether to build a
+/// KdRangeIndex) can name the policy without dragging in the whole engine
+/// stack.  core/driver.hpp re-exports this header, so existing call sites
+/// are unchanged.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dknn {
+
+/// How each shard's local scoring runs (the kd-tree role the paper's §1.4
+/// assigns to trees: accelerate local computation, not rounds).
+enum class ScoringPolicy : std::uint8_t {
+  Brute,  ///< fused SoA scan of the whole shard
+  Tree,   ///< KdRangeIndex prune, fused kernel on surviving leaves
+  Auto,   ///< per-shard n·d heuristic (see tree_pays_off)
+};
+
+[[nodiscard]] const char* scoring_policy_name(ScoringPolicy policy);
+
+/// Auto's per-shard heuristic: kd-tree pruning beats the dense scan only
+/// when the shard is big enough to amortize the build and the
+/// dimensionality low enough that boxes still prune (curse of
+/// dimensionality: a tree needs n ≫ 2^d to discard anything).
+[[nodiscard]] bool tree_pays_off(std::size_t n, std::size_t dim);
+
+}  // namespace dknn

@@ -1,0 +1,54 @@
+#include "serve/compactor.hpp"
+
+#include <utility>
+
+namespace dknn {
+
+Compactor::Compactor(SegmentStore& store, ThreadPool& pool, CompactionConfig config)
+    : store_(store), pool_(pool), config_(config) {}
+
+Compactor::~Compactor() {
+  // wait_idle rethrows job exceptions; a throwing destructor would
+  // terminate, so swallow here — callers who care drain() explicitly.
+  try {
+    drain();
+  } catch (...) {
+  }
+}
+
+bool Compactor::maybe_schedule() {
+  bool expected = false;
+  if (!in_flight_.compare_exchange_strong(expected, true)) return false;
+  SegmentStore::CompactionPlan plan = store_.plan_compaction(config_);
+  if (plan.empty()) {
+    in_flight_.store(false);
+    return false;
+  }
+  scheduled_.fetch_add(1);
+  pool_.submit([this, plan = std::move(plan)] {
+    // Reset in-flight even if the merge throws (e.g. bad_alloc on a large
+    // victim set) — the exception surfaces at the next drain(), but a
+    // stuck flag would silently disable compaction forever.
+    struct ResetInFlight {
+      std::atomic<bool>& flag;
+      ~ResetInFlight() { flag.store(false); }
+    } reset{in_flight_};
+    // Pure merge over frozen views — the only lock-touching steps are the
+    // plan (already taken) and the install below.
+    auto merged = SegmentStore::merge_segments(plan.victims, store_.config());
+    if (store_.install_compaction(plan, std::move(merged))) {
+      installed_.fetch_add(1);
+    } else {
+      aborted_.fetch_add(1);
+    }
+  });
+  return true;
+}
+
+void Compactor::drain() { pool_.wait_idle(); }
+
+Compactor::Stats Compactor::stats() const {
+  return Stats{scheduled_.load(), installed_.load(), aborted_.load()};
+}
+
+}  // namespace dknn

@@ -1,0 +1,80 @@
+#pragma once
+/// \file compactor.hpp
+/// \brief Background maintenance for a SegmentStore: merge small and
+///        tombstone-heavy segments into fresh sealed FlatStores on the
+///        work-stealing ThreadPool.
+///
+/// The store itself never blocks on maintenance: seal() leaves a trail of
+/// threshold-sized segments and erase() leaves tombstones, both of which
+/// tax queries (more per-segment kernel setup + merge work; tombstoned
+/// segments fall off the batch kernels onto the range path).  The
+/// compactor pays that debt off-thread:
+///
+///   plan (store lock, O(segments))
+///     → merge_segments on a pool worker (O(live·d) gather + seal; no
+///        locks — it reads only frozen SegmentViews)
+///     → install (store lock, pointer swaps)
+///
+/// Writers keep mutating throughout.  If a victim segment changes between
+/// plan and install (a delete tombstoned one of its rows), the install
+/// aborts and the round counts as `aborted` — deletes always win over
+/// compaction, so no deleted point is ever resurrected.  At most one
+/// compaction is in flight per Compactor; callers re-poll maybe_schedule()
+/// from their serving loop.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/segment_store.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dknn {
+
+class Compactor {
+ public:
+  /// Borrows `store` and `pool` for its lifetime.  `pool` may be shared
+  /// with other work (jobs are coarse: one whole merge each).
+  Compactor(SegmentStore& store, ThreadPool& pool, CompactionConfig config = {});
+
+  /// Drain the in-flight job before dying (its lambda captures `this`).
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Plans a compaction and submits the merge to the pool if the store
+  /// has debt and no round is already in flight.  Returns true iff a
+  /// round was scheduled.  Cheap enough to call every serving-loop tick.
+  bool maybe_schedule();
+
+  /// Blocks until the in-flight round (if any) has installed or aborted.
+  /// Uses ThreadPool::wait_idle — do not call from inside a pool job, and
+  /// expect it to also drain unrelated jobs on a shared pool.
+  void drain();
+
+  /// Current backlog under this compactor's config (rows a full
+  /// compaction would rewrite or drop).
+  [[nodiscard]] std::uint64_t debt() const { return store_.compaction_debt(config_); }
+
+  struct Stats {
+    std::uint64_t scheduled = 0;  ///< rounds submitted to the pool
+    std::uint64_t installed = 0;  ///< rounds whose merged segment published
+    std::uint64_t aborted = 0;    ///< rounds dropped because a victim changed
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const CompactionConfig& config() const { return config_; }
+
+ private:
+  SegmentStore& store_;
+  ThreadPool& pool_;
+  CompactionConfig config_;
+
+  std::atomic<bool> in_flight_{false};
+  std::atomic<std::uint64_t> scheduled_{0};
+  std::atomic<std::uint64_t> installed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+};
+
+}  // namespace dknn

@@ -1,0 +1,167 @@
+#include "serve/front_end.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// The query's coordinate bit patterns — the cache key.
+std::vector<std::uint64_t> coord_bits(const PointD& query) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(query.dim());
+  for (const double c : query.coords) bits.push_back(std::bit_cast<std::uint64_t>(c));
+  return bits;
+}
+
+}  // namespace
+
+std::size_t QueryFrontEnd::CoordsHash::operator()(
+    const std::vector<std::uint64_t>& bits) const {
+  // splitmix64-style avalanche fold — cheap and well-mixed for IEEE bits.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + bits.size();
+  for (std::uint64_t w : bits) {
+    w += h;
+    w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    w = (w ^ (w >> 27)) * 0x94d049bb133111ebULL;
+    h = w ^ (w >> 31);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+QueryFrontEnd::QueryFrontEnd(const SegmentStore& store, FrontEndConfig config)
+    : store_(store), config_(config) {
+  DKNN_REQUIRE(config_.ell >= 1, "QueryFrontEnd: ell must be positive");
+  DKNN_REQUIRE(config_.max_batch >= 1, "QueryFrontEnd: max_batch must be positive");
+}
+
+ServeQueryResult QueryFrontEnd::query(const PointD& query) {
+  Pending slot;
+  slot.query = &query;
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  queue_.push_back(&slot);
+  batch_cv_.notify_all();  // a collecting leader may be waiting for company
+  for (;;) {
+    if (slot.done) return std::move(slot.result);
+    if (!leader_active_) break;  // a leader seat is free and our slot is still queued
+    batch_cv_.wait(lock);
+  }
+
+  // Leader: collect companions up to max_batch or the coalescing deadline,
+  // then score the whole batch outside the lock.
+  leader_active_ = true;
+  if (config_.max_delay.count() > 0) {
+    const auto deadline = std::chrono::steady_clock::now() + config_.max_delay;
+    while (queue_.size() < config_.max_batch &&
+           batch_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+  }
+  std::vector<Pending*> batch = std::move(queue_);
+  queue_.clear();
+  lock.unlock();
+  execute(batch);
+  lock.lock();
+  // Publish results under the lock (followers read `done` + `result` under
+  // it), retire the leader seat, and wake everyone: batch members return,
+  // queries that arrived mid-execute elect the next leader.
+  for (Pending* pending : batch) pending->done = true;
+  leader_active_ = false;
+  batch_cv_.notify_all();
+  return std::move(slot.result);
+}
+
+std::vector<ServeQueryResult> QueryFrontEnd::query_batch(std::span<const PointD> queries) {
+  std::vector<Pending> slots(queries.size());
+  std::vector<Pending*> batch(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    slots[q].query = &queries[q];
+    batch[q] = &slots[q];
+  }
+  if (!batch.empty()) execute(batch);
+  std::vector<ServeQueryResult> results;
+  results.reserve(slots.size());
+  for (Pending& slot : slots) results.push_back(std::move(slot.result));
+  return results;
+}
+
+void QueryFrontEnd::execute(std::span<Pending*> batch) {
+  const SnapshotPtr snapshot = store_.snapshot();
+  const auto batch_size = static_cast<std::uint32_t>(batch.size());
+  std::uint64_t hits = 0;
+  std::uint64_t flushes = 0;
+
+  // Cache pass: fill hits, collect misses.
+  std::vector<Pending*> misses;
+  std::vector<std::vector<std::uint64_t>> miss_keys;
+  if (config_.cache_capacity == 0) {
+    misses.assign(batch.begin(), batch.end());
+  } else {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_epoch_ != snapshot->epoch) {
+      // Any snapshot advance invalidates every entry: the live set (or at
+      // least the epoch the answer is stamped with) changed.
+      if (!cache_.empty()) ++flushes;
+      cache_.clear();
+      cache_epoch_ = snapshot->epoch;
+    }
+    for (Pending* pending : batch) {
+      auto bits = coord_bits(*pending->query);
+      if (const auto it = cache_.find(bits); it != cache_.end()) {
+        pending->result.keys = it->second;
+        pending->result.epoch = snapshot->epoch;
+        pending->result.cache_hit = true;
+        pending->result.batch_size = batch_size;
+        ++hits;
+      } else {
+        misses.push_back(pending);
+        miss_keys.push_back(std::move(bits));
+      }
+    }
+  }
+
+  if (!misses.empty()) {
+    std::vector<PointD> queries;
+    queries.reserve(misses.size());
+    for (const Pending* pending : misses) queries.push_back(*pending->query);
+    KernelScratch scratch;
+    std::vector<std::vector<Key>> out;
+    snapshot_top_ell_batch(*snapshot, queries, config_.ell, config_.kind, out, scratch);
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      misses[i]->result.keys = std::move(out[i]);
+      misses[i]->result.epoch = snapshot->epoch;
+      misses[i]->result.cache_hit = false;
+      misses[i]->result.batch_size = batch_size;
+    }
+    if (config_.cache_capacity > 0) {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      // Only publish answers that are still current: a concurrent execute
+      // against a newer snapshot may have re-tagged the cache.
+      if (cache_epoch_ == snapshot->epoch) {
+        if (cache_.size() + misses.size() > config_.cache_capacity) {
+          ++flushes;  // generation reset; see FrontEndConfig::cache_capacity
+          cache_.clear();
+        }
+        for (std::size_t i = 0; i < misses.size(); ++i) {
+          if (cache_.size() >= config_.cache_capacity) break;
+          cache_.emplace(std::move(miss_keys[i]), misses[i]->result.keys);
+        }
+      }
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.queries += batch_size;
+  stats_.batches += 1;
+  stats_.cache_hits += hits;
+  stats_.cache_misses += misses.size();
+  stats_.cache_flushes += flushes;
+}
+
+FrontEndStats QueryFrontEnd::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace dknn

@@ -1,0 +1,131 @@
+#pragma once
+/// \file front_end.hpp
+/// \brief Dynamic-batching query front end over a SegmentStore.
+///
+/// The fused batch kernels amortize column streaming across a whole query
+/// block (PR 1's headline win), but live traffic arrives one query at a
+/// time on many threads.  `QueryFrontEnd` closes that gap with
+/// leader-follower micro-batching: concurrently submitted queries coalesce
+/// into one batch — the first arrival becomes the batch *leader*, waits up
+/// to `max_delay` for `max_batch` companions, snapshots the store once,
+/// and scores everyone through `snapshot_top_ell_batch`; followers just
+/// block until their slot is filled.  Under load, batches fill instantly
+/// and the per-query kernel cost approaches the batch path's; when idle, a
+/// lone query pays at most `max_delay` extra latency (set it to zero for
+/// latency-critical, batch-averse deployments).
+///
+/// An epoch-keyed result cache sits in front of the kernels: entries are
+/// keyed by (query bytes, ℓ, metric) and tagged with the snapshot epoch
+/// they were computed at; any snapshot advance (insert / delete / seal /
+/// compact — each publishes a new epoch) invalidates the whole cache, so a
+/// hit is always byte-identical to recomputing against the current
+/// snapshot.  Caching is sound *because* results are deterministic — the
+/// same frozen snapshot yields the same bytes every time.
+///
+/// Determinism note: batching changes neither bytes nor ordering semantics
+/// (each result is a pure function of snapshot + query), only which
+/// snapshot a query happens to see — exactly as if it had arrived a hair
+/// earlier or later.  Thread-safety: all public methods may be called
+/// concurrently; the referenced SegmentStore must outlive the front end.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/kernels.hpp"
+#include "data/key.hpp"
+#include "data/metric_kind.hpp"
+#include "data/point.hpp"
+#include "serve/segment_store.hpp"
+
+namespace dknn {
+
+struct FrontEndConfig {
+  /// ℓ of every answer (min(ℓ, live) keys ascending).
+  std::size_t ell = 8;
+  MetricKind kind = MetricKind::SquaredEuclidean;
+  /// Queries per micro-batch; a full batch flushes immediately.
+  std::size_t max_batch = 32;
+  /// How long a batch leader waits for companions.  0 = no coalescing
+  /// delay (batches only form from queries already queued).
+  std::chrono::microseconds max_delay{200};
+  /// Result-cache entries; 0 disables the cache.  The cache is flushed
+  /// wholesale on epoch advance and when full (generation reset — the
+  /// entries are cheap to recompute and an LRU chain is not worth the
+  /// locked-path cost).
+  std::size_t cache_capacity = 4096;
+};
+
+/// One query's answer plus its provenance.
+struct ServeQueryResult {
+  std::vector<Key> keys;        ///< min(ℓ, live) best keys, ascending
+  std::uint64_t epoch = 0;      ///< snapshot epoch the answer is exact for
+  bool cache_hit = false;
+  std::uint32_t batch_size = 0; ///< micro-batch this query rode in
+};
+
+struct FrontEndStats {
+  std::uint64_t queries = 0;       ///< total submitted
+  std::uint64_t batches = 0;       ///< micro-batches executed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;  ///< answers that ran the kernels
+  std::uint64_t cache_flushes = 0; ///< epoch-advance + capacity resets
+};
+
+class QueryFrontEnd {
+ public:
+  /// Borrows `store` for its lifetime.
+  QueryFrontEnd(const SegmentStore& store, FrontEndConfig config);
+
+  /// Blocking single-query entry: coalesces with concurrent callers into
+  /// a micro-batch, returns this query's slice of the batch answer.
+  [[nodiscard]] ServeQueryResult query(const PointD& query);
+
+  /// Explicit batch entry (a caller that already has a block skips the
+  /// coalescing wait): one snapshot, one kernel pass, same cache.
+  [[nodiscard]] std::vector<ServeQueryResult> query_batch(std::span<const PointD> queries);
+
+  [[nodiscard]] FrontEndStats stats() const;
+  [[nodiscard]] const FrontEndConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    const PointD* query = nullptr;
+    ServeQueryResult result;
+    bool done = false;
+  };
+
+  /// Scores `batch` against one fresh snapshot, consulting/filling the
+  /// cache.  Called without batch_mutex_ held.
+  void execute(std::span<Pending*> batch);
+
+  const SegmentStore& store_;
+  FrontEndConfig config_;
+
+  // --- micro-batching ---------------------------------------------------
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;  ///< arrivals, completions, leader hand-off
+  std::vector<Pending*> queue_;       ///< guarded by batch_mutex_
+  bool leader_active_ = false;        ///< guarded by batch_mutex_
+
+  // --- epoch-keyed result cache ----------------------------------------
+  // Key = the query's coordinate *bit patterns* (bit-identical queries
+  // share an entry; distinct-but-equal encodings like -0.0/0.0 simply
+  // don't, which is always sound).  ℓ and metric are fixed per front end.
+  struct CoordsHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& bits) const;
+  };
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::vector<std::uint64_t>, std::vector<Key>, CoordsHash> cache_;
+  std::uint64_t cache_epoch_ = 0;  ///< epoch cache_ entries are valid for
+
+  // --- stats ------------------------------------------------------------
+  mutable std::mutex stats_mutex_;
+  FrontEndStats stats_;
+};
+
+}  // namespace dknn

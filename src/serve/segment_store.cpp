@@ -1,0 +1,396 @@
+#include "serve/segment_store.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "seq/select.hpp"
+#include "support/panic.hpp"
+
+namespace dknn {
+namespace {
+
+/// Seals an AoS point set into an immutable segment under `policy`.
+std::shared_ptr<const SealedSegment> build_segment(std::span<const PointD> points,
+                                                   std::span<const PointId> ids,
+                                                   ScoringPolicy policy,
+                                                   std::size_t leaf_size) {
+  auto segment = std::make_shared<SealedSegment>();
+  const std::size_t n = points.size();
+  const std::size_t dim = n == 0 ? 0 : points[0].dim();
+  const bool tree = n > 0 && dim >= 1 &&
+                    (policy == ScoringPolicy::Tree ||
+                     (policy == ScoringPolicy::Auto && tree_pays_off(n, dim)));
+  if (tree) {
+    segment->tree = std::make_unique<KdRangeIndex>(points, ids, leaf_size);
+  } else {
+    segment->flat = FlatStore(points, ids);
+  }
+  const FlatStore& store = segment->store();
+  segment->row_of.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    segment->row_of.emplace(store.id(i), static_cast<std::uint32_t>(i));
+  }
+  return segment;
+}
+
+/// Maximal live-row runs of a tombstone bitmap.
+std::shared_ptr<const LiveRuns> compute_live_runs(const std::vector<std::uint8_t>& dead) {
+  auto runs = std::make_shared<LiveRuns>();
+  std::size_t i = 0;
+  while (i < dead.size()) {
+    if (dead[i] != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < dead.size() && dead[j] == 0) ++j;
+    runs->emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+    i = j;
+  }
+  return runs;
+}
+
+/// A fresh all-live view around a sealed payload.
+SegmentView make_clean_view(std::shared_ptr<const SealedSegment> data,
+                            std::uint64_t segment_id) {
+  SegmentView view;
+  const std::size_t n = data->store().size();
+  view.data = std::move(data);
+  view.dead = std::make_shared<const std::vector<std::uint8_t>>(n, std::uint8_t{0});
+  view.dead_count = 0;
+  auto runs = std::make_shared<LiveRuns>();
+  if (n > 0) runs->emplace_back(0, static_cast<std::uint32_t>(n));
+  view.live_runs = std::move(runs);
+  view.segment_id = segment_id;
+  return view;
+}
+
+}  // namespace
+
+bool ServeSnapshot::contains(PointId id) const {
+  for (const SegmentView& seg : segments) {
+    const auto it = seg.data->row_of.find(id);
+    if (it != seg.data->row_of.end() && (*seg.dead)[it->second] == 0) return true;
+  }
+  return false;
+}
+
+SegmentStore::SegmentStore(std::size_t dim, ServeConfig config)
+    : dim_(dim), config_(config) {
+  DKNN_REQUIRE(dim_ >= 1, "SegmentStore: needs dimension >= 1");
+  DKNN_REQUIRE(config_.seal_threshold >= 1, "SegmentStore: seal_threshold must be positive");
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  publish_locked();  // epoch 1: the empty store
+}
+
+bool SegmentStore::live_in_writer_state(PointId id) const {
+  if (delta_rows_.contains(id)) return true;
+  for (const SegmentView& seg : segments_) {
+    const auto it = seg.data->row_of.find(id);
+    if (it != seg.data->row_of.end() && (*seg.dead)[it->second] == 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t SegmentStore::insert(const PointD& point, PointId id) {
+  return insert_batch(std::span<const PointD>(&point, 1), std::span<const PointId>(&id, 1));
+}
+
+std::uint64_t SegmentStore::insert_batch(std::span<const PointD> points,
+                                         std::span<const PointId> ids) {
+  DKNN_REQUIRE(points.size() == ids.size(), "SegmentStore: points/ids must align");
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (points.empty()) return epoch_;
+  std::unordered_set<PointId> batch_ids;
+  batch_ids.reserve(ids.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    DKNN_REQUIRE(points[i].dim() == dim_, "SegmentStore: point dimension mismatch");
+    // Unique live ids (paper §2): duplicates would break the total Key
+    // order every selection algorithm relies on.  Validation runs before
+    // any append so a rejected batch leaves the store untouched.
+    DKNN_REQUIRE(!live_in_writer_state(ids[i]), "SegmentStore: id already live");
+    DKNN_REQUIRE(batch_ids.insert(ids[i]).second, "SegmentStore: duplicate id in batch");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    delta_rows_.emplace(ids[i], delta_points_.size());
+    delta_points_.push_back(points[i]);
+    delta_ids_.push_back(ids[i]);
+  }
+  delta_dirty_ = true;
+  if (delta_points_.size() >= config_.seal_threshold) seal_locked();
+  return publish_locked();
+}
+
+std::optional<std::uint64_t> SegmentStore::erase(PointId id) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Delta hit: physically remove (swap with the last delta row).
+  if (const auto it = delta_rows_.find(id); it != delta_rows_.end()) {
+    const std::size_t row = it->second;
+    const std::size_t last = delta_points_.size() - 1;
+    if (row != last) {
+      delta_points_[row] = std::move(delta_points_[last]);
+      delta_ids_[row] = delta_ids_[last];
+      delta_rows_[delta_ids_[row]] = row;
+    }
+    delta_points_.pop_back();
+    delta_ids_.pop_back();
+    delta_rows_.erase(it);
+    delta_dirty_ = true;
+    return publish_locked();
+  }
+  // Sealed hit: copy-on-write tombstone.  An id may appear dead in an old
+  // segment and live in a newer one (delete + re-insert), so keep looking
+  // past dead occurrences.
+  for (SegmentView& seg : segments_) {
+    const auto it = seg.data->row_of.find(id);
+    if (it == seg.data->row_of.end() || (*seg.dead)[it->second] != 0) continue;
+    auto dead = std::make_shared<std::vector<std::uint8_t>>(*seg.dead);
+    (*dead)[it->second] = 1;
+    seg.live_runs = compute_live_runs(*dead);
+    seg.dead = std::move(dead);
+    ++seg.dead_count;
+    return publish_locked();
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SegmentStore::seal() {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (delta_points_.empty()) return epoch_;
+  seal_locked();
+  return publish_locked();
+}
+
+void SegmentStore::seal_locked() {
+  if (delta_points_.empty()) return;
+  auto data = build_segment(delta_points_, delta_ids_, config_.policy, config_.leaf_size);
+  segments_.push_back(make_clean_view(std::move(data), next_segment_id_++));
+  delta_points_.clear();
+  delta_ids_.clear();
+  delta_rows_.clear();
+  delta_dirty_ = true;
+}
+
+std::uint64_t SegmentStore::publish_locked() {
+  if (delta_dirty_) {
+    // The mirror is a plain FlatStore: the delta is rebuilt per mutation,
+    // far too short-lived to amortize a tree build.
+    delta_mirror_ = delta_points_.empty()
+                        ? nullptr
+                        : build_segment(delta_points_, delta_ids_, ScoringPolicy::Brute,
+                                        config_.leaf_size);
+    delta_dirty_ = false;
+  }
+  auto next = std::make_shared<ServeSnapshot>();
+  next->epoch = ++epoch_;
+  next->dim = dim_;
+  next->segments = segments_;
+  if (delta_mirror_ != nullptr) {
+    // Present the delta as one more (tombstone-free) segment so queries
+    // treat every point source uniformly.  Id 0 is reserved for it —
+    // sealed segments start at 1 — so compaction can never mistake the
+    // mirror for a victim.
+    next->segments.push_back(make_clean_view(delta_mirror_, 0));
+  }
+  for (const SegmentView& seg : next->segments) next->live_points += seg.live();
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    published_ = std::move(next);
+  }
+  return epoch_;
+}
+
+std::size_t SegmentStore::segment_count() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return segments_.size();
+}
+
+std::uint64_t SegmentStore::dead_rows() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::uint64_t dead = 0;
+  for (const SegmentView& seg : segments_) dead += seg.dead_count;
+  return dead;
+}
+
+namespace {
+
+/// Shared victim predicate of plan_compaction / compaction_debt.
+bool is_victim(const SegmentView& seg, const CompactionConfig& cfg) {
+  if (seg.rows() == 0) return true;
+  const double dead_fraction =
+      static_cast<double>(seg.dead_count) / static_cast<double>(seg.rows());
+  return dead_fraction > cfg.max_dead_fraction || seg.rows() < cfg.min_segment_points;
+}
+
+/// Worst-first victim order: most tombstone-heavy, then smallest.
+bool victim_before(const SegmentView& a, const SegmentView& b) {
+  const double fa = a.rows() == 0 ? 1.0
+                                  : static_cast<double>(a.dead_count) /
+                                        static_cast<double>(a.rows());
+  const double fb = b.rows() == 0 ? 1.0
+                                  : static_cast<double>(b.dead_count) /
+                                        static_cast<double>(b.rows());
+  if (fa != fb) return fa > fb;
+  if (a.rows() != b.rows()) return a.rows() < b.rows();
+  return a.segment_id < b.segment_id;
+}
+
+}  // namespace
+
+SegmentStore::CompactionPlan SegmentStore::plan_compaction(const CompactionConfig& cfg) const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  CompactionPlan plan;
+  for (const SegmentView& seg : segments_) {
+    if (is_victim(seg, cfg)) plan.victims.push_back(seg);
+  }
+  std::sort(plan.victims.begin(), plan.victims.end(), victim_before);
+  if (plan.victims.size() > cfg.max_victims) plan.victims.resize(cfg.max_victims);
+  // A lone tombstone-free victim is just a small segment with nothing to
+  // merge into: rewriting it would produce an identical segment — and
+  // because each install publishes an epoch (flushing result caches), a
+  // no-progress round would repeat forever.  Checked AFTER the cap: a
+  // max_victims=1 config truncating a multi-victim plan down to one clean
+  // segment must also land here, not livelock.
+  if (plan.victims.size() == 1 && plan.victims[0].dead_count == 0) plan.victims.clear();
+  return plan;
+}
+
+std::uint64_t SegmentStore::compaction_debt(const CompactionConfig& cfg) const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::uint64_t live = 0;
+  std::uint64_t dead = 0;
+  std::size_t victims = 0;
+  bool tombstoned = false;
+  for (const SegmentView& seg : segments_) {
+    if (!is_victim(seg, cfg)) continue;
+    ++victims;
+    live += seg.live();
+    dead += seg.dead_count;
+    tombstoned = tombstoned || seg.dead_count > 0;
+  }
+  if (victims == 1 && !tombstoned) return 0;  // mirror plan_compaction's lone-victim rule
+  return live + dead;
+}
+
+std::shared_ptr<const SealedSegment> SegmentStore::merge_segments(
+    std::span<const SegmentView> victims, const ServeConfig& config) {
+  std::vector<PointD> points;
+  std::vector<PointId> ids;
+  std::size_t total = 0;
+  for (const SegmentView& seg : victims) total += seg.live();
+  points.reserve(total);
+  ids.reserve(total);
+  for (const SegmentView& seg : victims) {
+    const FlatStore& store = seg.data->store();
+    for (const auto& [lo, hi] : *seg.live_runs) {
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        points.push_back(store.point(i));
+        ids.push_back(store.id(i));
+      }
+    }
+  }
+  if (points.empty()) return nullptr;
+  return build_segment(points, ids, config.policy, config.leaf_size);
+}
+
+bool SegmentStore::install_compaction(const CompactionPlan& plan,
+                                      std::shared_ptr<const SealedSegment> merged) {
+  if (plan.empty()) return false;
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Every victim must still be published exactly as planned: same segment
+  // and same tombstone bitmap *instance* (erase always swaps in a fresh
+  // bitmap, so pointer identity is a complete change detector).  A single
+  // mismatch aborts — installing anyway would resurrect points deleted
+  // mid-build or double-install a segment.
+  std::vector<std::size_t> victim_at;
+  victim_at.reserve(plan.victims.size());
+  for (const SegmentView& victim : plan.victims) {
+    const auto it =
+        std::find_if(segments_.begin(), segments_.end(), [&](const SegmentView& seg) {
+          return seg.segment_id == victim.segment_id;
+        });
+    if (it == segments_.end() || it->dead != victim.dead) return false;
+    victim_at.push_back(static_cast<std::size_t>(it - segments_.begin()));
+  }
+  std::vector<SegmentView> survivors;
+  survivors.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (std::find(victim_at.begin(), victim_at.end(), i) == victim_at.end()) {
+      survivors.push_back(std::move(segments_[i]));
+    }
+  }
+  if (merged != nullptr) {
+    survivors.push_back(make_clean_view(std::move(merged), next_segment_id_++));
+  }
+  segments_ = std::move(survivors);
+  publish_locked();
+  return true;
+}
+
+// --- snapshot scoring --------------------------------------------------------
+
+void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const PointD> queries,
+                            std::size_t ell, MetricKind kind,
+                            std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+  out.resize(queries.size());
+  if (snapshot.live_points > 0) {
+    for (const PointD& query : queries) {
+      DKNN_REQUIRE(query.dim() == snapshot.dim,
+                   "snapshot_top_ell_batch: dimension mismatch");
+    }
+  }
+  if (ell == 0 || snapshot.live_points == 0) {
+    for (auto& keys : out) keys.clear();
+    return;
+  }
+
+  // Per-query candidate pool: each live segment contributes its own local
+  // top-ℓ, and min(ℓ, live) of the pooled candidates is exactly the global
+  // answer (a point in the global top-ℓ is in its segment's top-ℓ).
+  std::vector<std::vector<Key>> candidates(queries.size());
+  std::vector<std::vector<Key>> segment_keys;
+  for (const SegmentView& seg : snapshot.segments) {
+    if (seg.live() == 0) continue;
+    if (seg.dead_count == 0) {
+      // Clean segment: full-speed batch kernels (kd-hybrid when present).
+      if (seg.data->tree != nullptr) {
+        hybrid_top_ell_batch(*seg.data->tree, queries, ell, kind, segment_keys, scratch);
+      } else {
+        fused_top_ell_batch(seg.data->store(), queries, ell, kind, segment_keys, scratch);
+      }
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        candidates[q].insert(candidates[q].end(), segment_keys[q].begin(),
+                             segment_keys[q].end());
+      }
+    } else {
+      // Tombstoned segment: the same fused machinery over the live row
+      // runs — skipping dead rows is just a range decomposition, which
+      // RangeTopEll guarantees is byte-identical.  Compaction restores
+      // this segment to the batch path above.
+      segment_keys.resize(1);
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        RangeTopEll scorer(seg.data->store(), queries[q], ell, kind, scratch);
+        for (const auto& [lo, hi] : *seg.live_runs) scorer.score_range(lo, hi);
+        scorer.finish(segment_keys[0]);
+        candidates[q].insert(candidates[q].end(), segment_keys[0].begin(),
+                             segment_keys[0].end());
+      }
+    }
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out[q] = top_ell_smallest(std::span<const Key>(candidates[q]), ell);
+  }
+}
+
+std::vector<Key> snapshot_top_ell(const ServeSnapshot& snapshot, const PointD& query,
+                                  std::size_t ell, MetricKind kind) {
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  snapshot_top_ell_batch(snapshot, std::span<const PointD>(&query, 1), ell, kind, out,
+                         scratch);
+  return std::move(out[0]);
+}
+
+}  // namespace dknn

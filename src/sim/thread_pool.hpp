@@ -76,6 +76,11 @@ public:
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// Jobs submitted but not yet finished (queued + running) — a load
+  /// observer for serving loops reporting background-maintenance pressure
+  /// (e.g. in-flight compactions).  Racy by nature; never synchronize on it.
+  [[nodiscard]] std::size_t pending_jobs() const { return unfinished_.load(); }
+
 private:
   struct Worker {
     std::mutex mutex;

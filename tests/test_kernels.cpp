@@ -311,6 +311,49 @@ TEST(GoldenKernels, ExactKeyBytesEveryMetricEveryIsaEveryPath) {
   }
 }
 
+// The 3-4-5 fixtures above only ever take sqrt of perfect squares, which
+// cannot distinguish a correctly-rounded sqrt from a sloppy one.  This
+// fixture pins score_store's dispatched sqrt epilogue (KernelOps::sqrt_tile
+// — vsqrtpd on the vector ISAs) against hand-pinned IEEE-754 bit patterns
+// of *irrational* square roots; IEEE requires sqrt to be correctly
+// rounded, so these bytes are exact on every conforming ISA:
+//
+//   point     id   L2²    L2        = bits
+//   (1, 1)    11    2.0   √2        = 0x3FF6A09E667F3BCD
+//   (2, 1)    22    5.0   √5        = 0x4001E3779B97F4A8
+//   (5, 5)    33   50.0   √50       = 0x401C48C6001F0AC0
+//   (3, 4)    44   25.0   5.0       = 0x4014000000000000 (exact control)
+//   (0, 0)    55    0.0   0.0       = 0x0000000000000000
+TEST(GoldenKernels, ScoreStoreSqrtEpilogueExactBytesEveryIsa) {
+  VectorShard shard;
+  shard.points = {PointD({1.0, 1.0}), PointD({2.0, 1.0}), PointD({5.0, 5.0}),
+                  PointD({3.0, 4.0}), PointD({0.0, 0.0})};
+  shard.ids = {11, 22, 33, 44, 55};
+  const FlatStore store(shard.points, shard.ids);
+  const PointD query({0.0, 0.0});
+  // score_store emits keys in point order (no selection).
+  constexpr Key kExpected[5] = {
+      Key{0x3FF6A09E667F3BCDULL, 11}, Key{0x4001E3779B97F4A8ULL, 22},
+      Key{0x401C48C6001F0AC0ULL, 33}, Key{0x4014000000000000ULL, 44},
+      Key{0x0000000000000000ULL, 55}};
+  for (std::size_t level = 0; level < simd::kIsaCount; ++level) {
+    const auto isa = static_cast<simd::Isa>(level);
+    if (!simd::isa_supported(isa)) continue;
+    SCOPED_TRACE(simd::isa_name(isa));
+    const ForcedIsa pin(isa);
+    std::vector<Key> scored;
+    score_store(store, query, MetricKind::Euclidean, scored);
+    ASSERT_EQ(scored.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(scored[i].rank, kExpected[i].rank) << "rank at " << i;
+      EXPECT_EQ(scored[i].id, kExpected[i].id) << "id at " << i;
+    }
+    // Cross-check the fixture against the AoS functor reference.
+    const auto aos = score_vector_shard(shard, query, EuclideanMetric{});
+    expect_same_keys(aos, scored, "sqrt-epilogue vs AoS");
+  }
+}
+
 // --- squared-Euclidean default (sqrt-free hot loop) -------------------------
 
 TEST(SquaredEuclideanDefault, SelectsIdenticalIdsToEuclidean) {

@@ -222,6 +222,60 @@ TEST(KdTree, DuplicatePointsHandled) {
 
 // --- weighted median -----------------------------------------------------------------------
 
+// --- KdRangeIndex degenerate segments ---------------------------------------
+//
+// The live-serving SegmentStore (src/serve/) seals arbitrary delta buffers
+// into KdRangeIndex-backed segments, so the tree must stay correct on the
+// shapes churn produces: empty stores and all-duplicate point sets.  (The
+// third degenerate — a segment that is 100 % tombstones after deletes —
+// lives in tests/test_serve.cpp, where tombstones exist.)
+
+TEST(KdRangeIndex, EmptyStore) {
+  const KdRangeIndex index(std::span<const PointD>{}, std::span<const PointId>{});
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.nodes().empty());
+  const std::vector<PointD> queries = {PointD({1.0, 2.0})};
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  hybrid_top_ell_batch(index, queries, 4, MetricKind::Euclidean, out, scratch);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+TEST(KdRangeIndex, AllPointsDuplicatedTieBreakById) {
+  // Every coordinate identical: median splits degenerate to pure id order,
+  // every bounding box collapses to one point, and selection is decided
+  // entirely by the (distance, id) tie-break.  leaf_size 4 forces a deep
+  // tree over the duplicates.
+  Rng rng(77);
+  const std::vector<PointD> points(64, PointD({3.0, -1.0, 2.0}));
+  const auto ids = assign_random_ids(points.size(), rng);
+  const KdRangeIndex index(points, ids, 4);
+  ASSERT_EQ(index.size(), 64u);
+  for (std::size_t node = 0; node < index.nodes().size(); ++node) {
+    for (std::size_t j = 0; j < index.dim(); ++j) {
+      EXPECT_EQ(index.box_lo(node)[j], index.box_hi(node)[j]) << "box " << node;
+    }
+  }
+  const std::vector<PointD> queries = {PointD({0.0, 0.0, 0.0}), PointD({3.0, -1.0, 2.0})};
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> hybrid;
+  hybrid_top_ell_batch(index, queries, 10, MetricKind::Euclidean, hybrid, scratch);
+  std::vector<std::vector<Key>> brute;
+  fused_top_ell_batch(index.store(), queries, 10, MetricKind::Euclidean, brute, scratch);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(hybrid[q].size(), 10u);
+    ASSERT_EQ(hybrid[q], brute[q]) << "query " << q;
+    // All distances tie, so the winners are exactly the 10 smallest ids.
+    auto sorted_ids = ids;
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    for (std::size_t i = 0; i < hybrid[q].size(); ++i) {
+      EXPECT_EQ(hybrid[q][i].id, sorted_ids[i]) << "query " << q << " position " << i;
+    }
+  }
+}
+
 TEST(WeightedMedian, UnitWeightsGiveLowerMedian) {
   std::vector<WeightedKey> items;
   for (std::uint64_t v : {10u, 20u, 30u, 40u, 50u}) items.push_back({Key{v, 0}, 1});
