@@ -13,6 +13,10 @@
 // coalesces) is recorded as JSON null on fewer than 4 hardware threads —
 // measuring scheduler thrash on a 1-core box would pollute the perf
 // trajectory; the single-threaded `serial` stanza is always measured.
+// The `facade` stanza runs the same workload through the KnnService front
+// door (live mode, 1 machine, result cache on): snapshot scoring + the
+// full selection protocol per cache miss — the price and the payoff of
+// the unified API, tracked so facade regressions fail loudly.
 //
 //   ./bench_serve [--json=BENCH_serve.json] [--n=100000] [--dim=8] [--ell=64]
 //                 [--queries=2000] [--churn-every=4] [--seed=3]
@@ -26,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "data/simd/dispatch.hpp"
 #include "serve/compactor.hpp"
@@ -177,6 +182,63 @@ std::optional<LatencyStats> run_concurrent(Rig& rig, const Workload& w,
   return latency_stats(std::move(merged), total_sec);
 }
 
+/// The same workload through the KnnService facade (live mode, one
+/// machine): every query runs the full pipeline — snapshot scoring plus
+/// the distributed selection protocol — behind the facade's epoch-keyed
+/// result cache.  This row tracks what the one-front-door API costs over
+/// the raw QueryFrontEnd serial row (protocol + engine setup per miss;
+/// hits are cache-speed), so facade regressions show up in the JSON.
+LatencyStats run_facade(const Workload& w, double* hit_rate, std::uint64_t* debt_after) {
+  Rng rng(w.seed);
+  // Serial scoring pinned (threads = 1): this row is compared against the
+  // single-threaded front-end stanza, so it must not quietly go parallel
+  // on a multicore box.
+  KnnService service =
+      KnnServiceBuilder()
+          .machines(1)
+          .ell(w.ell)
+          .live(ServeConfig{.seal_threshold = 256, .policy = ScoringPolicy::Auto})
+          .compaction(CompactionConfig{.max_dead_fraction = 0.2, .min_segment_points = 1024})
+          .cache_capacity(4096)
+          .scoring(BatchScoringConfig{.threads = 1})
+          .seed(w.seed)
+          .dataset(uniform_points(w.n, w.dim, 100.0, rng))
+          .build();
+  // The builder assigned the resident ids; live_ids() recovers them so
+  // churn expires resident points, and contains() guards fresh mints.
+  std::vector<PointId> live = service.live_ids();
+  PointId next_id = 1;
+  const auto query_pool = uniform_points(64, w.dim, 100.0, rng);
+
+  Rng traffic(w.seed + 1);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(w.queries);
+  const WallTimer total;
+  for (std::size_t q = 0; q < w.queries; ++q) {
+    if (w.churn_every != 0 && q % w.churn_every == 0) {
+      while (service.contains(next_id)) ++next_id;
+      service.insert(uniform_points(1, w.dim, 100.0, rng)[0], next_id);
+      live.push_back(next_id++);
+      const std::size_t victim = rng.below(live.size());
+      (void)service.erase(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      if (q % (w.churn_every * 64) == 0) (void)service.compact_now();
+    }
+    const PointD& query = query_pool[traffic.below(query_pool.size())];
+    const WallTimer timer;
+    const auto result = service.query(query);
+    latencies_ms.push_back(ns_to_ms(timer.elapsed_ns()));
+    if (result.keys.empty()) std::fprintf(stderr, "empty facade answer?!\n");
+  }
+  const double total_sec = total.elapsed_sec();
+  const auto stats = service.stats();
+  *hit_rate = stats.queries == 0 ? 0.0
+                                 : static_cast<double>(stats.cache_hits) /
+                                       static_cast<double>(stats.queries);
+  *debt_after = service.compaction_debt();
+  return latency_stats(std::move(latencies_ms), total_sec);
+}
+
 void write_latency(std::FILE* f, const char* name, const std::optional<LatencyStats>& stats,
                    const char* extra, bool trailing_comma) {
   if (stats.has_value()) {
@@ -205,6 +267,11 @@ int emit_json(const std::string& path, const Workload& w) {
           ? 0.0
           : static_cast<double>(serial_fe.cache_hits) / static_cast<double>(serial_fe.queries);
   const std::uint64_t debt_after = serial_rig.compactor.debt();
+
+  // Facade stanza — the same workload through KnnService (fresh state).
+  double facade_hit_rate = 0.0;
+  std::uint64_t facade_debt = 0;
+  const std::optional<LatencyStats> facade = run_facade(w, &facade_hit_rate, &facade_debt);
 
   // Concurrent stanza — fresh rig so the serial run's cache/compaction
   // state doesn't leak in; null below 4 hardware threads.
@@ -253,6 +320,13 @@ int emit_json(const std::string& path, const Workload& w) {
                   concurrent_hit_rate, concurrent_batches);
     write_latency(f, "concurrent", concurrent, extra, true);
   }
+  {
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"cache_hit_rate\": %.3f, \"machines\": 1, \"debt_after\": %" PRIu64,
+                  facade_hit_rate, facade_debt);
+    write_latency(f, "facade", facade, extra, true);
+  }
   std::fprintf(f,
                "  \"compaction\": {\"scheduled\": %" PRIu64 ", \"installed\": %" PRIu64
                ", \"aborted\": %" PRIu64 ", \"debt_before\": %" PRIu64
@@ -270,6 +344,10 @@ int emit_json(const std::string& path, const Workload& w) {
                 concurrent->p99_ms);
   } else {
     std::printf("concurrent skipped @%zu threads; ", hardware_threads);
+  }
+  if (facade.has_value()) {
+    std::printf("facade %.0f q/s p99 %.3f ms cache hit %.1f%%; ", facade->queries_per_sec,
+                facade->p99_ms, 100.0 * facade_hit_rate);
   }
   std::printf("compaction %" PRIu64 "/%" PRIu64 " installed, debt %" PRIu64 " -> %" PRIu64
               ")\n",

@@ -2,17 +2,18 @@
 //
 // The paper's §1 motivates ℓ-NN by classification ("use the majority of the
 // labels of the K-nearest points").  This example trains nothing — kNN is
-// non-parametric — it simply shards labeled points over k machines, fires
-// a stream of queries through the distributed classifier, and reports
-// accuracy plus the per-query communication costs.
+// non-parametric — it hands labeled points to a KnnService (the builder
+// routes each flat label through the random partition to its point's
+// machine, so no coordinate-matching plumbing), fires a stream of test
+// queries through the distributed classifier, and reports accuracy plus
+// the per-query communication costs.
 //
 //   ./classification [--k=8] [--ell=9] [--n=4000] [--queries=200]
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
-#include "core/mlapi.hpp"
+#include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "support/cli.hpp"
 
@@ -44,39 +45,44 @@ int main(int argc, char** argv) {
   auto data = mixture.sample(n, rng);
 
   std::vector<dknn::PointD> points;
+  std::vector<std::uint32_t> labels;
   points.reserve(n);
-  for (const auto& lp : data) points.push_back(lp.x);
-  auto shards = dknn::make_vector_shards(points, k, dknn::PartitionScheme::Random, rng);
-
-  // Labels per shard, matched by coordinates (ids were assigned inside
-  // make_vector_shards, so align through a lookup).
-  std::vector<std::vector<std::uint32_t>> labels(k);
-  {
-    std::map<std::vector<double>, std::uint32_t> by_coords;
-    for (const auto& lp : data) by_coords[lp.x.coords] = lp.label;
-    for (std::uint32_t m = 0; m < k; ++m) {
-      for (const auto& p : shards[m].points) labels[m].push_back(by_coords.at(p.coords));
-    }
+  labels.reserve(n);
+  for (const auto& lp : data) {
+    points.push_back(lp.x);
+    labels.push_back(lp.label);
   }
 
   // Test queries: fresh draws from the same mixture, so each has a true label.
   dknn::Rng test_rng = rng.split(999);
   auto test = mixture.sample(queries, test_rng);
-
-  dknn::EngineConfig engine;
-  engine.seed = cli.get_uint("seed") + 1;
-
   if (test.empty()) {
     std::printf("nothing to do: --queries=0\n");
     return 0;
   }
+
+  dknn::EngineConfig engine;
+  engine.seed = cli.get_uint("seed") + 1;
+
+  // The facade subsumes the shard-plumbing: random partition, id
+  // assignment, label routing, SoA conversion — all at build().
+  dknn::KnnService service = dknn::KnnServiceBuilder()
+                                 .machines(k)
+                                 .ell(ell)
+                                 .partition(dknn::PartitionScheme::Random)
+                                 .seed(cli.get_uint("seed"))
+                                 .engine(engine)
+                                 .dataset(std::move(points))
+                                 .labels(std::move(labels))
+                                 .build();
+
   // Batched path: one engine run classifies the whole query block, scored
   // through the fused SoA kernels (SquaredEuclidean default — same
   // neighbors as Euclidean, no sqrt per point).
   std::vector<dknn::PointD> query_points;
   query_points.reserve(test.size());
   for (const auto& sample : test) query_points.push_back(sample.x);
-  const auto results = dknn::classify_batch(shards, labels, query_points, ell, engine);
+  const auto results = service.classify_batch(query_points);
 
   std::size_t correct = 0;
   for (std::size_t q = 0; q < test.size(); ++q) {

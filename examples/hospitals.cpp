@@ -8,18 +8,18 @@
 // This example sets up k hospitals, each holding its own patients' feature
 // vectors (which by policy must never leave the site), and diagnoses a new
 // patient by majority vote over the ℓ most similar historical patients
-// across *all* hospitals.  It then audits the network: what actually
-// crossed the wire (distances, random ids, winner labels) versus what a
-// centralised solution would have shipped (every feature vector), and how
-// the leader-site election (the sublinear protocol of [9]) was paid for.
+// across *all* hospitals — one KnnService built over the sites, with the
+// coordinator elected first by the sublinear protocol of [9].  It then
+// audits the network: what actually crossed the wire (distances, random
+// ids, winner labels) versus what a centralised solution would have
+// shipped (every feature vector).
 //
 //   ./hospitals [--hospitals=12] [--patients=1500] [--ell=11]
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
-#include "core/mlapi.hpp"
+#include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "election/sublinear.hpp"
 #include "sim/engine.hpp"
@@ -59,17 +59,12 @@ int main(int argc, char** argv) {
   auto records = population.sample(n, rng);
 
   std::vector<dknn::PointD> features;
+  std::vector<std::uint32_t> diagnoses;
   features.reserve(n);
-  for (const auto& r : records) features.push_back(r.x);
-  auto sites = dknn::make_vector_shards(features, k, dknn::PartitionScheme::Random, rng);
-
-  std::vector<std::vector<std::uint32_t>> diagnoses(k);
-  {
-    std::map<std::vector<double>, std::uint32_t> by_coords;
-    for (const auto& r : records) by_coords[r.x.coords] = r.label;
-    for (std::uint32_t m = 0; m < k; ++m) {
-      for (const auto& p : sites[m].points) diagnoses[m].push_back(by_coords.at(p.coords));
-    }
+  diagnoses.reserve(n);
+  for (const auto& r : records) {
+    features.push_back(r.x);
+    diagnoses.push_back(r.label);
   }
 
   // A new patient arrives, drawn from the same population.
@@ -95,19 +90,27 @@ int main(int argc, char** argv) {
     coordinator = outcomes[0].leader;
   }
 
-  // Diagnose: distributed ℓ-NN classification with the elected coordinator,
-  // through the batched FlatStore path — each hospital's records convert to
-  // a resident SoA store (plus a kd-tree where the Auto policy says it pays
-  // off) scored by the fused kernels, so a stream of new patients would
-  // amortize all setup.  Default scoring (SquaredEuclidean): same neighbors
-  // as Euclidean, no sqrt per historical patient.
+  // Diagnose through the front door: the builder shards the records over
+  // the hospital sites (each site's records convert to a resident SoA
+  // store, plus a kd-tree where the Auto policy says it pays off) and
+  // routes every diagnosis label to its record's site.  The elected
+  // coordinator leads the distributed vote.  Default scoring
+  // (SquaredEuclidean): same neighbors as Euclidean, no sqrt per
+  // historical patient.
   dknn::KnnConfig knn;
   knn.leader = coordinator;
-  const std::vector<dknn::PointD> new_patients = {new_patient.x};
-  const auto result =
-      dknn::classify_batch(sites, diagnoses, new_patients, ell, engine, knn,
-                           dknn::VoteRule::Majority, dknn::MetricKind::SquaredEuclidean,
-                           dknn::ScoringPolicy::Auto)[0];
+  dknn::KnnService service = dknn::KnnServiceBuilder()
+                                 .machines(k)
+                                 .ell(ell)
+                                 .policy(dknn::ScoringPolicy::Auto)
+                                 .partition(dknn::PartitionScheme::Random)
+                                 .seed(cli.get_uint("seed"))
+                                 .engine(engine)
+                                 .knn(knn)
+                                 .dataset(std::move(features))
+                                 .labels(std::move(diagnoses))
+                                 .build();
+  const dknn::ClassifyResult result = service.classify(new_patient.x);
 
   std::printf("consulted %llu most similar historical patients across %u hospitals\n",
               static_cast<unsigned long long>(ell), k);

@@ -1,12 +1,12 @@
 // query_stream — the serving scenario: one resident dataset, many queries.
 //
 // The model statement (paper §1.1) is about answering queries arriving at
-// the cluster.  This example exercises the batched serving path: each
-// machine's shard is converted once to a contiguous SoA FlatStore, the
-// whole query block is scored with the fused scoring/top-ℓ kernels (no
-// per-query n-sized allocations), and every query runs through Algorithm 2
-// inside a single engine run — the per-query cost converges to the
-// Theorem 2.4 steady state as setup amortizes away.
+// the cluster.  This example holds a resident KnnService — each machine's
+// shard converted once to SoA scoring structures by the builder — and
+// streams a query block through it: fused scoring/top-ℓ kernels (no
+// per-query n-sized allocations) plus Algorithm 2 for every query inside
+// a single engine run, so the per-query cost converges to the Theorem 2.4
+// steady state as setup amortizes away.
 //
 //   ./query_stream [--k=32] [--ell=32] [--queries=25] [--dim=8]
 //                  [--policy=auto] [--threads=0] [--isa=auto]
@@ -14,15 +14,17 @@
 // --policy selects the local-scoring structure per shard (brute = dense
 // fused scan, tree = kd-tree prune + fused kernel on surviving leaves,
 // auto = per-shard n·d heuristic); --threads > 1 tiles the shard ×
-// query-block grid over the work-stealing pool; --isa pins the scoring
-// kernels to one ISA level (scalar | avx2 | avx512; auto = widest the CPU
-// supports, also settable process-wide via DKNN_FORCE_ISA).  Results are
-// byte-identical across every combination — only the wall-clock changes.
+// query-block grid over the service's work-stealing pool; --isa pins the
+// scoring kernels to one ISA level (scalar | avx2 | avx512; auto = widest
+// the CPU supports, also settable process-wide via DKNN_FORCE_ISA).
+// Results are byte-identical across every combination — only the
+// wall-clock changes.
 
 #include <cinttypes>
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "core/knn_service.hpp"
+#include "data/generators.hpp"
 #include "data/simd/dispatch.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -52,8 +54,6 @@ int main(int argc, char** argv) {
   dknn::Rng rng(cli.get_uint("seed"));
   auto points = dknn::uniform_points(
       static_cast<std::size_t>(cli.get_uint("points-per-machine") * k), dim, 100.0, rng);
-  auto shards =
-      dknn::make_vector_shards(std::move(points), k, dknn::PartitionScheme::RoundRobin, rng);
   auto queries = dknn::uniform_points(cli.get_uint("queries"), dim, 100.0, rng);
 
   const std::string policy_name = cli.get("policy");
@@ -82,37 +82,41 @@ int main(int argc, char** argv) {
   dknn::BatchScoringConfig scoring;
   scoring.threads = static_cast<std::size_t>(cli.get_uint("threads"));
 
-  // One-off index build (SoA stores + kd-trees where the policy says so),
-  // then the whole block through the fused / hybrid kernels.
-  dknn::WallTimer timer;
-  const auto indexes = dknn::make_shard_indexes(shards, policy);
-  const double convert_ms = dknn::ns_to_ms(timer.elapsed_ns());
-  std::size_t trees = 0;
-  for (const auto& index : indexes) trees += index.has_tree();
-
-  timer.reset();
-  const auto scored = dknn::score_vector_shards_batch(indexes, queries, ell,
-                                                      dknn::MetricKind::SquaredEuclidean, scoring);
-  const double score_ms = dknn::ns_to_ms(timer.elapsed_ns());
-
   dknn::EngineConfig engine;
   engine.seed = cli.get_uint("seed") + 1;
-  timer.reset();
-  const auto batch = dknn::run_knn_batch(scored, ell, dknn::KnnAlgo::DistKnn, engine);
-  const double protocol_ms = dknn::ns_to_ms(timer.elapsed_ns());
 
-  std::printf("batch: %u machines, %zu queries, dim %zu, ell %" PRIu64 "\n", k, queries.size(),
-              dim, ell);
-  std::printf("local compute: policy %s (%zu/%zu shards tree-indexed), kernels %s, index "
-              "build %.2f ms (once), scoring %.2f ms (%.0f queries/sec); protocol %.2f ms\n\n",
-              dknn::scoring_policy_name(policy), trees, indexes.size(),
-              dknn::simd::isa_name(dknn::simd::active_isa()), convert_ms, score_ms,
-              static_cast<double>(queries.size()) / (score_ms * 1e-3), protocol_ms);
+  // One-off service build (sharding + SoA stores + kd-trees where the
+  // policy says so, and the scoring pool spawned once)...
+  dknn::WallTimer timer;
+  dknn::KnnService service = dknn::KnnServiceBuilder()
+                                 .machines(k)
+                                 .ell(ell)
+                                 .metric(dknn::MetricKind::SquaredEuclidean)
+                                 .policy(policy)
+                                 .scoring(scoring)
+                                 .seed(cli.get_uint("seed"))
+                                 .engine(engine)
+                                 .dataset(std::move(points))
+                                 .build();
+  const double build_ms = dknn::ns_to_ms(timer.elapsed_ns());
+
+  // ...then the whole stream through the one front door.
+  timer.reset();
+  const dknn::BatchQueryResult batch = service.query_batch(queries);
+  const double serve_ms = dknn::ns_to_ms(timer.elapsed_ns());
+
+  std::printf("batch: %zu machines, %zu queries, dim %zu, ell %" PRIu64 "\n",
+              service.machines(), queries.size(), dim, ell);
+  std::printf("service: policy %s, kernels %s, build %.2f ms (once), "
+              "query_batch %.2f ms (%.0f queries/sec, scoring + protocol)\n\n",
+              dknn::scoring_policy_name(policy),
+              dknn::simd::isa_name(dknn::simd::active_isa()), build_ms, serve_ms,
+              static_cast<double>(queries.size()) / (serve_ms * 1e-3));
   std::printf("%-8s %-10s %-10s %s\n", "query#", "rounds", "attempts",
               "nearest (squared distance, id)");
   dknn::RunningStats rounds;
   for (std::size_t q = 0; q < batch.per_query.size(); ++q) {
-    const auto& result = batch.per_query[q];
+    const dknn::QueryResult& result = batch.per_query[q];
     rounds.add(static_cast<double>(result.report.rounds));
     std::printf("%-8zu %-10" PRIu64 " %-10u (%.3f, %" PRIu64 ")\n", q, result.report.rounds,
                 result.attempts, dknn::decode_distance(result.keys.front().rank),

@@ -1,20 +1,21 @@
-// quickstart — the 60-second tour of dknn.
+// quickstart — the 60-second tour of dknn, through the front door.
 //
-// Distributes one million random d-dimensional points over k simulated
-// machines, builds each machine's resident scoring structures once (SoA
-// FlatStore, plus a kd-tree where the Auto policy decides it pays off),
-// scores a small query block with the fused batched kernels — per query
-// and machine only the local top-ℓ keys are ever materialized — and runs
-// the paper's Algorithm 2 on every query inside one engine, printing the
-// first query's neighbors along with the costs the paper's theorems
-// bound: rounds and messages.
+// Builds a KnnService over one million random d-dimensional points
+// sharded across k simulated machines: the builder assigns the paper's
+// random unique ids, partitions the data, and constructs each machine's
+// resident scoring structures once (SoA FlatStore, plus a kd-tree where
+// the Auto policy decides it pays off).  One query_batch call then scores
+// the whole block with the fused batched kernels and runs the paper's
+// Algorithm 2 on every query inside a single engine, returning keys plus
+// the costs the paper's theorems bound: rounds and messages.
 //
 //   ./quickstart [--k=16] [--ell=8] [--n=1000000] [--dim=4] [--queries=4] [--seed=1]
 
 #include <cinttypes>
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "core/knn_service.hpp"
+#include "data/generators.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -33,37 +34,40 @@ int main(int argc, char** argv) {
   const std::size_t dim = cli.get_uint("dim");
   const std::size_t num_queries = cli.get_uint("queries");
 
-  // 1. Generate data and shard it across the k machines.
+  // 1. Generate data.
   dknn::Rng rng(cli.get_uint("seed"));
   auto points = dknn::uniform_points(n, dim, 100.0, rng);
-  auto shards = dknn::make_vector_shards(std::move(points), k,
-                                         dknn::PartitionScheme::RoundRobin, rng);
 
-  // 2. Build each machine's resident scoring structures once (the
-  //    serving-side amortization: any number of query batches reuse them).
-  const auto indexes = dknn::make_shard_indexes(shards, dknn::ScoringPolicy::Auto);
-
-  // 3. Score the whole query block with the fused batched kernels.  The
-  //    SquaredEuclidean default selects the same neighbors as Euclidean
-  //    with no sqrt in the hot loop.
-  const auto queries = dknn::uniform_points(num_queries, dim, 100.0, rng);
-  const auto scored = dknn::score_vector_shards_batch(indexes, queries, ell);
-
-  // 4. Run the paper's Algorithm 2 on every query in one engine run.
+  // 2. One front door: the builder shards the data over k machines and
+  //    builds every resident scoring structure once — any number of query
+  //    batches reuse them.  The SquaredEuclidean default selects the same
+  //    neighbors as Euclidean with no sqrt in the hot loop.
   dknn::EngineConfig engine;
   engine.seed = cli.get_uint("seed") + 1;
-  const auto batch = dknn::run_knn_batch(scored, ell, dknn::KnnAlgo::DistKnn, engine);
+  dknn::KnnService service = dknn::KnnServiceBuilder()
+                                 .machines(k)
+                                 .ell(ell)
+                                 .policy(dknn::ScoringPolicy::Auto)
+                                 .seed(cli.get_uint("seed"))
+                                 .engine(engine)
+                                 .dataset(std::move(points))
+                                 .build();
 
-  // 5. Report (query 0; the others differ only in their keys).
-  const auto& first = batch.per_query[0];
+  // 3. Score + select: the whole block through the fused kernels, every
+  //    query through the paper's Algorithm 2 in one engine run.
+  const auto queries = dknn::uniform_points(num_queries, dim, 100.0, rng);
+  const dknn::BatchQueryResult batch = service.query_batch(queries);
+
+  // 4. Report (query 0; the others differ only in their keys).
+  const dknn::QueryResult& first = batch.per_query[0];
   std::printf("query 0 of %zu: %zu nearest neighbors (distance, id):\n", num_queries,
               first.keys.size());
   for (const auto& key : first.keys) {
     std::printf("  distance² %-12.4f id %" PRIu64 "\n", dknn::decode_distance(key.rank),
                 key.id);
   }
-  std::printf("\ncosts on the simulated k-machine cluster (k = %u, n = %zu, d = %zu):\n", k, n,
-              dim);
+  std::printf("\ncosts on the simulated k-machine cluster (k = %zu, n = %zu, d = %zu):\n",
+              service.machines(), n, dim);
   std::printf("  rounds, query 0   : %" PRIu64 "   (Theorem 2.4: O(log ell))\n",
               first.report.rounds);
   std::printf("  rounds, batch     : %" PRIu64 "   (%zu queries through one engine)\n",

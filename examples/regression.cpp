@@ -1,19 +1,19 @@
 // regression — distributed ℓ-NN regression on a noisy smooth function.
 //
 // The paper's §1: "In the regression problem, one can assign the average of
-// the labels".  This example shards noisy samples of a known function over
-// k machines, predicts at fresh query points with the distributed
-// regressor, and reports RMSE against the noiseless truth along with
-// communication costs.
+// the labels".  This example hands noisy samples of a known function to a
+// KnnService (the builder routes each flat target through the random
+// partition to its point's machine), predicts at fresh query points with
+// the distributed regressor, and reports RMSE against the noiseless truth
+// along with communication costs.
 //
 //   ./regression [--k=8] [--ell=12] [--n=6000] [--queries=100]
 
 #include <cmath>
 #include <cstdio>
-#include <map>
 #include <vector>
 
-#include "core/mlapi.hpp"
+#include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -40,17 +40,12 @@ int main(int argc, char** argv) {
   auto data = dknn::regression_dataset(n, dim, kRange, cli.get_double("noise"), rng);
 
   std::vector<dknn::PointD> points;
+  std::vector<double> targets;
   points.reserve(n);
-  for (const auto& rp : data) points.push_back(rp.x);
-  auto shards = dknn::make_vector_shards(points, k, dknn::PartitionScheme::Random, rng);
-
-  std::vector<std::vector<double>> targets(k);
-  {
-    std::map<std::vector<double>, double> by_coords;
-    for (const auto& rp : data) by_coords[rp.x.coords] = rp.y;
-    for (std::uint32_t m = 0; m < k; ++m) {
-      for (const auto& p : shards[m].points) targets[m].push_back(by_coords.at(p.coords));
-    }
+  targets.reserve(n);
+  for (const auto& rp : data) {
+    points.push_back(rp.x);
+    targets.push_back(rp.y);
   }
 
   if (queries == 0) {
@@ -59,6 +54,17 @@ int main(int argc, char** argv) {
   }
   dknn::EngineConfig engine;
   engine.seed = cli.get_uint("seed") + 100;
+
+  dknn::KnnService service = dknn::KnnServiceBuilder()
+                                 .machines(k)
+                                 .ell(ell)
+                                 .partition(dknn::PartitionScheme::Random)
+                                 .seed(cli.get_uint("seed"))
+                                 .engine(engine)
+                                 .dataset(std::move(points))
+                                 .targets(std::move(targets))
+                                 .build();
+
   dknn::Rng qrng = rng.split(31);
   // Queries slightly inside the sampled box so neighborhoods are dense.
   std::vector<dknn::PointD> query_points;
@@ -71,7 +77,7 @@ int main(int argc, char** argv) {
 
   // Batched path: fused SoA scoring (SquaredEuclidean default — identical
   // neighbors to Euclidean) + one engine run for the whole block.
-  const auto results = dknn::regress_batch(shards, targets, query_points, ell, engine);
+  const auto results = service.regress_batch(query_points);
 
   dknn::RunningStats sq_err;
   for (std::size_t q = 0; q < queries; ++q) {

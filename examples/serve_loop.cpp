@@ -1,25 +1,24 @@
-// serve_loop — live traffic against a mutating resident store.
+// serve_loop — live traffic against a mutating resident dataset, through
+// the front door.
 //
 // The paper's serving scenario (§1.1) with the part batch reproductions
 // skip: points arrive and expire *while* queries stream in.  This example
-// runs a single machine's serving loop — a SegmentStore absorbing churn, a
-// background Compactor paying off tombstone/small-segment debt on the
-// work-stealing pool, and a QueryFrontEnd answering from epoch-numbered
-// snapshots with an epoch-keyed result cache — and prints the health
-// counters an operator would watch: epoch, live points, segments,
-// compaction debt, cache hit rate.
+// runs a live-mode KnnService — k SegmentStores absorbing churn behind
+// epoch-numbered snapshots, the facade's epoch-keyed result cache in
+// front, and the full distributed protocol (fused snapshot scoring +
+// Algorithm 2) answering every query — and prints the health counters an
+// operator would watch: epoch, live points, segments, compaction debt,
+// cache hit rate.  Inserts, deletes, compaction and queries all go through
+// the same service handle a frozen deployment would use.
 //
-//   ./serve_loop [--n=50000] [--dim=8] [--ell=16] [--ticks=10] \
+//   ./serve_loop [--n=50000] [--dim=8] [--ell=16] [--stores=4] [--ticks=10] \
 //                [--churn=500] [--queries=200] [--seed=7]
 
 #include <cinttypes>
 #include <cstdio>
 
+#include "core/knn_service.hpp"
 #include "data/generators.hpp"
-#include "serve/compactor.hpp"
-#include "serve/front_end.hpp"
-#include "serve/segment_store.hpp"
-#include "sim/thread_pool.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +26,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "initial resident points", "50000");
   cli.add_flag("dim", "point dimensionality", "8");
   cli.add_flag("ell", "neighbors per query", "16");
+  cli.add_flag("stores", "live stores (simulated machines)", "4");
   cli.add_flag("ticks", "serving-loop ticks", "10");
   cli.add_flag("churn", "inserts and deletes per tick", "500");
   cli.add_flag("queries", "queries per tick", "200");
@@ -35,82 +35,84 @@ int main(int argc, char** argv) {
 
   const std::size_t n = cli.get_uint("n");
   const std::size_t dim = cli.get_uint("dim");
-  const std::size_t ell = cli.get_uint("ell");
+  const std::uint64_t ell = cli.get_uint("ell");
+  const auto stores = static_cast<std::uint32_t>(cli.get_uint("stores"));
   const std::size_t ticks = cli.get_uint("ticks");
   const std::size_t churn = cli.get_uint("churn");
   const std::size_t queries_per_tick = cli.get_uint("queries");
 
   dknn::Rng rng(cli.get_uint("seed"));
-  dknn::SegmentStore store(dim, dknn::ServeConfig{.seal_threshold = 2048,
-                                                  .policy = dknn::ScoringPolicy::Auto});
-  dknn::ThreadPool pool(2);
-  dknn::Compactor compactor(store, pool,
-                            dknn::CompactionConfig{.max_dead_fraction = 0.2,
-                                                   .min_segment_points = 1024});
-  dknn::QueryFrontEnd front_end(
-      store, dknn::FrontEndConfig{.ell = ell, .kind = dknn::MetricKind::SquaredEuclidean});
+  dknn::EngineConfig engine;
+  engine.seed = cli.get_uint("seed") + 1;
 
-  // Resident dataset: bulk-load, then seal so serving starts warm.
-  std::printf("loading %zu points (d = %zu)...\n", n, dim);
-  std::vector<dknn::PointId> live;
-  {
-    const auto points = dknn::uniform_points(n, dim, 100.0, rng);
-    std::vector<dknn::PointId> ids;
-    ids.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) ids.push_back(i + 1);
-    store.insert_batch(points, ids);
-    store.seal();
-    live = ids;
-  }
-  dknn::PointId next_id = n + 1;
+  // Live-mode service: the builder shards the warm dataset over the
+  // stores, seals it, and wires up the epoch-keyed result cache.
+  std::printf("loading %zu points (d = %zu) into %u live stores...\n", n, dim, stores);
+  dknn::KnnService service =
+      dknn::KnnServiceBuilder()
+          .machines(stores)
+          .ell(ell)
+          .live(dknn::ServeConfig{.seal_threshold = 2048})
+          .policy(dknn::ScoringPolicy::Auto)
+          .compaction(dknn::CompactionConfig{.max_dead_fraction = 0.2,
+                                             .min_segment_points = 1024})
+          .cache_capacity(4096)
+          .seed(cli.get_uint("seed"))
+          .engine(engine)
+          .dataset(dknn::uniform_points(n, dim, 100.0, rng))
+          .build();
+
+  // The builder assigned random unique ids; live_ids() hands them back so
+  // churn can expire *resident* points too, and contains() lets us mint
+  // collision-free ids for arrivals.
+  std::vector<dknn::PointId> live = service.live_ids();
+  dknn::PointId next_id = 1;
 
   // Query pool with repeats — live traffic is skewed, which is what the
   // epoch-keyed cache exploits between mutations.
   const auto query_pool = dknn::uniform_points(64, dim, 100.0, rng);
 
-  std::printf("%-5s %-10s %-8s %-9s %-10s %-7s %-10s %s\n", "tick", "epoch", "live",
-              "segments", "dead-rows", "debt", "cache-hit%", "sample answer (id@dist²)");
+  std::printf("%-5s %-10s %-8s %-9s %-7s %-10s %s\n", "tick", "epoch", "live", "segments",
+              "debt", "cache-hit%", "sample answer (id@dist²)");
   for (std::size_t tick = 0; tick < ticks; ++tick) {
-    // Churn: new points arrive, old ones expire.
+    // Churn: new points arrive, old ones expire — all through the facade.
     for (std::size_t i = 0; i < churn; ++i) {
-      store.insert(dknn::uniform_points(1, dim, 100.0, rng)[0], next_id);
+      while (service.contains(next_id)) ++next_id;
+      service.insert(dknn::uniform_points(1, dim, 100.0, rng)[0], next_id);
       live.push_back(next_id++);
       const std::size_t victim = rng.below(live.size());
-      (void)store.erase(live[victim]);
+      (void)service.erase(live[victim]);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
     }
-    compactor.maybe_schedule();  // background; installs whenever it finishes
+    if (tick % 2 == 1) (void)service.compact_now();  // pay the debt off every other tick
 
     // Traffic: queries drawn from the skewed pool.
-    dknn::ServeQueryResult last;
+    dknn::QueryResult last;
     for (std::size_t q = 0; q < queries_per_tick; ++q) {
-      last = front_end.query(query_pool[rng.below(query_pool.size())]);
+      last = service.query(query_pool[rng.below(query_pool.size())]);
     }
-    const auto stats = front_end.stats();
+    const auto stats = service.stats();
     const double hit_rate =
         stats.queries == 0
             ? 0.0
             : 100.0 * static_cast<double>(stats.cache_hits) / static_cast<double>(stats.queries);
-    std::printf("%-5zu %-10" PRIu64 " %-8zu %-9zu %-10" PRIu64 " %-7" PRIu64
-                " %-10.1f %" PRIu64 "@%.1f\n",
-                tick, store.epoch(), store.live_points(), store.segment_count(),
-                store.dead_rows(), compactor.debt(), hit_rate,
+    std::printf("%-5zu %-10" PRIu64 " %-8zu %-9zu %-7" PRIu64 " %-10.1f %" PRIu64 "@%.1f\n",
+                tick, service.snapshot_epoch(), service.total_points(),
+                service.segment_count(), service.compaction_debt(), hit_rate,
                 last.keys.empty() ? 0 : last.keys[0].id,
                 last.keys.empty() ? 0.0 : dknn::decode_distance(last.keys[0].rank));
   }
-  compactor.drain();
+  (void)service.compact_now();
 
-  const auto stats = front_end.stats();
-  const auto compactions = compactor.stats();
-  std::printf("\nserved %" PRIu64 " queries in %" PRIu64 " micro-batches "
-              "(%.2f queries/batch)\n",
-              stats.queries, stats.batches,
-              static_cast<double>(stats.queries) / static_cast<double>(stats.batches));
+  const auto stats = service.stats();
+  std::printf("\nserved %" PRIu64 " queries in %" PRIu64 " protocol runs "
+              "(every answer exact for its epoch)\n",
+              stats.queries, stats.batches);
   std::printf("cache: %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64 " flushes\n",
               stats.cache_hits, stats.cache_misses, stats.cache_flushes);
-  std::printf("compaction: %" PRIu64 " scheduled, %" PRIu64 " installed, %" PRIu64
-              " aborted; final debt %" PRIu64 " rows across %zu segments\n",
-              compactions.scheduled, compactions.installed, compactions.aborted,
-              compactor.debt(), store.segment_count());
+  std::printf("final state: epoch %" PRIu64 ", %zu live points, %zu segments, debt %" PRIu64
+              " rows\n",
+              service.snapshot_epoch(), service.total_points(), service.segment_count(),
+              service.compaction_debt());
   return 0;
 }

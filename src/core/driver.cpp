@@ -135,22 +135,31 @@ std::vector<ScalarShard> make_scalar_shards(std::vector<Value> values, std::uint
 }
 
 std::vector<VectorShard> make_vector_shards(std::vector<PointD> points, std::uint32_t k,
-                                            PartitionScheme scheme, Rng& rng) {
+                                            PartitionScheme scheme, Rng& rng,
+                                            ShardPlacement& placement) {
   std::vector<PointId> ids = assign_random_ids(points.size(), rng);
   std::vector<std::pair<std::size_t, PointId>> tagged;  // index + id (points not ordered)
   tagged.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) tagged.emplace_back(i, ids[i]);
   auto parts = partition(std::move(tagged), k, scheme, rng);
+  placement.assign(points.size(), {0, 0});
   std::vector<VectorShard> shards(k);
   for (std::uint32_t m = 0; m < k; ++m) {
     shards[m].points.reserve(parts[m].size());
     shards[m].ids.reserve(parts[m].size());
     for (const auto& [index, id] : parts[m]) {
+      placement[index] = {m, static_cast<std::uint32_t>(shards[m].points.size())};
       shards[m].points.push_back(std::move(points[index]));
       shards[m].ids.push_back(id);
     }
   }
   return shards;
+}
+
+std::vector<VectorShard> make_vector_shards(std::vector<PointD> points, std::uint32_t k,
+                                            PartitionScheme scheme, Rng& rng) {
+  ShardPlacement placement;
+  return make_vector_shards(std::move(points), k, scheme, rng, placement);
 }
 
 std::vector<Key> score_scalar_shard(const ScalarShard& shard, Value query) {
@@ -261,17 +270,35 @@ void score_tile(const ShardIndex& index, std::span<const PointD> queries, std::u
   }
 }
 
+/// Default BatchScoringConfig::shard_split_rows: big enough that the merge
+/// overhead is noise, small enough that a few-hundred-thousand-point shard
+/// splits into several rebalanceable pieces.
+constexpr std::size_t kDefaultShardSplitRows = 1u << 16;
+
 /// Shared tiling engine of the batched scoring overloads: runs
 /// `score(m, query_subspan, keys, scratch)` over every (machine,
 /// query-block) tile — serial shard-outer below the parallel threshold,
 /// otherwise tiled over the work-stealing pool.  Each task owns disjoint
-/// pre-sized out[q][m] slots, so the assembled result is independent of
-/// the steal schedule.
-template <typename ScoreTile>
-std::vector<std::vector<std::vector<Key>>> score_tiled_grid(std::size_t machines,
-                                                            std::span<const PointD> queries,
-                                                            const BatchScoringConfig& config,
-                                                            const ScoreTile& score) {
+/// pre-sized slots, so the assembled result is independent of the steal
+/// schedule.
+///
+/// Point-range subtiles (the "one huge shard serializes its column scans"
+/// fix): on the pool path, a machine whose `splittable_rows(m)` exceeds
+/// the split threshold is scored as several independent row ranges via
+/// `score_range(m, lo, hi, query_subspan, keys, scratch)`; each range's
+/// local top-ℓ lists land in their own pre-sized slots and merge into the
+/// machine's final [query][machine] slot after the barrier.  Merging is
+/// byte-exact: keys are globally distinct, and any global top-ℓ key inside
+/// a range is by definition inside that range's top-ℓ, so the ℓ smallest
+/// of the concatenated range winners equal the unsplit scan's answer
+/// (fuzzed against the unsplit grid in tests/test_parity.cpp).
+/// `splittable_rows(m) == 0` marks a machine opaque (tree-indexed shards,
+/// serve snapshots) — it is always scored whole.
+template <typename ScoreTile, typename SplittableRows, typename ScoreRange>
+std::vector<std::vector<std::vector<Key>>> score_tiled_grid(
+    std::size_t machines, std::span<const PointD> queries, std::uint64_t ell,
+    const BatchScoringConfig& config, const ScoreTile& score,
+    const SplittableRows& splittable_rows, const ScoreRange& score_range) {
   std::vector<std::vector<std::vector<Key>>> out(queries.size());
   for (auto& per_shard : out) per_shard.resize(machines);
   if (queries.empty() || machines == 0) return out;
@@ -283,7 +310,8 @@ std::vector<std::vector<std::vector<Key>>> score_tiled_grid(std::size_t machines
           ? config.threads
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   if (pool == nullptr && threads <= 1) {
-    // Serial: shard-outer, whole query block per shard (maximal cache reuse).
+    // Serial: shard-outer, whole query block per shard (maximal cache
+    // reuse); splitting would only add merge work on one thread.
     KernelScratch scratch;
     std::vector<std::vector<Key>> keys;
     for (std::size_t m = 0; m < machines; ++m) {
@@ -305,18 +333,68 @@ std::vector<std::vector<std::vector<Key>>> score_tiled_grid(std::size_t machines
       config.query_block != 0
           ? config.query_block
           : std::max<std::size_t>(1, (queries.size() + threads * 4 - 1) / (threads * 4));
+  const std::size_t split_rows =
+      config.shard_split_rows != 0 ? config.shard_split_rows : kDefaultShardSplitRows;
+
+  // partials[m][piece][q] = piece's local top-ℓ for query q (split machines
+  // only; whole machines write out[q][m] directly).  All slots are sized
+  // before any task runs.
+  std::vector<std::vector<std::vector<std::vector<Key>>>> partials(machines);
+  std::vector<std::size_t> pieces_of(machines, 1);
   for (std::size_t m = 0; m < machines; ++m) {
+    const std::size_t rows = splittable_rows(m);
+    if (rows > split_rows) {
+      pieces_of[m] = (rows + split_rows - 1) / split_rows;
+      partials[m].assign(pieces_of[m], std::vector<std::vector<Key>>(queries.size()));
+    }
+  }
+
+  for (std::size_t m = 0; m < machines; ++m) {
+    const std::size_t pieces = pieces_of[m];
     for (std::size_t q0 = 0; q0 < queries.size(); q0 += block) {
       const std::size_t len = std::min(block, queries.size() - q0);
-      pool->submit([&out, &score, queries, m, q0, len] {
-        KernelScratch scratch;
-        std::vector<std::vector<Key>> keys;
-        score(m, queries.subspan(q0, len), keys, scratch);
-        for (std::size_t i = 0; i < len; ++i) out[q0 + i][m] = std::move(keys[i]);
-      });
+      if (pieces == 1) {
+        pool->submit([&out, &score, queries, m, q0, len] {
+          KernelScratch scratch;
+          std::vector<std::vector<Key>> keys;
+          score(m, queries.subspan(q0, len), keys, scratch);
+          for (std::size_t i = 0; i < len; ++i) out[q0 + i][m] = std::move(keys[i]);
+        });
+        continue;
+      }
+      const std::size_t rows = splittable_rows(m);
+      for (std::size_t piece = 0; piece < pieces; ++piece) {
+        // Balanced ranges: piece p covers [p·rows/pieces, (p+1)·rows/pieces).
+        const std::size_t lo = piece * rows / pieces;
+        const std::size_t hi = (piece + 1) * rows / pieces;
+        pool->submit([&partials, &score_range, queries, m, piece, lo, hi, q0, len] {
+          KernelScratch scratch;
+          std::vector<std::vector<Key>> keys;
+          score_range(m, lo, hi, queries.subspan(q0, len), keys, scratch);
+          for (std::size_t i = 0; i < len; ++i) {
+            partials[m][piece][q0 + i] = std::move(keys[i]);
+          }
+        });
+      }
     }
   }
   pool->wait_idle();
+
+  // Merge pass for split machines: ℓ smallest of the concatenated range
+  // winners, per query.
+  std::vector<Key> pooled;
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (pieces_of[m] == 1) continue;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      pooled.clear();
+      for (std::size_t piece = 0; piece < pieces_of[m]; ++piece) {
+        const auto& part = partials[m][piece][q];
+        pooled.insert(pooled.end(), part.begin(), part.end());
+      }
+      out[q][m] =
+          top_ell_smallest(std::span<const Key>(pooled), static_cast<std::size_t>(ell));
+    }
+  }
   return out;
 }
 
@@ -326,10 +404,28 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind, const BatchScoringConfig& config) {
   return score_tiled_grid(
-      indexes.size(), queries, config,
+      indexes.size(), queries, ell, config,
       [&indexes, ell, kind](std::size_t m, std::span<const PointD> block,
                             std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
         score_tile(indexes[m], block, ell, kind, keys, scratch);
+      },
+      // Only brute-scanned shards split: a kd-tree shard's traversal is
+      // hierarchical, not a row scan.
+      [&indexes](std::size_t m) -> std::size_t {
+        return indexes[m].has_tree() ? 0 : indexes[m].store().size();
+      },
+      [&indexes, ell, kind](std::size_t m, std::size_t lo, std::size_t hi,
+                            std::span<const PointD> block, std::vector<std::vector<Key>>& keys,
+                            KernelScratch& scratch) {
+        // Row-range subtile: the same bounded-heap kernels the kd-hybrid
+        // and the serve live-run path use, over [lo, hi) of the SoA store.
+        const FlatStore& store = indexes[m].store();
+        keys.resize(block.size());
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          RangeTopEll scorer(store, block[i], static_cast<std::size_t>(ell), kind, scratch);
+          scorer.score_range(lo, hi);
+          scorer.finish(keys[i]);
+        }
       });
 }
 
@@ -340,11 +436,18 @@ std::vector<std::vector<std::vector<Key>>> score_serve_snapshots_batch(
     DKNN_REQUIRE(snapshot != nullptr, "score_serve_snapshots_batch: null snapshot");
   }
   return score_tiled_grid(
-      snapshots.size(), queries, config,
+      snapshots.size(), queries, ell, config,
       [&snapshots, ell, kind](std::size_t m, std::span<const PointD> block,
                               std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
         snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind,
                                keys, scratch);
+      },
+      // Snapshots are opaque to the splitter: segmentation already bounds
+      // scan length per segment, and compaction governs segment size.
+      [](std::size_t) -> std::size_t { return 0; },
+      [](std::size_t, std::size_t, std::size_t, std::span<const PointD>,
+         std::vector<std::vector<Key>>&, KernelScratch&) {
+        panic("score_serve_snapshots_batch: snapshots never split");
       });
 }
 

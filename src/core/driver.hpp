@@ -4,7 +4,12 @@
 ///        distributed algorithm on every machine, and assemble the global
 ///        answer plus the run's cost report.
 ///
-/// This is the public API most users (and all benches/examples) touch:
+/// These free functions are the *decomposed stages* beneath the KnnService
+/// facade (core/knn_service.hpp) — application code should usually hold a
+/// KnnService and let it own the shards, indexes, pool and cache; reach
+/// for a stage directly when you need exactly one step.  The facade is
+/// byte-identical to composing these yourself (fuzzed in
+/// tests/test_service.cpp), so the two surfaces never fork:
 ///
 ///   auto ds = make_scalar_shards(values, k, PartitionScheme::RoundRobin, rng);
 ///   auto scored = score_scalar_shards(ds, query);
@@ -75,6 +80,21 @@ struct VectorShard {
 [[nodiscard]] std::vector<VectorShard> make_vector_shards(std::vector<PointD> points,
                                                           std::uint32_t k,
                                                           PartitionScheme scheme, Rng& rng);
+
+/// Where each input point landed after sharding: placement[i] = (machine,
+/// row) of points[i].
+using ShardPlacement = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// As above, additionally reporting each point's destination.  This is the
+/// hook that lets positional metadata (labels, targets) follow points
+/// through a randomized partition without coordinate-matching hacks — the
+/// KnnServiceBuilder uses it to route flat label/target arrays to the
+/// right machine.  Consumes the same rng stream as the plain overload, so
+/// both produce byte-identical shards for equal seeds.
+[[nodiscard]] std::vector<VectorShard> make_vector_shards(std::vector<PointD> points,
+                                                          std::uint32_t k,
+                                                          PartitionScheme scheme, Rng& rng,
+                                                          ShardPlacement& placement);
 
 /// Scores one scalar shard against a query: keys are (|v − q|, id).
 [[nodiscard]] std::vector<Key> score_scalar_shard(const ScalarShard& shard, Value query);
@@ -179,6 +199,16 @@ struct BatchScoringConfig {
   /// batches in a serving loop.  The call barriers on it via wait_idle(),
   /// so don't share a pool that other threads submit to concurrently.
   ThreadPool* pool = nullptr;
+  /// Point-range subtile threshold for the parallel grid.  A brute-scanned
+  /// shard with more rows than this is scored as ⌈rows/threshold⌉
+  /// independent row ranges whose per-range top-ℓ lists merge into the
+  /// shard's slot — so one giant shard no longer serializes its column
+  /// scans on a single worker.  0 = auto (64 Ki rows).  Merging changes no
+  /// output byte (keys are globally distinct and each range's top-ℓ
+  /// contains every global winner inside it — fuzzed against the unsplit
+  /// grid in tests/test_parity.cpp); only the serial path and tree-indexed
+  /// shards stay whole (column streaming / hierarchical traversal).
+  std::size_t shard_split_rows = 0;
 };
 
 /// Policy-aware, optionally parallel batched scoring.  Tiles the

@@ -1,0 +1,651 @@
+#include "core/knn_service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+// --- State -------------------------------------------------------------------
+
+struct KnnService::State {
+  ServiceConfig config;
+  std::size_t dim = 0;  ///< 0 = unknown (empty static dataset)
+
+  // Static mode: each machine's frozen scoring structures.
+  std::vector<ShardIndex> indexes;
+  // Live mode: each machine's mutable store.
+  std::vector<std::unique_ptr<SegmentStore>> stores;
+  std::uint64_t next_machine = 0;  ///< round-robin insert routing
+
+  // id → payload per machine, shared by both modes (a live store's
+  // membership churns, so positional arrays cannot label it).
+  bool has_labels = false;
+  bool has_targets = false;
+  std::vector<std::unordered_map<PointId, std::uint32_t>> labels;
+  std::vector<std::unordered_map<PointId, double>> targets;
+
+  // Service-owned scoring pool (null when scoring is serial or the caller
+  // supplied an external pool); `scoring` is config.scoring with the pool
+  // wired in.
+  std::unique_ptr<ThreadPool> pool;
+  BatchScoringConfig scoring;
+
+  EpochResultCache cache;
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+
+  // One coarse service mutex: every public call serializes on it, which
+  // makes any cross-thread interleaving safe (the scoring *inside* a call
+  // still fans out over the pool).
+  std::mutex mutex;
+
+  explicit State(std::size_t cache_capacity) : cache(cache_capacity) {}
+
+  [[nodiscard]] std::size_t machine_count() const {
+    return config.live ? stores.size() : indexes.size();
+  }
+
+  /// The strictly monotone service epoch (sum of per-store epochs; each
+  /// store's epoch never decreases and every mutation bumps one).
+  [[nodiscard]] std::uint64_t epoch() const {
+    std::uint64_t sum = 0;
+    for (const auto& store : stores) sum += store->epoch();
+    return sum;
+  }
+};
+
+// --- lifecycle ---------------------------------------------------------------
+
+KnnService::KnnService() = default;
+KnnService::KnnService(std::unique_ptr<State> state) : state_(std::move(state)) {}
+KnnService::KnnService(KnnService&&) noexcept = default;
+KnnService& KnnService::operator=(KnnService&&) noexcept = default;
+KnnService::~KnnService() = default;
+
+KnnService::State& KnnService::ensure_built() const {
+  if (state_ == nullptr) throw ServiceStateError("dknn: KnnService used before build()");
+  return *state_;
+}
+
+KnnService::State& KnnService::ensure_live() const {
+  State& state = ensure_built();
+  if (!state.config.live) {
+    throw ServiceStateError(
+        "dknn: live-serving call on a static-mode KnnService (build with "
+        "KnnServiceBuilder::live)");
+  }
+  return state;
+}
+
+bool KnnService::live() const { return ensure_built().config.live; }
+const ServiceConfig& KnnService::config() const { return ensure_built().config; }
+std::size_t KnnService::dim() const { return ensure_built().dim; }
+std::size_t KnnService::machines() const { return ensure_built().machine_count(); }
+
+std::size_t KnnService::total_points() const {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t total = 0;
+  if (state.config.live) {
+    for (const auto& store : state.stores) total += store->live_points();
+  } else {
+    for (const auto& index : state.indexes) total += index.store().size();
+  }
+  return total;
+}
+
+// --- queries -----------------------------------------------------------------
+
+namespace {
+
+void validate_query_dims(std::size_t dim, std::span<const PointD> queries) {
+  // dim == 0 means the dataset is empty and dimension-free; every scoring
+  // path then returns empty keys for any query (mirrors the kernels).
+  if (dim == 0) return;
+  for (const PointD& query : queries) require_query_dim(dim, query.dim());
+}
+
+}  // namespace
+
+BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
+                                         std::optional<KnnAlgo> algo) {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  BatchQueryResult out;
+  out.epoch = state.epoch();
+  if (queries.empty()) return out;
+  validate_query_dims(state.dim, queries);
+
+  // One coherent snapshot set for the whole batch (live mode).
+  std::vector<SnapshotPtr> snapshots;
+  if (state.config.live) {
+    snapshots.reserve(state.stores.size());
+    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
+  }
+
+  out.per_query.resize(queries.size());
+  const auto batch_size = static_cast<std::uint32_t>(queries.size());
+
+  // Cache pass: fill hits, collect misses.  Sound because every answer is
+  // a deterministic function of (snapshot epoch, query); see the header.
+  // A disabled cache (the default) skips the coord-bits materialization
+  // and cache locking entirely.
+  std::vector<std::size_t> miss_index;
+  std::vector<PointD> miss_queries;
+  std::vector<std::vector<std::uint64_t>> miss_bits;
+  const bool caching = state.cache.capacity() > 0;
+  if (!caching) {
+    miss_index.reserve(queries.size());
+    miss_queries.reserve(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      miss_index.push_back(q);
+      miss_queries.push_back(queries[q]);
+    }
+  } else {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      auto bits = query_coord_bits(queries[q]);
+      if (auto cached = state.cache.lookup(bits, out.epoch); cached.has_value()) {
+        out.per_query[q].keys = std::move(*cached);
+        out.per_query[q].epoch = out.epoch;
+        out.per_query[q].cache_hit = true;
+      } else {
+        miss_index.push_back(q);
+        miss_queries.push_back(queries[q]);
+        miss_bits.push_back(std::move(bits));
+      }
+    }
+  }
+
+  if (!miss_queries.empty()) {
+    // Local computation: the fused batch kernels over every machine's
+    // resident structures — exactly the free-function paths.
+    const auto scored =
+        state.config.live
+            ? score_serve_snapshots_batch(snapshots, miss_queries, state.config.ell,
+                                          state.config.metric, state.scoring)
+            : score_vector_shards_batch(state.indexes, miss_queries, state.config.ell,
+                                        state.config.metric, state.scoring);
+    // Global selection: every miss through one engine run.
+    BatchRunResult batch = run_knn_batch(scored, state.config.ell,
+                                         algo.value_or(state.config.algo),
+                                         state.config.engine, state.config.knn);
+    if (caching) state.cache.make_room(miss_index.size(), out.epoch);
+    for (std::size_t i = 0; i < miss_index.size(); ++i) {
+      QueryResult& dst = out.per_query[miss_index[i]];
+      GlobalRunResult& src = batch.per_query[i];
+      dst.keys = std::move(src.keys);
+      dst.report = std::move(src.report);
+      dst.iterations = src.iterations;
+      dst.attempts = src.attempts;
+      dst.candidates = src.candidates;
+      dst.prune_ok = src.prune_ok;
+      dst.epoch = out.epoch;
+      dst.cache_hit = false;
+      if (caching) state.cache.insert(std::move(miss_bits[i]), out.epoch, dst.keys);
+    }
+    out.report = std::move(batch.report);
+    ++state.batches;
+  }
+
+  for (QueryResult& result : out.per_query) result.batch_size = batch_size;
+  state.queries += queries.size();
+  return out;
+}
+
+QueryResult KnnService::query(const PointD& point, std::optional<KnnAlgo> algo) {
+  BatchQueryResult batch = query_batch(std::span<const PointD>(&point, 1), algo);
+  QueryResult result = std::move(batch.per_query.front());
+  // A lone query owns its whole run: give it the complete engine report
+  // (traffic included), not just the per-query round count.
+  if (!result.cache_hit) result.report = std::move(batch.report);
+  return result;
+}
+
+std::vector<ClassifyResult> KnnService::classify_batch(std::span<const PointD> queries,
+                                                       VoteRule rule) {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.has_labels) {
+    throw ServiceStateError(
+        "dknn: KnnService::classify requires labels (KnnServiceBuilder::labels or "
+        "insert_labeled)");
+  }
+  if (queries.empty()) return {};  // consistent with query_batch
+  validate_query_dims(state.dim, queries);
+
+  std::vector<SnapshotPtr> snapshots;
+  if (state.config.live) {
+    snapshots.reserve(state.stores.size());
+    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
+  }
+  const auto scored =
+      state.config.live
+          ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+                                        state.config.metric, state.scoring)
+          : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+                                      state.config.metric, state.scoring);
+  auto results = classify_scored_batch(scored, state.labels, state.config.ell,
+                                       state.config.engine, state.config.knn, rule);
+  state.queries += queries.size();
+  ++state.batches;
+  return results;
+}
+
+ClassifyResult KnnService::classify(const PointD& point, VoteRule rule) {
+  return std::move(classify_batch(std::span<const PointD>(&point, 1), rule).front());
+}
+
+std::vector<RegressResult> KnnService::regress_batch(std::span<const PointD> queries) {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.has_targets) {
+    throw ServiceStateError(
+        "dknn: KnnService::regress requires targets (KnnServiceBuilder::targets or "
+        "insert_target)");
+  }
+  if (queries.empty()) return {};  // consistent with query_batch
+  validate_query_dims(state.dim, queries);
+
+  std::vector<SnapshotPtr> snapshots;
+  if (state.config.live) {
+    snapshots.reserve(state.stores.size());
+    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
+  }
+  const auto scored =
+      state.config.live
+          ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+                                        state.config.metric, state.scoring)
+          : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+                                      state.config.metric, state.scoring);
+  auto results = regress_scored_batch(scored, state.targets, state.config.ell,
+                                      state.config.engine, state.config.knn);
+  state.queries += queries.size();
+  ++state.batches;
+  return results;
+}
+
+RegressResult KnnService::regress(const PointD& point) {
+  return std::move(regress_batch(std::span<const PointD>(&point, 1)).front());
+}
+
+ServiceStats KnnService::stats() const {
+  State& state = ensure_built();
+  // Cache counters are read under the service mutex: every facade cache
+  // mutation happens inside it, so the snapshot is exact (hits + misses
+  // always reconcile with the query count).
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const ResultCacheStats cache = state.cache.stats();
+  ServiceStats stats;
+  stats.queries = state.queries;
+  stats.batches = state.batches;
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_flushes = cache.flushes;
+  return stats;
+}
+
+// --- live-serving surface ----------------------------------------------------
+
+std::size_t KnnService::insert_point(State& state, const PointD& point, PointId id) {
+  require_query_dim(state.dim, point.dim());
+  for (const auto& store : state.stores) {
+    if (store->contains(id)) {
+      throw PreconditionError("dknn: insert: id " + std::to_string(id) + " is already live");
+    }
+  }
+  const std::size_t machine = state.next_machine++ % state.stores.size();
+  state.stores[machine]->insert(point, id);
+  return machine;
+}
+
+std::uint64_t KnnService::insert(const PointD& point, PointId id) {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  insert_point(state, point, id);
+  return state.epoch();
+}
+
+std::uint64_t KnnService::insert_labeled(const PointD& point, PointId id, std::uint32_t label) {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const std::size_t machine = insert_point(state, point, id);
+  state.labels[machine][id] = label;
+  state.has_labels = true;
+  return state.epoch();
+}
+
+std::uint64_t KnnService::insert_target(const PointD& point, PointId id, double target) {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const std::size_t machine = insert_point(state, point, id);
+  state.targets[machine][id] = target;
+  state.has_targets = true;
+  return state.epoch();
+}
+
+std::optional<std::uint64_t> KnnService::erase(PointId id) {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (std::size_t m = 0; m < state.stores.size(); ++m) {
+    if (state.stores[m]->erase(id).has_value()) {
+      state.labels[m].erase(id);
+      state.targets[m].erase(id);
+      return state.epoch();
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t KnnService::compact_now() {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& store : state.stores) {
+    // plan → build → install, synchronously, until this store is clean.
+    // Each install strictly shrinks the backlog, so this terminates; under
+    // the service mutex no victim can change, so installs cannot abort
+    // (the break is a safety net, not a path).
+    for (;;) {
+      const SegmentStore::CompactionPlan plan =
+          store->plan_compaction(state.config.compaction);
+      if (plan.empty()) break;
+      auto merged = SegmentStore::merge_segments(plan.victims, state.config.serve);
+      if (!store->install_compaction(plan, std::move(merged))) break;
+    }
+  }
+  return state.epoch();
+}
+
+std::uint64_t KnnService::snapshot_epoch() const {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.epoch();
+}
+
+bool KnnService::contains(PointId id) const {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& store : state.stores) {
+    if (store->contains(id)) return true;
+  }
+  return false;
+}
+
+std::vector<PointId> KnnService::live_ids() const {
+  State& state = ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<PointId> ids;
+  for (const auto& store : state.stores) {
+    const SnapshotPtr snapshot = store->snapshot();
+    for (const SegmentView& segment : snapshot->segments) {
+      const std::span<const PointId> rows = segment.data->store().ids();
+      for (const auto& [lo, hi] : *segment.live_runs) {
+        ids.insert(ids.end(), rows.begin() + lo, rows.begin() + hi);
+      }
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t KnnService::segment_count() const {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t count = 0;
+  for (const auto& store : state.stores) count += store->segment_count();
+  return count;
+}
+
+std::uint64_t KnnService::compaction_debt() const {
+  State& state = ensure_built();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t debt = 0;
+  for (const auto& store : state.stores) debt += store->compaction_debt(state.config.compaction);
+  return debt;
+}
+
+// --- builder -----------------------------------------------------------------
+
+KnnServiceBuilder& KnnServiceBuilder::machines(std::uint32_t k) {
+  config_.machines = k;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::ell(std::uint64_t ell) {
+  config_.ell = ell;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::metric(MetricKind kind) {
+  config_.metric = kind;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::algo(KnnAlgo algo) {
+  config_.algo = algo;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::policy(ScoringPolicy policy) {
+  config_.policy = policy;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::leaf_size(std::size_t leaf_size) {
+  config_.leaf_size = leaf_size;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::partition(PartitionScheme scheme) {
+  config_.partition = scheme;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::scoring(const BatchScoringConfig& scoring) {
+  config_.scoring = scoring;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::engine(const EngineConfig& engine) {
+  config_.engine = engine;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::knn(const KnnConfig& knn) {
+  config_.knn = knn;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::live() {
+  config_.live = true;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::live(const ServeConfig& serve) {
+  config_.live = true;
+  config_.serve = serve;
+  serve_explicit_ = true;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::compaction(const CompactionConfig& compaction) {
+  config_.compaction = compaction;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::cache_capacity(std::size_t entries) {
+  config_.cache_capacity = entries;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::config(const ServiceConfig& config) {
+  config_ = config;
+  serve_explicit_ = true;  // a hand-rolled config's serve knobs are verbatim
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::dim(std::size_t dim) {
+  dim_ = dim;
+  return *this;
+}
+
+KnnServiceBuilder& KnnServiceBuilder::dataset(std::vector<PointD> points) {
+  have_flat_ = true;
+  flat_points_ = std::move(points);
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::dataset_sharded(std::vector<VectorShard> shards) {
+  have_sharded_ = true;
+  shards_ = std::move(shards);
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::labels(std::vector<std::uint32_t> labels) {
+  have_labels_ = true;
+  flat_labels_ = std::move(labels);
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::targets(std::vector<double> targets) {
+  have_targets_ = true;
+  flat_targets_ = std::move(targets);
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::labels_sharded(
+    std::vector<std::vector<std::uint32_t>> labels) {
+  have_labels_ = true;
+  sharded_labels_ = std::move(labels);
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::targets_sharded(std::vector<std::vector<double>> targets) {
+  have_targets_ = true;
+  sharded_targets_ = std::move(targets);
+  return *this;
+}
+
+KnnService KnnServiceBuilder::build() {
+  require_positive_ell(config_.ell);
+  if (have_flat_ && have_sharded_) {
+    throw ServiceStateError("dknn: give the builder dataset() or dataset_sharded(), not both");
+  }
+
+  auto state = std::make_unique<KnnService::State>(config_.cache_capacity);
+  state->config = config_;
+  // One policy/leaf-size knob drives both modes — sealed segments build
+  // the same scoring structures the static ShardIndexes would — unless
+  // the caller handed over explicit store knobs (live(ServeConfig) /
+  // config()), which win verbatim.
+  if (!serve_explicit_) {
+    state->config.serve.policy = config_.policy;
+    state->config.serve.leaf_size = config_.leaf_size;
+  }
+
+  // Assemble shards + payload tables.
+  std::vector<VectorShard> shards;
+  const std::size_t flat_count = flat_points_.size();
+  ShardPlacement placement;
+  if (have_sharded_) {
+    if (!flat_labels_.empty() || !flat_targets_.empty()) {
+      throw ServiceStateError(
+          "dknn: flat labels()/targets() require a flat dataset(); use labels_sharded()/"
+          "targets_sharded() with dataset_sharded()");
+    }
+    shards = std::move(shards_);
+    if (shards.empty()) {
+      throw ServiceStateError("dknn: dataset_sharded() needs at least one shard");
+    }
+    state->config.machines = static_cast<std::uint32_t>(shards.size());
+  } else {
+    if (!sharded_labels_.empty() || !sharded_targets_.empty()) {
+      throw ServiceStateError(
+          "dknn: labels_sharded()/targets_sharded() require dataset_sharded()");
+    }
+    if (config_.machines == 0) {
+      throw ServiceStateError("dknn: KnnService needs at least one machine");
+    }
+    if (have_labels_ && flat_labels_.size() != flat_count) {
+      throw ServiceStateError("dknn: labels() must align with dataset()");
+    }
+    if (have_targets_ && flat_targets_.size() != flat_count) {
+      throw ServiceStateError("dknn: targets() must align with dataset()");
+    }
+    Rng rng(config_.seed);
+    shards = make_vector_shards(std::move(flat_points_), config_.machines, config_.partition,
+                                rng, placement);
+  }
+
+  const std::size_t k = shards.size();
+  state->labels.resize(k);
+  state->targets.resize(k);
+  state->has_labels = have_labels_;
+  state->has_targets = have_targets_;
+  if (have_labels_ || have_targets_) {
+    if (have_sharded_) {
+      if (have_labels_ && sharded_labels_.size() != k) {
+        throw ServiceStateError("dknn: labels_sharded() must align with dataset_sharded()");
+      }
+      if (have_targets_ && sharded_targets_.size() != k) {
+        throw ServiceStateError("dknn: targets_sharded() must align with dataset_sharded()");
+      }
+      for (std::size_t m = 0; m < k; ++m) {
+        if (have_labels_ && sharded_labels_[m].size() != shards[m].points.size()) {
+          throw ServiceStateError("dknn: labels_sharded() must align with dataset_sharded()");
+        }
+        if (have_targets_ && sharded_targets_[m].size() != shards[m].points.size()) {
+          throw ServiceStateError("dknn: targets_sharded() must align with dataset_sharded()");
+        }
+        for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
+          if (have_labels_) state->labels[m].emplace(shards[m].ids[i], sharded_labels_[m][i]);
+          if (have_targets_) state->targets[m].emplace(shards[m].ids[i], sharded_targets_[m][i]);
+        }
+      }
+    } else {
+      // Flat payloads follow their point through the partition.
+      for (std::size_t i = 0; i < flat_count; ++i) {
+        const auto [machine, row] = placement[i];
+        const PointId id = shards[machine].ids[row];
+        if (have_labels_) state->labels[machine].emplace(id, flat_labels_[i]);
+        if (have_targets_) state->targets[machine].emplace(id, flat_targets_[i]);
+      }
+    }
+  }
+
+  // Dimensionality: from the data, else the explicit builder override.
+  std::size_t dim = 0;
+  for (const VectorShard& shard : shards) {
+    if (!shard.points.empty()) {
+      dim = shard.points.front().dim();
+      break;
+    }
+  }
+  if (dim == 0) dim = dim_;
+  state->dim = dim;
+
+  // Per-machine scoring structures.
+  if (config_.live) {
+    if (dim == 0) {
+      throw ServiceStateError(
+          "dknn: a live KnnService needs a known dimension (provide points or "
+          "KnnServiceBuilder::dim)");
+    }
+    state->stores.reserve(k);
+    for (VectorShard& shard : shards) {
+      auto store = std::make_unique<SegmentStore>(dim, state->config.serve);
+      if (!shard.points.empty()) {
+        store->insert_batch(shard.points, shard.ids);
+        store->seal();
+      }
+      state->stores.push_back(std::move(store));
+    }
+  } else {
+    state->indexes = make_shard_indexes(shards, config_.policy, config_.leaf_size);
+  }
+
+  // Service-owned scoring pool: spawn once, reuse across every batch
+  // (BatchScoringConfig{threads} would otherwise respawn per call).
+  state->scoring = config_.scoring;
+  if (state->scoring.pool == nullptr) {
+    const std::size_t threads =
+        state->scoring.threads != 0
+            ? state->scoring.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    if (threads > 1) {
+      state->pool = std::make_unique<ThreadPool>(threads, state->scoring.seed);
+      state->scoring.pool = state->pool.get();
+    }
+  }
+
+  return KnnService(std::move(state));
+}
+
+}  // namespace dknn

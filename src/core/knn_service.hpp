@@ -1,0 +1,349 @@
+#pragma once
+/// \file knn_service.hpp
+/// \brief One front door: the `KnnService` facade over the static, batched
+///        and live-serving query paths.
+///
+/// Four PRs grew four parallel entry styles — per-query free functions
+/// (`score_vector_shards` → `run_knn`), the resident batch path
+/// (`make_shard_indexes` → `score_vector_shards_batch` → `run_knn_batch`),
+/// the serve path (`SegmentStore` → `score_serve_snapshots_batch`), and
+/// mlapi overloads for each — so every new capability had to be threaded
+/// through all of them by hand.  `KnnService` is the single handle
+/// production-scale distributed KNN systems expose over these concerns
+/// (PANDA, arXiv:1607.08220; Debatty et al.'s online-index argument,
+/// arXiv:1602.06819): one object owns the shards, the per-machine scoring
+/// structures (ShardIndexes or SegmentStores), the scoring thread pool and
+/// the epoch-keyed result cache, and `query` / `query_batch` / `classify`
+/// / `regress` are the *same call* whether the dataset is frozen or
+/// churning.
+///
+///   KnnService svc = KnnServiceBuilder()
+///                        .machines(16).ell(8)
+///                        .metric(MetricKind::SquaredEuclidean)
+///                        .policy(ScoringPolicy::Auto)
+///                        .dataset(std::move(points))
+///                        .build();
+///   QueryResult r = svc.query(q);           // keys + epoch + cost report
+///
+///   KnnService live = KnnServiceBuilder().machines(4).ell(8)
+///                        .live().dataset(std::move(points)).build();
+///   live.insert(p, id);  live.erase(other);  live.compact_now();
+///   QueryResult r2 = live.query(q);         // same call, same result type
+///
+/// Parity contract (fuzzed in tests/test_service.cpp, ≥500 trials across
+/// 4 metrics × brute/tree/auto × static/live): `query_batch` is
+/// byte-identical to composing the free functions yourself —
+/// `score_vector_shards_batch` + `run_knn_batch` in static mode,
+/// `score_serve_snapshots_batch` + `run_knn_batch` in live mode.  The free
+/// functions remain public as the decomposed stages (and the batched mlapi
+/// entries are now thin wrappers over this facade); new capabilities land
+/// here once instead of once per path.
+///
+/// Preconditions are validated centrally (data/validate.hpp) with typed
+/// errors and stable texts instead of per-path panics:
+///   * dimension mismatch        → DimensionMismatchError
+///   * ℓ = 0                     → InvalidEllError (at build())
+///   * query before build, live-only calls on a static service, classify
+///     without labels            → ServiceStateError
+/// ℓ > n stays permissive — every path returns min(ℓ, n) keys, exactly
+/// like the free functions.
+///
+/// Thread-safety: all public methods serialize on one internal service
+/// mutex, so any interleaving from any threads is safe (scoring itself
+/// still runs parallel on the service's pool *inside* a call).  For
+/// high-concurrency single-store serving where queries should coalesce
+/// instead of queue, the dynamic-batching QueryFrontEnd
+/// (serve/front_end.hpp) remains the dedicated tool — it shares this
+/// facade's result-cache machinery.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/mlapi.hpp"
+#include "data/validate.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/segment_store.hpp"
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dknn {
+
+/// A facade call that the service's current lifecycle state cannot honor
+/// (query before build, insert on a static service, classify without
+/// labels, ...).
+class ServiceStateError final : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+/// Everything a KnnService is built from.  The builder below fills one of
+/// these fluently; passing a hand-rolled config to
+/// KnnServiceBuilder::config is equivalent.
+struct ServiceConfig {
+  /// k — simulated machines the dataset shards over (ignored when the
+  /// dataset arrives pre-sharded; then k = shards.size()).
+  std::uint32_t machines = 8;
+  /// ℓ of every answer; must be ≥ 1 (answers still cap at min(ℓ, n)).
+  std::uint64_t ell = 8;
+  MetricKind metric = MetricKind::SquaredEuclidean;
+  /// Distributed selection algorithm for query/classify/regress (per-call
+  /// override available on query/query_batch).
+  KnnAlgo algo = KnnAlgo::DistKnn;
+  /// Local scoring structure per machine (static mode) or per sealed
+  /// segment (live mode, via `serve.policy` which build() syncs to this).
+  ScoringPolicy policy = ScoringPolicy::Auto;
+  std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize;
+  /// How a flat dataset() shards over the machines.
+  PartitionScheme partition = PartitionScheme::RoundRobin;
+  /// Seed for id assignment + partitioning of a flat dataset().
+  std::uint64_t seed = 1;
+  /// Scoring-step execution knobs.  `scoring.pool` may point at an
+  /// external pool; otherwise the service owns one when threads != 1.
+  BatchScoringConfig scoring{};
+  EngineConfig engine{};
+  KnnConfig knn{};
+  /// Live-serving mode: machines are SegmentStores (insert/erase/
+  /// compact_now/snapshot_epoch available) instead of frozen ShardIndexes.
+  bool live = false;
+  ServeConfig serve{};
+  /// compact_now()'s victim-selection policy.
+  CompactionConfig compaction{};
+  /// Epoch-keyed result-cache entries for query/query_batch; 0 disables.
+  /// Sound in both modes: answers are deterministic per epoch, and any
+  /// mutation advances the service epoch.
+  std::size_t cache_capacity = 0;
+};
+
+/// One query's answer through the facade — the same shape for the static
+/// and the live path.
+struct QueryResult {
+  /// The global ℓ-NN as (distance-rank, id) keys, ascending; size =
+  /// min(ℓ, live points).
+  std::vector<Key> keys;
+  /// Service epoch the answer is exact for (0 in static mode — the
+  /// dataset never moves).
+  std::uint64_t epoch = 0;
+  /// Engine cost report.  For query(): the whole run.  For query_batch():
+  /// this query's round count (whole-batch traffic lives on
+  /// BatchQueryResult::report).  Empty on a cache hit — no protocol ran.
+  RunReport report;
+  /// Driver-loop iterations / Algorithm 2 sampling telemetry (see
+  /// GlobalRunResult).
+  std::uint32_t iterations = 0;
+  std::uint32_t attempts = 1;
+  std::uint64_t candidates = 0;
+  bool prune_ok = true;
+  /// True iff the answer came out of the service's result cache.
+  bool cache_hit = false;
+  /// Queries scored together in the call this answer rode in.
+  std::uint32_t batch_size = 0;
+};
+
+/// A batched run's answers plus the whole-batch engine report.
+struct BatchQueryResult {
+  std::vector<QueryResult> per_query;  ///< in query order
+  /// One engine, B queries: setup and warm-up amortize across the batch.
+  /// Covers the cache-missing queries only (hits run no protocol).
+  RunReport report;
+  std::uint64_t epoch = 0;  ///< service epoch all answers are exact for
+};
+
+/// Facade health counters.
+struct ServiceStats {
+  std::uint64_t queries = 0;        ///< answers produced (all entry points)
+  std::uint64_t batches = 0;        ///< scoring+protocol runs executed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_flushes = 0;
+};
+
+class KnnServiceBuilder;
+
+class KnnService {
+ public:
+  /// An unbuilt service; every call except built() throws
+  /// ServiceStateError until a builder assigns into it.
+  KnnService();
+
+  KnnService(KnnService&&) noexcept;
+  KnnService& operator=(KnnService&&) noexcept;
+  KnnService(const KnnService&) = delete;
+  KnnService& operator=(const KnnService&) = delete;
+  ~KnnService();
+
+  [[nodiscard]] bool built() const { return state_ != nullptr; }
+  /// True iff built in live-serving mode.
+  [[nodiscard]] bool live() const;
+  [[nodiscard]] const ServiceConfig& config() const;
+  /// Dataset dimensionality (0 = not yet known: empty static dataset).
+  [[nodiscard]] std::size_t dim() const;
+  [[nodiscard]] std::size_t machines() const;
+  /// Live points across all machines (static mode: total resident points).
+  [[nodiscard]] std::size_t total_points() const;
+
+  // --- queries (static and live mode; serialized, any thread) ---------------
+
+  /// Full distributed answer for one query: local scoring on every
+  /// machine, the configured selection protocol (default Algorithm 2), the
+  /// globally merged ℓ-NN.  `algo` overrides the configured algorithm for
+  /// this call only.
+  [[nodiscard]] QueryResult query(const PointD& point,
+                                  std::optional<KnnAlgo> algo = std::nullopt);
+
+  /// Batched entry: the whole block is scored with the fused kernels and
+  /// driven through one engine run (cache hits excluded).  Byte-identical
+  /// to score_vector_shards_batch/score_serve_snapshots_batch +
+  /// run_knn_batch over the same machines.
+  [[nodiscard]] BatchQueryResult query_batch(std::span<const PointD> queries,
+                                             std::optional<KnnAlgo> algo = std::nullopt);
+
+  /// Distributed ℓ-NN classification (majority / inverse-distance vote of
+  /// the global winners' labels).  Requires labels at build time (or via
+  /// insert_labeled); equals mlapi's classify_batch over the same shards.
+  [[nodiscard]] ClassifyResult classify(const PointD& point,
+                                        VoteRule rule = VoteRule::Majority);
+  [[nodiscard]] std::vector<ClassifyResult> classify_batch(std::span<const PointD> queries,
+                                                           VoteRule rule = VoteRule::Majority);
+
+  /// Distributed ℓ-NN regression (mean target of the global winners).
+  [[nodiscard]] RegressResult regress(const PointD& point);
+  [[nodiscard]] std::vector<RegressResult> regress_batch(std::span<const PointD> queries);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  // --- live-serving surface (ServiceStateError in static mode) --------------
+
+  /// Appends a live point on the next machine in round-robin order.  `id`
+  /// must be distinct from every live id across all machines.  Returns the
+  /// new service epoch.
+  std::uint64_t insert(const PointD& point, PointId id);
+  /// insert() plus a label / target for classify() / regress().
+  std::uint64_t insert_labeled(const PointD& point, PointId id, std::uint32_t label);
+  std::uint64_t insert_target(const PointD& point, PointId id, double target);
+
+  /// Deletes a live point wherever it lives.  Returns the new service
+  /// epoch, or nullopt (and no epoch advance) when `id` is not live.
+  std::optional<std::uint64_t> erase(PointId id);
+
+  /// Synchronously pays off compaction debt on every machine (tombstone
+  /// purges + small-segment merges under `config().compaction`).  Returns
+  /// the new service epoch.  Held QueryResults are unaffected — they own
+  /// their keys and stay exact for the epoch they are stamped with.
+  std::uint64_t compact_now();
+
+  /// The service epoch: strictly monotone over mutations (sum of the
+  /// per-machine store epochs), 0 in static mode.  The epoch every
+  /// QueryResult is stamped with and the result cache is keyed by.
+  [[nodiscard]] std::uint64_t snapshot_epoch() const;
+
+  /// True iff `id` is currently live (live mode; ServiceStateError in
+  /// static mode — a static dataset has no mutable membership to probe).
+  [[nodiscard]] bool contains(PointId id) const;
+
+  /// Every live point id across all machines, ascending (live mode).
+  /// O(live points) — the handle callers need to erase or relabel points
+  /// the *builder* loaded (their random ids are assigned internally);
+  /// also the safe way to mint fresh ids: pick anything contains() denies.
+  [[nodiscard]] std::vector<PointId> live_ids() const;
+
+  /// Maintenance telemetry (live mode; 0 / config-sized in static mode).
+  [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] std::uint64_t compaction_debt() const;
+
+ private:
+  friend class KnnServiceBuilder;
+  struct State;
+  explicit KnnService(std::unique_ptr<State> state);
+
+  /// Throws ServiceStateError unless built.
+  [[nodiscard]] State& ensure_built() const;
+  /// Throws ServiceStateError unless built live.
+  [[nodiscard]] State& ensure_live() const;
+  /// Shared body of the insert family: validate, route round-robin,
+  /// insert.  Returns the machine the point landed on.
+  static std::size_t insert_point(State& state, const PointD& point, PointId id);
+
+  std::unique_ptr<State> state_;
+};
+
+/// Fluent assembly of a KnnService.  Setters return *this so construction
+/// reads as one expression; build() consumes the staged dataset (a builder
+/// is one-shot).
+class KnnServiceBuilder {
+ public:
+  KnnServiceBuilder() = default;
+
+  KnnServiceBuilder& machines(std::uint32_t k);
+  KnnServiceBuilder& ell(std::uint64_t ell);
+  KnnServiceBuilder& metric(MetricKind kind);
+  KnnServiceBuilder& algo(KnnAlgo algo);
+  KnnServiceBuilder& policy(ScoringPolicy policy);
+  KnnServiceBuilder& leaf_size(std::size_t leaf_size);
+  KnnServiceBuilder& partition(PartitionScheme scheme);
+  KnnServiceBuilder& seed(std::uint64_t seed);
+  KnnServiceBuilder& scoring(const BatchScoringConfig& scoring);
+  KnnServiceBuilder& engine(const EngineConfig& engine);
+  KnnServiceBuilder& knn(const KnnConfig& knn);
+  /// Switches to live-serving mode.  The plain overload derives the
+  /// stores' scoring policy and leaf size from policy()/leaf_size(); the
+  /// ServeConfig overload takes the caller's knobs verbatim.
+  KnnServiceBuilder& live();
+  KnnServiceBuilder& live(const ServeConfig& serve);
+  KnnServiceBuilder& compaction(const CompactionConfig& compaction);
+  KnnServiceBuilder& cache_capacity(std::size_t entries);
+  /// Wholesale config (fields staged so far are overwritten).
+  KnnServiceBuilder& config(const ServiceConfig& config);
+  /// Explicit dimensionality — required only for a live service built
+  /// without points.
+  KnnServiceBuilder& dim(std::size_t dim);
+
+  /// A flat dataset: the builder shards it over `machines()` with
+  /// `partition()` and assigns the paper's random unique ids (seeded —
+  /// byte-identical to calling make_vector_shards yourself with the same
+  /// seed).
+  KnnServiceBuilder& dataset(std::vector<PointD> points);
+  /// A pre-sharded dataset (the migration path from make_vector_shards /
+  /// make_shard_indexes call sites): machine count and ids come from the
+  /// shards.
+  KnnServiceBuilder& dataset_sharded(std::vector<VectorShard> shards);
+
+  /// Labels / targets aligned with a flat dataset() (labels[i] belongs to
+  /// points[i]) — the builder routes them through the partition.
+  KnnServiceBuilder& labels(std::vector<std::uint32_t> labels);
+  KnnServiceBuilder& targets(std::vector<double> targets);
+  /// Labels / targets aligned with dataset_sharded() (labels[m][i]
+  /// belongs to shards[m].points[i]).
+  KnnServiceBuilder& labels_sharded(std::vector<std::vector<std::uint32_t>> labels);
+  KnnServiceBuilder& targets_sharded(std::vector<std::vector<double>> targets);
+
+  /// Validates (typed errors, see the file comment), shards, builds the
+  /// per-machine scoring structures (ShardIndexes or sealed SegmentStores)
+  /// and the service's pool + cache, and hands the assembled service over.
+  [[nodiscard]] KnnService build();
+
+ private:
+  ServiceConfig config_{};
+  std::size_t dim_ = 0;
+  bool have_flat_ = false;
+  std::vector<PointD> flat_points_;
+  std::vector<std::uint32_t> flat_labels_;
+  std::vector<double> flat_targets_;
+  bool have_sharded_ = false;
+  std::vector<VectorShard> shards_;
+  std::vector<std::vector<std::uint32_t>> sharded_labels_;
+  std::vector<std::vector<double>> sharded_targets_;
+  bool have_labels_ = false;
+  bool have_targets_ = false;
+  /// True once live(ServeConfig) or config() supplied explicit store
+  /// knobs — build() then leaves serve.policy/leaf_size alone instead of
+  /// deriving them from policy()/leaf_size().
+  bool serve_explicit_ = false;
+};
+
+}  // namespace dknn

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/protocol.hpp"
+#include "data/validate.hpp"
 #include "sim/collectives.hpp"
 #include "support/panic.hpp"
 
@@ -177,19 +178,16 @@ RegressResult regress_distributed(const std::vector<TargetKeyShard>& shards, std
 
 namespace {
 
-/// Innermost batched scaffolding: pre-scored [query][machine] keys plus an
-/// id → payload table per machine, one engine run over all queries.
+/// Innermost batched scaffolding: pre-scored [query][machine] keys plus a
+/// (machine, id) → 64-bit payload lookup, one engine run over all queries.
+/// Taking the lookup instead of materialized tables lets callers (the
+/// facade in particular) serve payloads straight from their resident
+/// typed maps — no O(total points) widened copy per batch.
+template <typename Lookup>
 std::vector<std::vector<MlSlot>> run_ml_batch_scored(
     const std::vector<std::vector<std::vector<Key>>>& scored, std::size_t world,
     std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config,
-    const std::vector<std::unordered_map<PointId, std::uint64_t>>& tables,
-    RunReport* report_out) {
-  auto lookup = [&tables](MachineId machine, PointId id) -> std::uint64_t {
-    const auto it = tables[machine].find(id);
-    DKNN_REQUIRE(it != tables[machine].end(), "winner id has no payload on its machine");
-    return it->second;
-  };
-
+    const Lookup& lookup, RunReport* report_out) {
   EngineConfig config = engine_config;
   config.world_size = static_cast<std::uint32_t>(world);
   Engine engine(config);
@@ -199,61 +197,81 @@ std::vector<std::vector<MlSlot>> run_ml_batch_scored(
   return slots;
 }
 
-/// Shared scaffolding of the batched entry points: SoA conversion, fused
-/// batch scoring, one engine run over all queries.  `Payload` maps
-/// (machine, i) to the 64-bit payload of that machine's i-th point.
-template <typename Payload>
-std::vector<std::vector<MlSlot>> run_ml_batch(const std::vector<VectorShard>& shards,
-                                              std::span<const PointD> queries, std::uint64_t ell,
-                                              const EngineConfig& engine_config,
-                                              const KnnConfig& knn_config, MetricKind kind,
-                                              ScoringPolicy policy,
-                                              const BatchScoringConfig& scoring, Payload payload,
-                                              RunReport* report_out) {
-  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
-  DKNN_REQUIRE(!queries.empty(), "need at least one query");
-
-  const std::vector<ShardIndex> indexes = make_shard_indexes(shards, policy);
-  const auto scored = score_vector_shards_batch(indexes, queries, ell, kind, scoring);
-
-  // id → payload tables, built once per shard for the whole batch.
-  std::vector<std::unordered_map<PointId, std::uint64_t>> tables(shards.size());
-  for (std::size_t m = 0; m < shards.size(); ++m) {
-    tables[m].reserve(shards[m].ids.size());
-    for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
-      tables[m].emplace(shards[m].ids[i], payload(m, i));
-    }
-  }
-  return run_ml_batch_scored(scored, shards.size(), ell, engine_config, knn_config, tables,
-                             report_out);
-}
-
-/// Serve-side scaffolding: the same engine run over snapshot-scored keys,
-/// with caller-supplied id-keyed payload maps (a live store's membership
-/// churns, so positional arrays cannot label it).
-template <typename PayloadValue, typename Encode>
-std::vector<std::vector<MlSlot>> run_ml_serve_batch(
-    std::span<const SnapshotPtr> snapshots,
-    const std::vector<std::unordered_map<PointId, PayloadValue>>& payloads,
-    std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
-    const KnnConfig& knn_config, MetricKind kind, const BatchScoringConfig& scoring,
-    Encode encode, RunReport* report_out) {
-  DKNN_REQUIRE(!snapshots.empty(), "need at least one machine");
-  DKNN_REQUIRE(snapshots.size() == payloads.size(), "snapshots/payloads must align");
-  DKNN_REQUIRE(!queries.empty(), "need at least one query");
-
-  const auto scored = score_serve_snapshots_batch(snapshots, queries, ell, kind, scoring);
-
-  std::vector<std::unordered_map<PointId, std::uint64_t>> tables(payloads.size());
-  for (std::size_t m = 0; m < payloads.size(); ++m) {
-    tables[m].reserve(payloads[m].size());
-    for (const auto& [id, value] : payloads[m]) tables[m].emplace(id, encode(value));
-  }
-  return run_ml_batch_scored(scored, snapshots.size(), ell, engine_config, knn_config, tables,
-                             report_out);
-}
-
 }  // namespace
+
+std::vector<ClassifyResult> classify_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::unordered_map<PointId, std::uint32_t>>& labels, std::uint64_t ell,
+    const EngineConfig& engine_config, const KnnConfig& knn_config, VoteRule rule) {
+  DKNN_REQUIRE(!scored_batch.empty(), "need at least one query");
+  const std::size_t world = scored_batch.front().size();
+  DKNN_REQUIRE(world > 0, "need at least one machine");
+  DKNN_REQUIRE(labels.size() == world, "scored/labels must align");
+
+  // A winner without a label is a caller-input failure (an unlabeled
+  // point won the vote), so it carries a typed error like every other
+  // precondition — the engine rethrows it intact.
+  auto lookup = [&labels](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& table = labels[machine];
+    const auto it = table.find(id);
+    if (it == table.end()) {
+      throw PreconditionError("dknn: winner id " + std::to_string(id) +
+                              " has no label on its machine");
+    }
+    return it->second;
+  };
+  RunReport report;
+  auto slots = run_ml_batch_scored(scored_batch, world, ell, engine_config, knn_config, lookup,
+                                   &report);
+
+  std::vector<ClassifyResult> results(scored_batch.size());
+  for (std::size_t q = 0; q < scored_batch.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
+  }
+  return results;
+}
+
+std::vector<RegressResult> regress_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::unordered_map<PointId, double>>& targets, std::uint64_t ell,
+    const EngineConfig& engine_config, const KnnConfig& knn_config) {
+  DKNN_REQUIRE(!scored_batch.empty(), "need at least one query");
+  const std::size_t world = scored_batch.front().size();
+  DKNN_REQUIRE(world > 0, "need at least one machine");
+  DKNN_REQUIRE(targets.size() == world, "scored/targets must align");
+
+  auto lookup = [&targets](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& table = targets[machine];
+    const auto it = table.find(id);
+    if (it == table.end()) {
+      throw PreconditionError("dknn: winner id " + std::to_string(id) +
+                              " has no target on its machine");
+    }
+    return std::bit_cast<std::uint64_t>(it->second);
+  };
+  RunReport report;
+  auto slots = run_ml_batch_scored(scored_batch, world, ell, engine_config, knn_config, lookup,
+                                   &report);
+
+  std::vector<RegressResult> results(scored_batch.size());
+  for (std::size_t q = 0; q < scored_batch.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_regress(results[q], slots[q][knn_config.leader].winners);
+  }
+  return results;
+}
+
+// The batched dataset-level entries are thin wrappers over the facade's
+// decomposed stages: exactly the make_shard_indexes →
+// score_vector_shards_batch → classify/regress_scored_batch pipeline
+// KnnService::classify_batch/regress_batch runs (byte equality against
+// the facade is asserted in tests/test_service.cpp), composed here
+// directly so a one-shot call borrows the caller's shards instead of
+// copying them into a throwaway service.  Resident callers should hold a
+// KnnService and amortize the index build across batches.
 
 std::vector<ClassifyResult> classify_batch(const std::vector<VectorShard>& shards,
                                            const std::vector<std::vector<std::uint32_t>>& labels,
@@ -262,22 +280,22 @@ std::vector<ClassifyResult> classify_batch(const std::vector<VectorShard>& shard
                                            const KnnConfig& knn_config, VoteRule rule,
                                            MetricKind kind, ScoringPolicy policy,
                                            const BatchScoringConfig& scoring) {
+  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
   DKNN_REQUIRE(shards.size() == labels.size(), "shards/labels must align");
   for (std::size_t m = 0; m < shards.size(); ++m) {
     DKNN_REQUIRE(shards[m].points.size() == labels[m].size(), "points/labels must align");
   }
-  RunReport report;
-  auto slots = run_ml_batch(
-      shards, queries, ell, engine_config, knn_config, kind, policy, scoring,
-      [&labels](std::size_t m, std::size_t i) -> std::uint64_t { return labels[m][i]; }, &report);
-
-  std::vector<ClassifyResult> results(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
-                                     knn_config.leader);
-    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
+  const std::vector<ShardIndex> indexes = make_shard_indexes(shards, policy);
+  const auto scored = score_vector_shards_batch(indexes, queries, ell, kind, scoring);
+  std::vector<std::unordered_map<PointId, std::uint32_t>> labels_by_id(shards.size());
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    labels_by_id[m].reserve(shards[m].ids.size());
+    for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
+      labels_by_id[m].emplace(shards[m].ids[i], labels[m][i]);
+    }
   }
-  return results;
+  return classify_scored_batch(scored, labels_by_id, ell, engine_config, knn_config, rule);
 }
 
 std::vector<RegressResult> regress_batch(const std::vector<VectorShard>& shards,
@@ -287,26 +305,27 @@ std::vector<RegressResult> regress_batch(const std::vector<VectorShard>& shards,
                                          const KnnConfig& knn_config, MetricKind kind,
                                          ScoringPolicy policy,
                                          const BatchScoringConfig& scoring) {
+  DKNN_REQUIRE(!shards.empty(), "need at least one shard");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
   DKNN_REQUIRE(shards.size() == targets.size(), "shards/targets must align");
   for (std::size_t m = 0; m < shards.size(); ++m) {
     DKNN_REQUIRE(shards[m].points.size() == targets[m].size(), "points/targets must align");
   }
-  RunReport report;
-  auto slots = run_ml_batch(
-      shards, queries, ell, engine_config, knn_config, kind, policy, scoring,
-      [&targets](std::size_t m, std::size_t i) -> std::uint64_t {
-        return std::bit_cast<std::uint64_t>(targets[m][i]);
-      },
-      &report);
-
-  std::vector<RegressResult> results(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
-                                     knn_config.leader);
-    finish_regress(results[q], slots[q][knn_config.leader].winners);
+  const std::vector<ShardIndex> indexes = make_shard_indexes(shards, policy);
+  const auto scored = score_vector_shards_batch(indexes, queries, ell, kind, scoring);
+  std::vector<std::unordered_map<PointId, double>> targets_by_id(shards.size());
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    targets_by_id[m].reserve(shards[m].ids.size());
+    for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
+      targets_by_id[m].emplace(shards[m].ids[i], targets[m][i]);
+    }
   }
-  return results;
+  return regress_scored_batch(scored, targets_by_id, ell, engine_config, knn_config);
 }
+
+// The snapshot-level serve entries stay as the escape hatch for callers
+// who manage their own SegmentStores (a live KnnService owns its stores):
+// thin compositions of the public scoring + scored-batch stages.
 
 std::vector<ClassifyResult> classify_serve_batch(
     std::span<const SnapshotPtr> snapshots,
@@ -314,18 +333,11 @@ std::vector<ClassifyResult> classify_serve_batch(
     std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
     const KnnConfig& knn_config, VoteRule rule, MetricKind kind,
     const BatchScoringConfig& scoring) {
-  RunReport report;
-  auto slots = run_ml_serve_batch(
-      snapshots, labels, queries, ell, engine_config, knn_config, kind, scoring,
-      [](std::uint32_t label) -> std::uint64_t { return label; }, &report);
-
-  std::vector<ClassifyResult> results(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
-                                     knn_config.leader);
-    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
-  }
-  return results;
+  DKNN_REQUIRE(!snapshots.empty(), "need at least one machine");
+  DKNN_REQUIRE(snapshots.size() == labels.size(), "snapshots/payloads must align");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
+  const auto scored = score_serve_snapshots_batch(snapshots, queries, ell, kind, scoring);
+  return classify_scored_batch(scored, labels, ell, engine_config, knn_config, rule);
 }
 
 std::vector<RegressResult> regress_serve_batch(
@@ -333,19 +345,11 @@ std::vector<RegressResult> regress_serve_batch(
     const std::vector<std::unordered_map<PointId, double>>& targets,
     std::span<const PointD> queries, std::uint64_t ell, const EngineConfig& engine_config,
     const KnnConfig& knn_config, MetricKind kind, const BatchScoringConfig& scoring) {
-  RunReport report;
-  auto slots = run_ml_serve_batch(
-      snapshots, targets, queries, ell, engine_config, knn_config, kind, scoring,
-      [](double target) -> std::uint64_t { return std::bit_cast<std::uint64_t>(target); },
-      &report);
-
-  std::vector<RegressResult> results(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
-                                     knn_config.leader);
-    finish_regress(results[q], slots[q][knn_config.leader].winners);
-  }
-  return results;
+  DKNN_REQUIRE(!snapshots.empty(), "need at least one machine");
+  DKNN_REQUIRE(snapshots.size() == targets.size(), "snapshots/payloads must align");
+  DKNN_REQUIRE(!queries.empty(), "need at least one query");
+  const auto scored = score_serve_snapshots_batch(snapshots, queries, ell, kind, scoring);
+  return regress_scored_batch(scored, targets, ell, engine_config, knn_config);
 }
 
 }  // namespace dknn

@@ -72,13 +72,39 @@ struct RegressResult {
                                                 const EngineConfig& engine_config,
                                                 const KnnConfig& knn_config = {});
 
+/// Pre-scored batched classification — the layer every batched classify
+/// entry bottoms out in.  `scored_batch[q][m]` is machine m's keys for
+/// query q (from any scoring path: resident ShardIndexes, serve snapshots,
+/// or the KnnService facade) and `labels[m]` maps point id → label on
+/// machine m (entries for dead or never-selected ids are fine; only
+/// winners need one).  One engine run drives every query; the whole-batch
+/// report rides on result 0's `run.report` as in classify_batch.
+[[nodiscard]] std::vector<ClassifyResult> classify_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::unordered_map<PointId, std::uint32_t>>& labels, std::uint64_t ell,
+    const EngineConfig& engine_config, const KnnConfig& knn_config = {},
+    VoteRule rule = VoteRule::Majority);
+
+/// Pre-scored batched regression; `targets[m]` maps point id → target.
+[[nodiscard]] std::vector<RegressResult> regress_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::unordered_map<PointId, double>>& targets, std::uint64_t ell,
+    const EngineConfig& engine_config, const KnnConfig& knn_config = {});
+
 /// Batched classification: scores the whole query block against SoA
 /// mirrors of the shards with the fused kernels (data/kernels.hpp) and
 /// drives every query through one engine run, so shard conversion, label
-/// tables and engine setup all amortize across the batch.  Result q equals
-/// classify_distributed on shards scored for queries[q] under `kind`; the
-/// whole-batch engine report rides on result 0's `run.report` (later
-/// results carry empty reports — the engine ran once, not B times).
+/// tables and engine setup all amortize across the batch.  Since the
+/// KnnService facade (core/knn_service.hpp) this is a thin composition
+/// of the same stages the facade runs (index build → batched scoring →
+/// classify_scored_batch; byte equality against
+/// KnnService::classify_batch is asserted in tests/test_service.cpp) —
+/// hold a KnnService yourself to keep the dataset resident and amortize
+/// the index build across batches.
+/// Result q equals classify_distributed on shards scored for
+/// queries[q] under `kind`; the whole-batch engine report rides on result
+/// 0's `run.report` (later results carry empty reports — the engine ran
+/// once, not B times).
 /// Note: with the SquaredEuclidean default, VoteRule::InverseDistance
 /// weights by 1/(‖·‖₂² + ε) — still monotone in distance.
 /// `policy` selects each shard's local-scoring structure (brute scan /

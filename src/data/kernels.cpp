@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "data/simd/dispatch.hpp"
+#include "data/validate.hpp"
 
 namespace dknn {
 namespace {
@@ -157,9 +158,7 @@ void fused_top_ell_batch(const FlatStore& store, std::span<const PointD> queries
   // never checks dims against an empty shard); a non-empty one validates
   // even when ell == 0 so caller bugs aren't masked by empty results.
   if (!store.empty()) {
-    for (const PointD& query : queries) {
-      DKNN_REQUIRE(query.dim() == store.dim(), "fused_top_ell_batch: dimension mismatch");
-    }
+    for (const PointD& query : queries) require_query_dim(store.dim(), query.dim());
   }
   if (ell == 0 || store.empty()) {
     for (auto& keys : out) keys.clear();
@@ -175,7 +174,7 @@ RangeTopEll::RangeTopEll(const FlatStore& store, const PointD& query, std::size_
       scratch_(scratch), threshold_(std::numeric_limits<double>::infinity()) {
   require_known_kind(kind, "RangeTopEll");
   if (!store.empty()) {
-    DKNN_REQUIRE(query.dim() == store.dim(), "RangeTopEll: dimension mismatch");
+    require_query_dim(store.dim(), query.dim());
   }
   cap_ = std::min(ell, store.size());
   if (cap_ == 0) return;
@@ -227,7 +226,7 @@ void score_store(const FlatStore& store, const PointD& query, MetricKind kind,
     out.clear();
     return;
   }
-  DKNN_REQUIRE(query.dim() == store.dim(), "score_store: dimension mismatch");
+  require_query_dim(store.dim(), query.dim());
   score_store_impl(simd::kernel_ops(), kind, store, query, out);
 }
 

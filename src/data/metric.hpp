@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "data/point.hpp"
+#include "data/validate.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
@@ -24,9 +25,10 @@ concept MetricFor = requires(const M& m, const PointD& a, const PointD& b) {
 };
 
 namespace detail {
-inline void check_dims(const PointD& a, const PointD& b) {
-  DKNN_REQUIRE(a.dim() == b.dim(), "metric: dimension mismatch");
-}
+/// `a` is the dataset point, `b` the query (the scoring loops call
+/// metric(point, query)) — so the shared error reports the dataset's
+/// dimension as "expected", identically to every other entry path.
+inline void check_dims(const PointD& a, const PointD& b) { require_query_dim(a.dim(), b.dim()); }
 }  // namespace detail
 
 /// ||a − b||₂

@@ -1,0 +1,20 @@
+#include "data/validate.hpp"
+
+namespace dknn {
+
+std::string dimension_mismatch_text(std::size_t expected, std::size_t got) {
+  return "dknn: query dimension mismatch (expected " + std::to_string(expected) + ", got " +
+         std::to_string(got) + ")";
+}
+
+const char* positive_ell_text() { return "dknn: ell must be >= 1"; }
+
+void require_query_dim(std::size_t expected, std::size_t got) {
+  if (got != expected) throw DimensionMismatchError(dimension_mismatch_text(expected, got));
+}
+
+void require_positive_ell(std::uint64_t ell) {
+  if (ell == 0) throw InvalidEllError(positive_ell_text());
+}
+
+}  // namespace dknn

@@ -4,9 +4,25 @@
 ///
 ///   #include "dknn.hpp"
 ///
-/// Layered from bottom (simulator substrate) to top (the paper's
-/// algorithms and the ML/serving facades); see README.md for the map and
-/// DESIGN.md for the paper-to-module correspondence.
+/// Layering, bottom to top (see src/README.md for the full map and the
+/// facade migration table):
+///
+///   support/ serial/ rng/      utilities, codecs, seeded randomness
+///   net/ sim/                  the k-machine model: links, BSP engine,
+///                              cost accounting, work-stealing pool
+///   data/ seq/                 points, metrics, SoA stores, fused/SIMD
+///                              kernels, kd-trees, centralized validators
+///   election/ core/ (alg.)     the paper's protocols: selection, ℓ-NN,
+///                              elections, sessions
+///   serve/                     live single-store serving: SegmentStore,
+///                              Compactor, QueryFrontEnd, result cache
+///   core/knn_service.hpp       ★ the front door: KnnService unifies the
+///                              static, batched and live query paths —
+///                              start here; everything below is its
+///                              decomposed stages
+///
+/// New capabilities land in the facade once instead of once per path; the
+/// free functions stay public for callers who need a single stage.
 
 // substrate: utilities, randomness, serialization
 #include "rng/rng.hpp"            // IWYU pragma: export
@@ -31,6 +47,7 @@
 #include "data/metric.hpp"        // IWYU pragma: export
 #include "data/partition.hpp"     // IWYU pragma: export
 #include "data/simd/dispatch.hpp" // IWYU pragma: export
+#include "data/validate.hpp"      // IWYU pragma: export
 #include "seq/brute.hpp"          // IWYU pragma: export
 #include "seq/kdtree.hpp"         // IWYU pragma: export
 #include "seq/scoring_policy.hpp" // IWYU pragma: export
@@ -40,7 +57,7 @@
 #include "election/min_id.hpp"    // IWYU pragma: export
 #include "election/sublinear.hpp" // IWYU pragma: export
 
-// the paper's algorithms and facades
+// the paper's algorithms and their decomposed driver stages
 #include "core/binsearch.hpp"     // IWYU pragma: export
 #include "core/dist_knn.hpp"      // IWYU pragma: export
 #include "core/dist_select.hpp"   // IWYU pragma: export
@@ -54,4 +71,8 @@
 // live serving (epoch-snapshotted segment store + compaction + batching)
 #include "serve/compactor.hpp"      // IWYU pragma: export
 #include "serve/front_end.hpp"      // IWYU pragma: export
+#include "serve/result_cache.hpp"   // IWYU pragma: export
 #include "serve/segment_store.hpp"  // IWYU pragma: export
+
+// the front door
+#include "core/knn_service.hpp"   // IWYU pragma: export

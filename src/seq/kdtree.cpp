@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "data/metric.hpp"
+#include "data/validate.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
@@ -47,7 +48,7 @@ std::int32_t KdTree::build(std::span<std::size_t> order, std::uint32_t depth) {
 std::vector<std::pair<Key, std::size_t>> KdTree::knn(const PointD& query, std::size_t ell) const {
   last_visited_ = 0;
   if (points_.empty() || ell == 0) return {};
-  DKNN_REQUIRE(query.dim() == dim_, "kd-tree: query dimension mismatch");
+  require_query_dim(dim_, query.dim());
   std::vector<HeapEntry> heap;  // max-heap of current best ell
   heap.reserve(std::min(ell, points_.size()));
   search(root_, query, ell, heap);
@@ -226,9 +227,7 @@ void hybrid_top_ell_batch(const KdRangeIndex& index, std::span<const PointD> que
   const FlatStore& store = index.store();
   out.resize(queries.size());
   if (!store.empty()) {
-    for (const PointD& query : queries) {
-      DKNN_REQUIRE(query.dim() == store.dim(), "hybrid_top_ell_batch: dimension mismatch");
-    }
+    for (const PointD& query : queries) require_query_dim(store.dim(), query.dim());
   }
   if (ell == 0 || store.empty()) {
     for (auto& keys : out) keys.clear();

@@ -1,39 +1,15 @@
 #include "serve/front_end.hpp"
 
-#include <bit>
 #include <utility>
 
+#include "data/validate.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
-namespace {
-
-/// The query's coordinate bit patterns — the cache key.
-std::vector<std::uint64_t> coord_bits(const PointD& query) {
-  std::vector<std::uint64_t> bits;
-  bits.reserve(query.dim());
-  for (const double c : query.coords) bits.push_back(std::bit_cast<std::uint64_t>(c));
-  return bits;
-}
-
-}  // namespace
-
-std::size_t QueryFrontEnd::CoordsHash::operator()(
-    const std::vector<std::uint64_t>& bits) const {
-  // splitmix64-style avalanche fold — cheap and well-mixed for IEEE bits.
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL + bits.size();
-  for (std::uint64_t w : bits) {
-    w += h;
-    w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    w = (w ^ (w >> 27)) * 0x94d049bb133111ebULL;
-    h = w ^ (w >> 31);
-  }
-  return static_cast<std::size_t>(h);
-}
 
 QueryFrontEnd::QueryFrontEnd(const SegmentStore& store, FrontEndConfig config)
-    : store_(store), config_(config) {
-  DKNN_REQUIRE(config_.ell >= 1, "QueryFrontEnd: ell must be positive");
+    : store_(store), config_(config), cache_(config.cache_capacity) {
+  require_positive_ell(config_.ell);
   DKNN_REQUIRE(config_.max_batch >= 1, "QueryFrontEnd: max_batch must be positive");
 }
 
@@ -89,31 +65,23 @@ std::vector<ServeQueryResult> QueryFrontEnd::query_batch(std::span<const PointD>
 void QueryFrontEnd::execute(std::span<Pending*> batch) {
   const SnapshotPtr snapshot = store_.snapshot();
   const auto batch_size = static_cast<std::uint32_t>(batch.size());
-  std::uint64_t hits = 0;
-  std::uint64_t flushes = 0;
 
-  // Cache pass: fill hits, collect misses.
+  // Cache pass: fill hits, collect misses.  A disabled cache skips the
+  // coord-bits materialization and cache locking entirely — the
+  // latency-critical cache_capacity = 0 configuration pays nothing here.
   std::vector<Pending*> misses;
   std::vector<std::vector<std::uint64_t>> miss_keys;
-  if (config_.cache_capacity == 0) {
+  const bool caching = cache_.capacity() > 0;
+  if (!caching) {
     misses.assign(batch.begin(), batch.end());
   } else {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_epoch_ != snapshot->epoch) {
-      // Any snapshot advance invalidates every entry: the live set (or at
-      // least the epoch the answer is stamped with) changed.
-      if (!cache_.empty()) ++flushes;
-      cache_.clear();
-      cache_epoch_ = snapshot->epoch;
-    }
     for (Pending* pending : batch) {
-      auto bits = coord_bits(*pending->query);
-      if (const auto it = cache_.find(bits); it != cache_.end()) {
-        pending->result.keys = it->second;
+      auto bits = query_coord_bits(*pending->query);
+      if (auto cached = cache_.lookup(bits, snapshot->epoch); cached.has_value()) {
+        pending->result.keys = std::move(*cached);
         pending->result.epoch = snapshot->epoch;
         pending->result.cache_hit = true;
         pending->result.batch_size = batch_size;
-        ++hits;
       } else {
         misses.push_back(pending);
         miss_keys.push_back(std::move(bits));
@@ -128,40 +96,38 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
     KernelScratch scratch;
     std::vector<std::vector<Key>> out;
     snapshot_top_ell_batch(*snapshot, queries, config_.ell, config_.kind, out, scratch);
+    if (caching) cache_.make_room(misses.size(), snapshot->epoch);
     for (std::size_t i = 0; i < misses.size(); ++i) {
       misses[i]->result.keys = std::move(out[i]);
       misses[i]->result.epoch = snapshot->epoch;
       misses[i]->result.cache_hit = false;
       misses[i]->result.batch_size = batch_size;
-    }
-    if (config_.cache_capacity > 0) {
-      const std::lock_guard<std::mutex> lock(cache_mutex_);
-      // Only publish answers that are still current: a concurrent execute
-      // against a newer snapshot may have re-tagged the cache.
-      if (cache_epoch_ == snapshot->epoch) {
-        if (cache_.size() + misses.size() > config_.cache_capacity) {
-          ++flushes;  // generation reset; see FrontEndConfig::cache_capacity
-          cache_.clear();
-        }
-        for (std::size_t i = 0; i < misses.size(); ++i) {
-          if (cache_.size() >= config_.cache_capacity) break;
-          cache_.emplace(std::move(miss_keys[i]), misses[i]->result.keys);
-        }
+      if (caching) {
+        cache_.insert(std::move(miss_keys[i]), snapshot->epoch, misses[i]->result.keys);
       }
     }
   }
 
   const std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.queries += batch_size;
-  stats_.batches += 1;
-  stats_.cache_hits += hits;
-  stats_.cache_misses += misses.size();
-  stats_.cache_flushes += flushes;
+  queries_ += batch_size;
+  batches_ += 1;
+  kernel_misses_ += misses.size();
 }
 
 FrontEndStats QueryFrontEnd::stats() const {
+  const ResultCacheStats cache = cache_.stats();
   const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  FrontEndStats stats;
+  stats.queries = queries_;
+  stats.batches = batches_;
+  // hits/misses both derive from counters updated under stats_mutex_ at
+  // batch completion, so they are mutually consistent even while another
+  // batch is mid-flight (the cache's own counters move earlier, inside
+  // lookup, and would tear against queries_).
+  stats.cache_hits = queries_ - kernel_misses_;
+  stats.cache_misses = kernel_misses_;
+  stats.cache_flushes = cache.flushes;
+  return stats;
 }
 
 }  // namespace dknn

@@ -14,9 +14,10 @@
 /// lone query pays at most `max_delay` extra latency (set it to zero for
 /// latency-critical, batch-averse deployments).
 ///
-/// An epoch-keyed result cache sits in front of the kernels: entries are
-/// keyed by (query bytes, ℓ, metric) and tagged with the snapshot epoch
-/// they were computed at; any snapshot advance (insert / delete / seal /
+/// An epoch-keyed result cache (serve/result_cache.hpp — shared with the
+/// KnnService facade) sits in front of the kernels: entries are keyed by
+/// the query's coordinate bits and tagged with the snapshot epoch they
+/// were computed at; any snapshot advance (insert / delete / seal /
 /// compact — each publishes a new epoch) invalidates the whole cache, so a
 /// hit is always byte-identical to recomputing against the current
 /// snapshot.  Caching is sound *because* results are deterministic — the
@@ -33,13 +34,13 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "data/kernels.hpp"
 #include "data/key.hpp"
 #include "data/metric_kind.hpp"
 #include "data/point.hpp"
+#include "serve/result_cache.hpp"
 #include "serve/segment_store.hpp"
 
 namespace dknn {
@@ -112,20 +113,16 @@ class QueryFrontEnd {
   std::vector<Pending*> queue_;       ///< guarded by batch_mutex_
   bool leader_active_ = false;        ///< guarded by batch_mutex_
 
-  // --- epoch-keyed result cache ----------------------------------------
-  // Key = the query's coordinate *bit patterns* (bit-identical queries
-  // share an entry; distinct-but-equal encodings like -0.0/0.0 simply
-  // don't, which is always sound).  ℓ and metric are fixed per front end.
-  struct CoordsHash {
-    std::size_t operator()(const std::vector<std::uint64_t>& bits) const;
-  };
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<std::vector<std::uint64_t>, std::vector<Key>, CoordsHash> cache_;
-  std::uint64_t cache_epoch_ = 0;  ///< epoch cache_ entries are valid for
+  // --- epoch-keyed result cache (shared type with KnnService) -----------
+  // ℓ and metric are fixed per front end, so the coordinate bits alone key
+  // an entry.
+  mutable EpochResultCache cache_;
 
   // --- stats ------------------------------------------------------------
   mutable std::mutex stats_mutex_;
-  FrontEndStats stats_;
+  std::uint64_t queries_ = 0;        ///< total submitted
+  std::uint64_t batches_ = 0;        ///< micro-batches executed
+  std::uint64_t kernel_misses_ = 0;  ///< answers that ran the kernels
 };
 
 }  // namespace dknn

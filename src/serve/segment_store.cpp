@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "data/validate.hpp"
 #include "seq/select.hpp"
 #include "support/panic.hpp"
 
@@ -336,10 +337,7 @@ void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const Point
                             std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
   out.resize(queries.size());
   if (snapshot.live_points > 0) {
-    for (const PointD& query : queries) {
-      DKNN_REQUIRE(query.dim() == snapshot.dim,
-                   "snapshot_top_ell_batch: dimension mismatch");
-    }
+    for (const PointD& query : queries) require_query_dim(snapshot.dim, query.dim());
   }
   if (ell == 0 || snapshot.live_points == 0) {
     for (auto& keys : out) keys.clear();

@@ -139,6 +139,17 @@ void check_all_paths(const FuzzCase& fc) {
       {"parallel-tree", ScoringPolicy::Tree, {.threads = 3, .query_block = 2}},
       {"parallel-auto", ScoringPolicy::Auto, {.threads = 2}},
       {"shared-pool-brute", ScoringPolicy::Brute, shared_config},
+      // Point-range subtiles: tiny split thresholds force every brute
+      // shard into several row ranges whose top-ℓ lists merge — the split
+      // grid must match the unsplit grid (and the AoS oracle) byte for
+      // byte.  Auto mixes split brute shards with unsplittable tree shards
+      // in one run.
+      {"parallel-split-brute", ScoringPolicy::Brute,
+       {.threads = 3, .query_block = 1, .shard_split_rows = 16}},
+      {"parallel-split-ragged", ScoringPolicy::Brute,
+       {.threads = 2, .shard_split_rows = 7}},
+      {"parallel-split-auto", ScoringPolicy::Auto,
+       {.threads = 4, .query_block = 2, .shard_split_rows = 32}},
   };
   for (const Path& path : paths) {
     SCOPED_TRACE(path.name);
@@ -258,6 +269,45 @@ TEST(ParityFuzz, DuplicateSaturatedShard) {
     fc.kind = kind;
     SCOPED_TRACE(metric_kind_name(kind));
     check_all_paths(fc);
+  }
+}
+
+TEST(ParityFuzz, GiantShardSplitsByteIdenticalToUnsplitGrid) {
+  // The ROADMAP case the splitter exists for: one huge shard next to tiny
+  // ones.  Split at several thresholds (including one that leaves a
+  // remainder range) and compare directly against the unsplit parallel
+  // grid and the serial scan.
+  Rng rng(0x51A6EULL);
+  FuzzCase fc;
+  fc.dim = 6;
+  fc.ell = 23;
+  fc.shards.resize(3);
+  std::uint64_t next_id = 1;
+  const std::size_t sizes[] = {5000, 40, 0};
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t i = 0; i < sizes[m]; ++i) {
+      fc.shards[m].points.push_back(random_point(fc.dim, /*grid=*/false, rng));
+      fc.shards[m].ids.push_back(next_id++);
+    }
+    fc.total += sizes[m];
+  }
+  for (std::size_t q = 0; q < 4; ++q) {
+    fc.queries.push_back(random_point(fc.dim, false, rng));
+  }
+
+  const auto indexes = make_shard_indexes(fc.shards, ScoringPolicy::Brute);
+  const auto unsplit = score_vector_shards_batch(indexes, fc.queries, fc.ell, fc.kind,
+                                                 BatchScoringConfig{.threads = 3});
+  for (const std::size_t split : {4096u, 1000u, 777u, 23u}) {
+    SCOPED_TRACE(split);
+    const auto got = score_vector_shards_batch(
+        indexes, fc.queries, fc.ell, fc.kind,
+        BatchScoringConfig{.threads = 3, .shard_split_rows = split});
+    for (std::size_t q = 0; q < fc.queries.size(); ++q) {
+      for (std::size_t m = 0; m < fc.shards.size(); ++m) {
+        expect_same_keys(unsplit[q][m], got[q][m], "split-grid", q, m);
+      }
+    }
   }
 }
 
