@@ -16,7 +16,11 @@
 // The `facade` stanza runs the same workload through the KnnService front
 // door (live mode, 1 machine, result cache on): snapshot scoring + the
 // full selection protocol per cache miss — the price and the payoff of
-// the unified API, tracked so facade regressions fail loudly.
+// the unified API, tracked so facade regressions fail loudly.  The
+// `degraded` stanza shards the same workload over four machines, kills
+// one, and serves on: every answer is exact over the survivors at
+// coverage 3/4, and the row tracks what guarded scoring + health probes
+// cost relative to the healthy facade row.
 //
 //   ./bench_serve [--json=BENCH_serve.json] [--n=100000] [--dim=8] [--ell=64]
 //                 [--queries=2000] [--churn-every=4] [--seed=3]
@@ -239,6 +243,44 @@ LatencyStats run_facade(const Workload& w, double* hit_rate, std::uint64_t* debt
   return latency_stats(std::move(latencies_ms), total_sec);
 }
 
+/// Degraded serving: the facade workload sharded over four machines with
+/// one of them dead.  Every answer is exact over the three survivors and
+/// carries coverage 3/4; the row tracks what the guarded scoring path and
+/// the health probes cost relative to the healthy facade stanza.
+LatencyStats run_degraded(const Workload& w, double* coverage) {
+  Rng rng(w.seed);
+  constexpr std::uint32_t kMachines = 4;
+  KnnService service =
+      KnnServiceBuilder()
+          .machines(kMachines)
+          .ell(w.ell)
+          .live(ServeConfig{.seal_threshold = 256, .policy = ScoringPolicy::Auto})
+          .cache_capacity(4096)
+          .scoring(BatchScoringConfig{.threads = 1})
+          .fault_tolerant()
+          .seed(w.seed)
+          .dataset(uniform_points(w.n, w.dim, 100.0, rng))
+          .build();
+  service.kill_machine(kMachines - 1);
+  const auto query_pool = uniform_points(64, w.dim, 100.0, rng);
+
+  Rng traffic(w.seed + 1);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(w.queries);
+  *coverage = 1.0;
+  const WallTimer total;
+  for (std::size_t q = 0; q < w.queries; ++q) {
+    const PointD& query = query_pool[traffic.below(query_pool.size())];
+    const WallTimer timer;
+    const auto result = service.query(query);
+    latencies_ms.push_back(ns_to_ms(timer.elapsed_ns()));
+    *coverage = result.coverage.fraction();
+    if (result.keys.empty()) std::fprintf(stderr, "empty degraded answer?!\n");
+  }
+  const double total_sec = total.elapsed_sec();
+  return latency_stats(std::move(latencies_ms), total_sec);
+}
+
 void write_latency(std::FILE* f, const char* name, const std::optional<LatencyStats>& stats,
                    const char* extra, bool trailing_comma) {
   if (stats.has_value()) {
@@ -272,6 +314,10 @@ int emit_json(const std::string& path, const Workload& w) {
   double facade_hit_rate = 0.0;
   std::uint64_t facade_debt = 0;
   const std::optional<LatencyStats> facade = run_facade(w, &facade_hit_rate, &facade_debt);
+
+  // Degraded stanza — the facade over four machines with one dead.
+  double degraded_coverage = 1.0;
+  const std::optional<LatencyStats> degraded = run_degraded(w, &degraded_coverage);
 
   // Concurrent stanza — fresh rig so the serial run's cache/compaction
   // state doesn't leak in; null below 4 hardware threads.
@@ -327,6 +373,12 @@ int emit_json(const std::string& path, const Workload& w) {
                   facade_hit_rate, facade_debt);
     write_latency(f, "facade", facade, extra, true);
   }
+  {
+    char extra[160];
+    std::snprintf(extra, sizeof extra, ", \"machines\": 4, \"dead\": 1, \"coverage\": %.3f",
+                  degraded_coverage);
+    write_latency(f, "degraded", degraded, extra, true);
+  }
   std::fprintf(f,
                "  \"compaction\": {\"scheduled\": %" PRIu64 ", \"installed\": %" PRIu64
                ", \"aborted\": %" PRIu64 ", \"debt_before\": %" PRIu64
@@ -348,6 +400,10 @@ int emit_json(const std::string& path, const Workload& w) {
   if (facade.has_value()) {
     std::printf("facade %.0f q/s p99 %.3f ms cache hit %.1f%%; ", facade->queries_per_sec,
                 facade->p99_ms, 100.0 * facade_hit_rate);
+  }
+  if (degraded.has_value()) {
+    std::printf("degraded %.0f q/s at coverage %.2f; ", degraded->queries_per_sec,
+                degraded_coverage);
   }
   std::printf("compaction %" PRIu64 "/%" PRIu64 " installed, debt %" PRIu64 " -> %" PRIu64
               ")\n",

@@ -12,7 +12,14 @@
 // the same service handle a frozen deployment would use.
 //
 //   ./serve_loop [--n=50000] [--dim=8] [--ell=16] [--stores=4] [--ticks=10] \
-//                [--churn=500] [--queries=200] [--seed=7]
+//                [--churn=500] [--queries=200] [--seed=7] [--kill=-1]
+//
+// With --kill=T (a tick index), the service is built fault-tolerant and
+// one store is killed at the start of tick T: the loop keeps serving
+// degraded-but-exact answers (the coverage column shows how many stores
+// answered), churn keeps flowing, and at the start of the next tick the
+// survivors elect a coordinator and re-home the dead store's points —
+// after which answers are byte-identical to a never-failed service.
 
 #include <cinttypes>
 #include <cstdio>
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
   cli.add_flag("churn", "inserts and deletes per tick", "500");
   cli.add_flag("queries", "queries per tick", "200");
   cli.add_flag("seed", "experiment seed", "7");
+  cli.add_flag("kill", "tick at which one store fails (-1 = never)", "-1");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = cli.get_uint("n");
@@ -40,6 +48,7 @@ int main(int argc, char** argv) {
   const std::size_t ticks = cli.get_uint("ticks");
   const std::size_t churn = cli.get_uint("churn");
   const std::size_t queries_per_tick = cli.get_uint("queries");
+  const std::int64_t kill_tick = cli.get_int("kill");
 
   dknn::Rng rng(cli.get_uint("seed"));
   dknn::EngineConfig engine;
@@ -48,19 +57,19 @@ int main(int argc, char** argv) {
   // Live-mode service: the builder shards the warm dataset over the
   // stores, seals it, and wires up the epoch-keyed result cache.
   std::printf("loading %zu points (d = %zu) into %u live stores...\n", n, dim, stores);
-  dknn::KnnService service =
-      dknn::KnnServiceBuilder()
-          .machines(stores)
-          .ell(ell)
-          .live(dknn::ServeConfig{.seal_threshold = 2048})
-          .policy(dknn::ScoringPolicy::Auto)
-          .compaction(dknn::CompactionConfig{.max_dead_fraction = 0.2,
-                                             .min_segment_points = 1024})
-          .cache_capacity(4096)
-          .seed(cli.get_uint("seed"))
-          .engine(engine)
-          .dataset(dknn::uniform_points(n, dim, 100.0, rng))
-          .build();
+  dknn::KnnServiceBuilder builder;
+  builder.machines(stores)
+      .ell(ell)
+      .live(dknn::ServeConfig{.seal_threshold = 2048})
+      .policy(dknn::ScoringPolicy::Auto)
+      .compaction(dknn::CompactionConfig{.max_dead_fraction = 0.2,
+                                         .min_segment_points = 1024})
+      .cache_capacity(4096)
+      .seed(cli.get_uint("seed"))
+      .engine(engine)
+      .dataset(dknn::uniform_points(n, dim, 100.0, rng));
+  if (kill_tick >= 0) builder.fault_tolerant();
+  dknn::KnnService service = builder.build();
 
   // The builder assigned random unique ids; live_ids() hands them back so
   // churn can expire *resident* points too, and contains() lets us mint
@@ -72,9 +81,21 @@ int main(int argc, char** argv) {
   // epoch-keyed cache exploits between mutations.
   const auto query_pool = dknn::uniform_points(64, dim, 100.0, rng);
 
-  std::printf("%-5s %-10s %-8s %-9s %-7s %-10s %s\n", "tick", "epoch", "live", "segments",
-              "debt", "cache-hit%", "sample answer (id@dist²)");
+  std::printf("%-5s %-10s %-8s %-9s %-7s %-10s %-9s %s\n", "tick", "epoch", "live", "segments",
+              "debt", "cache-hit%", "coverage", "sample answer (id@dist²)");
   for (std::size_t tick = 0; tick < ticks; ++tick) {
+    // Fault schedule: one store dies at --kill, survivors recover it at the
+    // start of the next tick (election + re-homing through the live path).
+    if (kill_tick >= 0 && tick == static_cast<std::size_t>(kill_tick)) {
+      std::printf("-- killing store %u --\n", stores - 1);
+      service.kill_machine(stores - 1);
+    }
+    if (kill_tick >= 0 && tick == static_cast<std::size_t>(kill_tick) + 1) {
+      const dknn::RecoveryReport report = service.recover_machine(stores - 1);
+      std::printf("-- recovered store %zu: coordinator %u re-homed %zu points --\n",
+                  report.machine, static_cast<unsigned>(report.election.coordinator),
+                  report.points_recovered);
+    }
     // Churn: new points arrive, old ones expire — all through the facade.
     for (std::size_t i = 0; i < churn; ++i) {
       while (service.contains(next_id)) ++next_id;
@@ -96,9 +117,12 @@ int main(int argc, char** argv) {
         stats.queries == 0
             ? 0.0
             : 100.0 * static_cast<double>(stats.cache_hits) / static_cast<double>(stats.queries);
-    std::printf("%-5zu %-10" PRIu64 " %-8zu %-9zu %-7" PRIu64 " %-10.1f %" PRIu64 "@%.1f\n",
+    char coverage[16];
+    std::snprintf(coverage, sizeof coverage, "%u/%u", last.coverage.answered(),
+                  last.coverage.total);
+    std::printf("%-5zu %-10" PRIu64 " %-8zu %-9zu %-7" PRIu64 " %-10.1f %-9s %" PRIu64 "@%.1f\n",
                 tick, service.snapshot_epoch(), service.total_points(),
-                service.segment_count(), service.compaction_debt(), hit_rate,
+                service.segment_count(), service.compaction_debt(), hit_rate, coverage,
                 last.keys.empty() ? 0 : last.keys[0].id,
                 last.keys.empty() ? 0.0 : dknn::decode_distance(last.keys[0].rank));
   }

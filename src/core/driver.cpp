@@ -451,6 +451,102 @@ std::vector<std::vector<std::vector<Key>>> score_serve_snapshots_batch(
       });
 }
 
+namespace {
+
+/// Shared health gate of the guarded overloads: one deadline-guarded
+/// check_call per machine, skip mask + coverage out.  Retired machines are
+/// skipped silently (their data lives on survivors); Dead / timed-out
+/// machines are skipped *and reported missing*.
+std::vector<char> guard_machines(MachineHealth& health, std::size_t machines,
+                                 Coverage& coverage) {
+  DKNN_REQUIRE(health.machines() == machines,
+               "guarded scoring: health registry and machine count must align");
+  std::vector<char> skip(machines, 0);
+  for (std::size_t m = 0; m < machines; ++m) {
+    const CallReport report = health.check_call(m);
+    switch (report.status) {
+      case CallStatus::Ok:
+        ++coverage.total;
+        break;
+      case CallStatus::Dead:
+      case CallStatus::TimedOut:
+        skip[m] = 1;
+        ++coverage.total;
+        coverage.missing.push_back(static_cast<std::uint32_t>(m));
+        break;
+      case CallStatus::Retired:
+        skip[m] = 1;
+        break;
+    }
+  }
+  return skip;
+}
+
+}  // namespace
+
+GuardedScoreBatch score_vector_shards_batch_guarded(
+    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, MachineHealth& health, const BatchScoringConfig& config) {
+  GuardedScoreBatch out;
+  const std::vector<char> skip = guard_machines(health, indexes.size(), out.coverage);
+  out.scored = score_tiled_grid(
+      indexes.size(), queries, ell, config,
+      [&indexes, &skip, ell, kind](std::size_t m, std::span<const PointD> block,
+                                   std::vector<std::vector<Key>>& keys,
+                                   KernelScratch& scratch) {
+        if (skip[m]) {
+          keys.assign(block.size(), {});
+          return;
+        }
+        score_tile(indexes[m], block, ell, kind, keys, scratch);
+      },
+      [&indexes, &skip](std::size_t m) -> std::size_t {
+        if (skip[m]) return 0;  // skipped machines never split
+        return indexes[m].has_tree() ? 0 : indexes[m].store().size();
+      },
+      [&indexes, ell, kind](std::size_t m, std::size_t lo, std::size_t hi,
+                            std::span<const PointD> block, std::vector<std::vector<Key>>& keys,
+                            KernelScratch& scratch) {
+        const FlatStore& store = indexes[m].store();
+        keys.resize(block.size());
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          RangeTopEll scorer(store, block[i], static_cast<std::size_t>(ell), kind, scratch);
+          scorer.score_range(lo, hi);
+          scorer.finish(keys[i]);
+        }
+      });
+  return out;
+}
+
+GuardedScoreBatch score_serve_snapshots_batch_guarded(
+    std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, MachineHealth& health, const BatchScoringConfig& config) {
+  GuardedScoreBatch out;
+  const std::vector<char> skip = guard_machines(health, snapshots.size(), out.coverage);
+  for (std::size_t m = 0; m < snapshots.size(); ++m) {
+    DKNN_REQUIRE(skip[m] || snapshots[m] != nullptr,
+                 "score_serve_snapshots_batch_guarded: null snapshot for a live machine");
+  }
+  out.scored = score_tiled_grid(
+      snapshots.size(), queries, ell, config,
+      [&snapshots, &skip, ell, kind](std::size_t m, std::span<const PointD> block,
+                                     std::vector<std::vector<Key>>& keys,
+                                     KernelScratch& scratch) {
+        if (skip[m]) {
+          keys.assign(block.size(), {});
+          return;
+        }
+        snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind, keys,
+                               scratch);
+      },
+      [](std::size_t) -> std::size_t { return 0; },
+      [](std::size_t, std::size_t, std::size_t, std::span<const PointD>,
+         std::vector<std::vector<Key>>&, KernelScratch&) {
+        panic("score_serve_snapshots_batch_guarded: snapshots never split");
+      });
+  return out;
+}
+
 BatchRunResult run_knn_batch(const std::vector<std::vector<std::vector<Key>>>& scored_batch,
                              std::uint64_t ell, KnnAlgo algo, const EngineConfig& engine_config,
                              const KnnConfig& knn_config) {

@@ -51,6 +51,7 @@
 #include "data/metric.hpp"
 #include "data/partition.hpp"
 #include "data/point.hpp"
+#include "fault/health.hpp"
 #include "seq/kdtree.hpp"
 #include "seq/scoring_policy.hpp"  // IWYU pragma: export — ScoringPolicy lived here
 #include "serve/segment_store.hpp"
@@ -232,6 +233,34 @@ struct BatchScoringConfig {
     std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries,
     std::uint64_t ell, MetricKind kind = MetricKind::SquaredEuclidean,
     const BatchScoringConfig& config = {});
+
+/// A guarded scoring step's output: the scored grid plus which machines
+/// actually answered.
+struct GuardedScoreBatch {
+  /// [query][machine] → local top-ℓ keys; a skipped (dead / timed-out)
+  /// machine's slot is empty for every query, which every selection
+  /// protocol already treats as a legal empty shard.
+  std::vector<std::vector<std::vector<Key>>> scored;
+  Coverage coverage;
+};
+
+/// Deadline-guarded variant of the ShardIndex overload: before scoring
+/// machine m, `health.check_call(m)` runs the bounded retry-with-backoff
+/// probe; a machine that is Dead or exhausts its deadline is skipped (its
+/// slots stay empty) and lands in `coverage.missing`, so the step degrades
+/// instead of hanging.  With every machine healthy the scored grid is
+/// byte-identical to the unguarded overload (asserted in
+/// tests/test_fault.cpp).
+[[nodiscard]] GuardedScoreBatch score_vector_shards_batch_guarded(
+    const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, MachineHealth& health, const BatchScoringConfig& config = {});
+
+/// Deadline-guarded variant of the snapshot overload.  `snapshots[m]` may
+/// be null only when machine m is skipped by the health gate (the caller
+/// could not snapshot a dead store).
+[[nodiscard]] GuardedScoreBatch score_serve_snapshots_batch_guarded(
+    std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries, std::uint64_t ell,
+    MetricKind kind, MachineHealth& health, const BatchScoringConfig& config = {});
 
 /// Which distributed ℓ-NN / selection algorithm to run.
 enum class KnnAlgo : std::uint8_t {

@@ -28,6 +28,16 @@ struct KnnService::State {
   std::vector<std::unordered_map<PointId, std::uint32_t>> labels;
   std::vector<std::unordered_map<PointId, double>> targets;
 
+  // Fault-tolerant mode only: the liveness registry gating every scoring
+  // step, the recovery mirror (live mode — what re-shards a dead machine's
+  // points; doubles point memory, the price of single-copy ownership in
+  // the k-machine model), and erases issued while their owner was dead
+  // (applied if the machine revives; recovery consults the mirror, which
+  // already excludes them — deletes never resurrect either way).
+  std::unique_ptr<MachineHealth> health;
+  std::unique_ptr<ReplicaMirror> mirror;
+  std::vector<std::vector<PointId>> pending_erases;
+
   // Service-owned scoring pool (null when scoring is serial or the caller
   // supplied an external pool); `scoring` is config.scoring with the pool
   // wired in.
@@ -55,6 +65,27 @@ struct KnnService::State {
     std::uint64_t sum = 0;
     for (const auto& store : stores) sum += store->epoch();
     return sum;
+  }
+
+  /// Cache key epoch: the data epoch plus (fault-tolerant mode) the health
+  /// generation.  Both terms are monotone over the service's timeline, so
+  /// two distinct (data, liveness) states can never share a sum — equal
+  /// keys imply nothing changed in between, which is exactly what makes a
+  /// hit sound.  This is how a degraded answer is never served after
+  /// recovery (and vice versa): any liveness flip bumps the generation and
+  /// re-tags the cache.
+  [[nodiscard]] std::uint64_t effective_epoch() const {
+    return epoch() + (health ? health->generation() : 0);
+  }
+
+  /// Coverage all answers carry outside fault-tolerant mode (and cache
+  /// hits inside it — the generation key guarantees the detected state
+  /// matches the entry's compute-time state).
+  [[nodiscard]] Coverage coverage_now() const {
+    if (health) return health->coverage_now();
+    Coverage coverage;
+    coverage.total = static_cast<std::uint32_t>(machine_count());
+    return coverage;
   }
 };
 
@@ -91,6 +122,10 @@ std::size_t KnnService::total_points() const {
   const std::lock_guard<std::mutex> lock(state.mutex);
   std::size_t total = 0;
   if (state.config.live) {
+    // The mirror is authoritative in fault-tolerant mode: a dead machine's
+    // store still holds its points (and pending erases), so summing stores
+    // would double-count after recovery re-homes them.
+    if (state.mirror != nullptr) return state.mirror->total_points();
     for (const auto& store : state.stores) total += store->live_points();
   } else {
     for (const auto& index : state.indexes) total += index.store().size();
@@ -111,6 +146,25 @@ void validate_query_dims(std::size_t dim, std::span<const PointD> queries) {
 
 }  // namespace
 
+namespace {
+
+/// One coherent snapshot set for a whole batch (live mode).  In
+/// fault-tolerant mode a non-Alive machine's slot stays null — its store
+/// is unreachable; the guarded scoring step skips it (and would reject a
+/// null snapshot for any machine the health gate lets through).
+std::vector<SnapshotPtr> snapshot_stores(const std::vector<std::unique_ptr<SegmentStore>>& stores,
+                                         const MachineHealth* health) {
+  std::vector<SnapshotPtr> snapshots;
+  snapshots.reserve(stores.size());
+  for (std::size_t m = 0; m < stores.size(); ++m) {
+    const bool reachable = health == nullptr || health->state(m) == MachineState::Alive;
+    snapshots.push_back(reachable ? stores[m]->snapshot() : nullptr);
+  }
+  return snapshots;
+}
+
+}  // namespace
+
 BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
                                          std::optional<KnnAlgo> algo) {
   State& state = ensure_built();
@@ -120,20 +174,20 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
   if (queries.empty()) return out;
   validate_query_dims(state.dim, queries);
 
-  // One coherent snapshot set for the whole batch (live mode).
+  const bool fault_tolerant = state.health != nullptr;
   std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) {
-    snapshots.reserve(state.stores.size());
-    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
-  }
+  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
 
   out.per_query.resize(queries.size());
   const auto batch_size = static_cast<std::uint32_t>(queries.size());
 
   // Cache pass: fill hits, collect misses.  Sound because every answer is
-  // a deterministic function of (snapshot epoch, query); see the header.
+  // a deterministic function of (effective epoch, query); see the header.
   // A disabled cache (the default) skips the coord-bits materialization
-  // and cache locking entirely.
+  // and cache locking entirely.  Hits carry the currently *detected*
+  // coverage — the generation component of the key guarantees it equals
+  // the coverage the entry was computed under.
+  const Coverage hit_coverage = state.coverage_now();
   std::vector<std::size_t> miss_index;
   std::vector<PointD> miss_queries;
   std::vector<std::vector<std::uint64_t>> miss_bits;
@@ -146,12 +200,14 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
       miss_queries.push_back(queries[q]);
     }
   } else {
+    const std::uint64_t lookup_epoch = state.effective_epoch();
     for (std::size_t q = 0; q < queries.size(); ++q) {
       auto bits = query_coord_bits(queries[q]);
-      if (auto cached = state.cache.lookup(bits, out.epoch); cached.has_value()) {
+      if (auto cached = state.cache.lookup(bits, lookup_epoch); cached.has_value()) {
         out.per_query[q].keys = std::move(*cached);
         out.per_query[q].epoch = out.epoch;
         out.per_query[q].cache_hit = true;
+        out.per_query[q].coverage = hit_coverage;
       } else {
         miss_index.push_back(q);
         miss_queries.push_back(queries[q]);
@@ -162,18 +218,40 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
 
   if (!miss_queries.empty()) {
     // Local computation: the fused batch kernels over every machine's
-    // resident structures — exactly the free-function paths.
-    const auto scored =
-        state.config.live
-            ? score_serve_snapshots_batch(snapshots, miss_queries, state.config.ell,
-                                          state.config.metric, state.scoring)
-            : score_vector_shards_batch(state.indexes, miss_queries, state.config.ell,
-                                        state.config.metric, state.scoring);
+    // resident structures — exactly the free-function paths.  Fault-
+    // tolerant mode routes through the deadline-guarded variants: dead /
+    // unresponsive machines are skipped (their slots stay empty, a legal
+    // empty shard for every protocol) and reported in the coverage.
+    std::vector<std::vector<std::vector<Key>>> scored;
+    Coverage miss_coverage = hit_coverage;
+    if (fault_tolerant) {
+      GuardedScoreBatch guarded =
+          state.config.live
+              ? score_serve_snapshots_batch_guarded(snapshots, miss_queries, state.config.ell,
+                                                    state.config.metric, *state.health,
+                                                    state.scoring)
+              : score_vector_shards_batch_guarded(state.indexes, miss_queries,
+                                                  state.config.ell, state.config.metric,
+                                                  *state.health, state.scoring);
+      scored = std::move(guarded.scored);
+      miss_coverage = std::move(guarded.coverage);
+    } else {
+      scored = state.config.live
+                   ? score_serve_snapshots_batch(snapshots, miss_queries, state.config.ell,
+                                                 state.config.metric, state.scoring)
+                   : score_vector_shards_batch(state.indexes, miss_queries, state.config.ell,
+                                               state.config.metric, state.scoring);
+    }
     // Global selection: every miss through one engine run.
     BatchRunResult batch = run_knn_batch(scored, state.config.ell,
                                          algo.value_or(state.config.algo),
                                          state.config.engine, state.config.knn);
-    if (caching) state.cache.make_room(miss_index.size(), out.epoch);
+    // Publish under the *post-scoring* effective epoch: if the guarded
+    // pass just detected a death, the generation moved and these answers
+    // belong to the new liveness state.  (The cache tag then lags one
+    // batch; the next lookup re-tags it — entries never cross states.)
+    const std::uint64_t publish_epoch = state.effective_epoch();
+    if (caching) state.cache.make_room(miss_index.size(), publish_epoch);
     for (std::size_t i = 0; i < miss_index.size(); ++i) {
       QueryResult& dst = out.per_query[miss_index[i]];
       GlobalRunResult& src = batch.per_query[i];
@@ -185,7 +263,8 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
       dst.prune_ok = src.prune_ok;
       dst.epoch = out.epoch;
       dst.cache_hit = false;
-      if (caching) state.cache.insert(std::move(miss_bits[i]), out.epoch, dst.keys);
+      dst.coverage = miss_coverage;
+      if (caching) state.cache.insert(std::move(miss_bits[i]), publish_epoch, dst.keys);
     }
     out.report = std::move(batch.report);
     ++state.batches;
@@ -218,16 +297,26 @@ std::vector<ClassifyResult> KnnService::classify_batch(std::span<const PointD> q
   validate_query_dims(state.dim, queries);
 
   std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) {
-    snapshots.reserve(state.stores.size());
-    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
-  }
-  const auto scored =
-      state.config.live
-          ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
-                                        state.config.metric, state.scoring)
-          : score_vector_shards_batch(state.indexes, queries, state.config.ell,
-                                      state.config.metric, state.scoring);
+  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
+  const auto scored = [&] {
+    if (state.health != nullptr) {
+      // Degraded classify: dead machines' shards drop out of the vote.
+      return state.config.live
+                 ? score_serve_snapshots_batch_guarded(snapshots, queries, state.config.ell,
+                                                       state.config.metric, *state.health,
+                                                       state.scoring)
+                       .scored
+                 : score_vector_shards_batch_guarded(state.indexes, queries, state.config.ell,
+                                                     state.config.metric, *state.health,
+                                                     state.scoring)
+                       .scored;
+    }
+    return state.config.live
+               ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+                                             state.config.metric, state.scoring)
+               : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+                                           state.config.metric, state.scoring);
+  }();
   auto results = classify_scored_batch(scored, state.labels, state.config.ell,
                                        state.config.engine, state.config.knn, rule);
   state.queries += queries.size();
@@ -251,16 +340,26 @@ std::vector<RegressResult> KnnService::regress_batch(std::span<const PointD> que
   validate_query_dims(state.dim, queries);
 
   std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) {
-    snapshots.reserve(state.stores.size());
-    for (const auto& store : state.stores) snapshots.push_back(store->snapshot());
-  }
-  const auto scored =
-      state.config.live
-          ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
-                                        state.config.metric, state.scoring)
-          : score_vector_shards_batch(state.indexes, queries, state.config.ell,
-                                      state.config.metric, state.scoring);
+  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
+  const auto scored = [&] {
+    if (state.health != nullptr) {
+      // Degraded regress: dead machines' shards drop out of the mean.
+      return state.config.live
+                 ? score_serve_snapshots_batch_guarded(snapshots, queries, state.config.ell,
+                                                       state.config.metric, *state.health,
+                                                       state.scoring)
+                       .scored
+                 : score_vector_shards_batch_guarded(state.indexes, queries, state.config.ell,
+                                                     state.config.metric, *state.health,
+                                                     state.scoring)
+                       .scored;
+    }
+    return state.config.live
+               ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+                                             state.config.metric, state.scoring)
+               : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+                                           state.config.metric, state.scoring);
+  }();
   auto results = regress_scored_batch(scored, state.targets, state.config.ell,
                                       state.config.engine, state.config.knn);
   state.queries += queries.size();
@@ -292,6 +391,24 @@ ServiceStats KnnService::stats() const {
 
 std::size_t KnnService::insert_point(State& state, const PointD& point, PointId id) {
   require_query_dim(state.dim, point.dim());
+  if (state.mirror != nullptr) {
+    // Fault-tolerant routing: the mirror answers membership in O(1) (a
+    // dead machine's store cannot be probed), and dead machines are
+    // skipped — the next alive machine in round-robin order takes the
+    // point.  All machines down = typed failure, not a hang.
+    if (state.mirror->contains(id)) {
+      throw PreconditionError("dknn: insert: id " + std::to_string(id) + " is already live");
+    }
+    const std::size_t k = state.stores.size();
+    for (std::size_t tries = 0; tries < k; ++tries) {
+      const std::size_t machine = state.next_machine++ % k;
+      if (!state.health->alive(machine)) continue;
+      state.stores[machine]->insert(point, id);
+      state.mirror->record(machine, ReplicaRecord{point, id, std::nullopt, std::nullopt});
+      return machine;
+    }
+    throw NoLiveMachinesError("dknn: insert: every machine is dead");
+  }
   for (const auto& store : state.stores) {
     if (store->contains(id)) {
       throw PreconditionError("dknn: insert: id " + std::to_string(id) + " is already live");
@@ -315,6 +432,9 @@ std::uint64_t KnnService::insert_labeled(const PointD& point, PointId id, std::u
   const std::size_t machine = insert_point(state, point, id);
   state.labels[machine][id] = label;
   state.has_labels = true;
+  if (state.mirror != nullptr) {
+    state.mirror->record(machine, ReplicaRecord{point, id, label, std::nullopt});
+  }
   return state.epoch();
 }
 
@@ -324,12 +444,35 @@ std::uint64_t KnnService::insert_target(const PointD& point, PointId id, double 
   const std::size_t machine = insert_point(state, point, id);
   state.targets[machine][id] = target;
   state.has_targets = true;
+  if (state.mirror != nullptr) {
+    state.mirror->record(machine, ReplicaRecord{point, id, std::nullopt, target});
+  }
   return state.epoch();
 }
 
 std::optional<std::uint64_t> KnnService::erase(PointId id) {
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.mirror != nullptr) {
+    const std::optional<std::size_t> owner = state.mirror->machine_of(id);
+    if (!owner.has_value()) return std::nullopt;
+    const std::size_t m = *owner;
+    state.mirror->erase(id);
+    state.labels[m].erase(id);
+    state.targets[m].erase(id);
+    if (state.health->alive(m)) {
+      const bool erased = state.stores[m]->erase(id).has_value();
+      DKNN_ASSERT(erased, "fault-tolerant erase: mirror and store disagree");
+    } else {
+      // The owner is down: the membership change takes effect now (the
+      // mirror is authoritative), the store applies it on revive; recovery
+      // reads the mirror, so either way the delete never resurrects.  The
+      // data epoch does not advance — a dead machine's points are already
+      // absent from every answer.
+      state.pending_erases[m].push_back(id);
+    }
+    return state.epoch();
+  }
   for (std::size_t m = 0; m < state.stores.size(); ++m) {
     if (state.stores[m]->erase(id).has_value()) {
       state.labels[m].erase(id);
@@ -368,6 +511,7 @@ std::uint64_t KnnService::snapshot_epoch() const {
 bool KnnService::contains(PointId id) const {
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.mirror != nullptr) return state.mirror->contains(id);
   for (const auto& store : state.stores) {
     if (store->contains(id)) return true;
   }
@@ -377,6 +521,7 @@ bool KnnService::contains(PointId id) const {
 std::vector<PointId> KnnService::live_ids() const {
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.mirror != nullptr) return state.mirror->ids();
   std::vector<PointId> ids;
   for (const auto& store : state.stores) {
     const SnapshotPtr snapshot = store->snapshot();
@@ -405,6 +550,112 @@ std::uint64_t KnnService::compaction_debt() const {
   std::uint64_t debt = 0;
   for (const auto& store : state.stores) debt += store->compaction_debt(state.config.compaction);
   return debt;
+}
+
+// --- fault tolerance ---------------------------------------------------------
+
+KnnService::State& KnnService::ensure_fault_tolerant() const {
+  State& state = ensure_built();
+  if (state.health == nullptr) {
+    throw ServiceStateError(
+        "dknn: fault-tolerance call on a service built without it (build with "
+        "KnnServiceBuilder::fault_tolerant)");
+  }
+  return state;
+}
+
+bool KnnService::fault_tolerant() const { return ensure_built().health != nullptr; }
+
+const MachineHealth& KnnService::health() const { return *ensure_fault_tolerant().health; }
+
+void KnnService::kill_machine(std::size_t machine) {
+  State& state = ensure_fault_tolerant();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.health->kill(machine);
+}
+
+void KnnService::revive_machine(std::size_t machine) {
+  State& state = ensure_fault_tolerant();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  // Deletes issued while the machine was down take effect in its store
+  // before it rejoins — a revived machine never resurrects an erased point.
+  if (state.config.live && machine < state.pending_erases.size()) {
+    for (const PointId id : state.pending_erases[machine]) state.stores[machine]->erase(id);
+    state.pending_erases[machine].clear();
+  }
+  state.health->revive(machine);
+}
+
+void KnnService::set_failure_mode(std::size_t machine, FailureMode mode) {
+  State& state = ensure_fault_tolerant();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.health->set_failure_mode(machine, mode);
+}
+
+RecoveryReport KnnService::recover_locked(State& state, std::size_t machine) {
+  if (state.health->state(machine) != MachineState::Dead) {
+    throw ServiceStateError("dknn: recover_machine(" + std::to_string(machine) +
+                            "): machine is not dead");
+  }
+  const std::vector<std::uint32_t> alive = state.health->alive_set();
+  if (alive.empty()) throw NoLiveMachinesError("dknn: recovery: every machine is dead");
+
+  // Survivors elect the recovery coordinator; the generation salt makes
+  // successive recoveries reproducible yet distinct.
+  const std::uint64_t seed = state.config.fault.election_seed + state.health->generation();
+  ElectionRun election = elect_coordinator(alive, state.config.fault.election, seed);
+
+  // Re-shard the dead machine's mirrored points round-robin over the
+  // survivors, starting at the coordinator.  Records arrive ascending by
+  // id, so placement is deterministic.
+  std::vector<ReplicaRecord> records = state.mirror->recover(machine);
+  state.pending_erases[machine].clear();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == election.coordinator) start = i;
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ReplicaRecord& rec = records[i];
+    const std::size_t target = alive[(start + i) % alive.size()];
+    state.stores[target]->insert(rec.point, rec.id);
+    if (rec.label.has_value()) state.labels[target][rec.id] = *rec.label;
+    if (rec.target.has_value()) state.targets[target][rec.id] = *rec.target;
+    state.mirror->record(target, std::move(rec));
+  }
+  state.labels[machine].clear();
+  state.targets[machine].clear();
+  state.health->retire(machine);
+
+  RecoveryReport report;
+  report.machine = machine;
+  report.election = election;
+  report.points_recovered = records.size();
+  return report;
+}
+
+RecoveryReport KnnService::recover_machine(std::size_t machine) {
+  State& state = ensure_fault_tolerant();
+  ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return recover_locked(state, machine);
+}
+
+std::vector<RecoveryReport> KnnService::recover_all() {
+  State& state = ensure_fault_tolerant();
+  ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<RecoveryReport> reports;
+  for (const std::size_t machine : state.health->dead_set()) {
+    reports.push_back(recover_locked(state, machine));
+  }
+  return reports;
+}
+
+std::vector<PointId> KnnService::live_ids_on(std::size_t machine) const {
+  State& state = ensure_fault_tolerant();
+  ensure_live();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.mirror->ids_on(machine);
 }
 
 // --- builder -----------------------------------------------------------------
@@ -469,6 +720,15 @@ KnnServiceBuilder& KnnServiceBuilder::compaction(const CompactionConfig& compact
 }
 KnnServiceBuilder& KnnServiceBuilder::cache_capacity(std::size_t entries) {
   config_.cache_capacity = entries;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::fault_tolerant() {
+  config_.fault_tolerant = true;
+  return *this;
+}
+KnnServiceBuilder& KnnServiceBuilder::fault_tolerant(const FaultConfig& fault) {
+  config_.fault_tolerant = true;
+  config_.fault = fault;
   return *this;
 }
 KnnServiceBuilder& KnnServiceBuilder::config(const ServiceConfig& config) {
@@ -629,6 +889,32 @@ KnnService KnnServiceBuilder::build() {
     }
   } else {
     state->indexes = make_shard_indexes(shards, config_.policy, config_.leaf_size);
+  }
+
+  // Fault tolerance: the health registry gates scoring in both modes; the
+  // replica mirror (the recovery source) exists only where mutation does —
+  // live mode.  insert_batch copied the shard spans, so reading them here
+  // is safe.
+  if (state->config.fault_tolerant) {
+    state->health = std::make_unique<MachineHealth>(static_cast<std::uint32_t>(k),
+                                                    state->config.fault.health);
+    if (state->config.live) {
+      state->mirror = std::make_unique<ReplicaMirror>(k);
+      state->pending_erases.resize(k);
+      for (std::size_t m = 0; m < k; ++m) {
+        for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
+          const PointId id = shards[m].ids[i];
+          ReplicaRecord rec{shards[m].points[i], id, std::nullopt, std::nullopt};
+          if (const auto it = state->labels[m].find(id); it != state->labels[m].end()) {
+            rec.label = it->second;
+          }
+          if (const auto it = state->targets[m].find(id); it != state->targets[m].end()) {
+            rec.target = it->second;
+          }
+          state->mirror->record(m, std::move(rec));
+        }
+      }
+    }
   }
 
   // Service-owned scoring pool: spawn once, reuse across every batch

@@ -67,6 +67,8 @@
 #include "core/driver.hpp"
 #include "core/mlapi.hpp"
 #include "data/validate.hpp"
+#include "fault/health.hpp"
+#include "fault/recovery.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/segment_store.hpp"
 #include "sim/engine.hpp"
@@ -80,6 +82,17 @@ namespace dknn {
 class ServiceStateError final : public PreconditionError {
  public:
   using PreconditionError::PreconditionError;
+};
+
+/// Fault-tolerance knobs of a fault_tolerant service.
+struct FaultConfig {
+  /// Detection budgets of the per-machine health registry.
+  HealthConfig health{};
+  /// Which election the survivors run to pick a recovery coordinator.
+  ElectionKind election = ElectionKind::MinId;
+  /// Base seed of the survivor elections; mixed with the health generation
+  /// so successive recoveries draw distinct, reproducible streams.
+  std::uint64_t election_seed = 1;
 };
 
 /// Everything a KnnService is built from.  The builder below fills one of
@@ -116,8 +129,19 @@ struct ServiceConfig {
   CompactionConfig compaction{};
   /// Epoch-keyed result-cache entries for query/query_batch; 0 disables.
   /// Sound in both modes: answers are deterministic per epoch, and any
-  /// mutation advances the service epoch.
+  /// mutation advances the service epoch.  A fault-tolerant service
+  /// additionally mixes the health generation into the cache key, so a
+  /// degraded answer is never served after a liveness change (and vice
+  /// versa).
   std::size_t cache_capacity = 0;
+  /// Machine-failure handling: a MachineHealth registry gates every
+  /// scoring step (deadline + bounded retry), dead machines degrade the
+  /// answer (QueryResult::coverage) instead of failing it, and
+  /// recover_machine() re-shards a dead machine's points onto survivors.
+  /// Off by default — a non-fault-tolerant service behaves byte-identically
+  /// to before this layer existed.
+  bool fault_tolerant = false;
+  FaultConfig fault{};
 };
 
 /// One query's answer through the facade — the same shape for the static
@@ -143,6 +167,11 @@ struct QueryResult {
   bool cache_hit = false;
   /// Queries scored together in the call this answer rode in.
   std::uint32_t batch_size = 0;
+  /// Which machines answered.  Complete (missing empty, total = machines)
+  /// outside fault-tolerant mode and whenever everything is healthy; a
+  /// degraded answer lists the dead machines whose shards it could not
+  /// see — it is still byte-exact over the surviving shards.
+  Coverage coverage;
 };
 
 /// A batched run's answers plus the whole-batch engine report.
@@ -256,6 +285,43 @@ class KnnService {
   [[nodiscard]] std::size_t segment_count() const;
   [[nodiscard]] std::uint64_t compaction_debt() const;
 
+  // --- fault-tolerance surface (ServiceStateError unless fault_tolerant) ----
+
+  /// True iff built with fault tolerance enabled.
+  [[nodiscard]] bool fault_tolerant() const;
+  /// The health registry (read-only; mutate liveness through the methods
+  /// below so service bookkeeping — pending erases, mirrors — stays
+  /// consistent).
+  [[nodiscard]] const MachineHealth& health() const;
+
+  /// Fail-stops an alive machine: its shard drops out of every answer
+  /// (coverage reports it missing) until revive or recovery.
+  void kill_machine(std::size_t machine);
+  /// Brings a dead machine back with its store intact; erases issued while
+  /// it was down are applied before it rejoins, so deleted points never
+  /// resurrect.  Queries afterwards are byte-identical to a never-failed
+  /// service at the same membership.
+  void revive_machine(std::size_t machine);
+  /// Scripts probe outcomes for chaos tests: an Unresponsive machine is
+  /// *detected* dead by the next scoring step's deadline gate rather than
+  /// declared dead up front.
+  void set_failure_mode(std::size_t machine, FailureMode mode);
+
+  /// Recovers one dead machine (live mode): survivors elect a coordinator
+  /// (config().fault.election), the dead machine's mirrored points
+  /// re-insert onto the survivors round-robin from the coordinator
+  /// (ascending id — deterministic), and the machine retires out of
+  /// coverage.  Afterwards answers are byte-identical to a never-failed
+  /// service over the same membership.  Throws ServiceStateError unless
+  /// the machine is dead; NoLiveMachinesError when no survivor remains.
+  RecoveryReport recover_machine(std::size_t machine);
+  /// Recovers every dead machine, ascending id.
+  std::vector<RecoveryReport> recover_all();
+
+  /// Member ids homed on one machine, ascending (live fault-tolerant mode;
+  /// a dead machine still owns its membership until recovered).
+  [[nodiscard]] std::vector<PointId> live_ids_on(std::size_t machine) const;
+
  private:
   friend class KnnServiceBuilder;
   struct State;
@@ -265,6 +331,10 @@ class KnnService {
   [[nodiscard]] State& ensure_built() const;
   /// Throws ServiceStateError unless built live.
   [[nodiscard]] State& ensure_live() const;
+  /// Throws ServiceStateError unless built fault-tolerant.
+  [[nodiscard]] State& ensure_fault_tolerant() const;
+  /// Body of recover_machine, mutex already held.
+  static RecoveryReport recover_locked(State& state, std::size_t machine);
   /// Shared body of the insert family: validate, route round-robin,
   /// insert.  Returns the machine the point landed on.
   static std::size_t insert_point(State& state, const PointD& point, PointId id);
@@ -297,6 +367,9 @@ class KnnServiceBuilder {
   KnnServiceBuilder& live(const ServeConfig& serve);
   KnnServiceBuilder& compaction(const CompactionConfig& compaction);
   KnnServiceBuilder& cache_capacity(std::size_t entries);
+  /// Enables machine-failure handling (see ServiceConfig::fault_tolerant).
+  KnnServiceBuilder& fault_tolerant();
+  KnnServiceBuilder& fault_tolerant(const FaultConfig& fault);
   /// Wholesale config (fields staged so far are overwritten).
   KnnServiceBuilder& config(const ServiceConfig& config);
   /// Explicit dimensionality — required only for a live service built

@@ -14,6 +14,8 @@
 ///                              kernels, kd-trees, centralized validators
 ///   election/ core/ (alg.)     the paper's protocols: selection, ℓ-NN,
 ///                              elections, sessions
+///   fault/                     machine health, deadlines, replica mirror,
+///                              survivor elections for recovery
 ///   serve/                     live single-store serving: SegmentStore,
 ///                              Compactor, QueryFrontEnd, result cache
 ///   core/knn_service.hpp       ★ the front door: KnnService unifies the
@@ -56,6 +58,10 @@
 // leader election
 #include "election/min_id.hpp"    // IWYU pragma: export
 #include "election/sublinear.hpp" // IWYU pragma: export
+
+// fault tolerance: health registry, replica mirror, recovery elections
+#include "fault/health.hpp"       // IWYU pragma: export
+#include "fault/recovery.hpp"     // IWYU pragma: export
 
 // the paper's algorithms and their decomposed driver stages
 #include "core/binsearch.hpp"     // IWYU pragma: export

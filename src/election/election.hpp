@@ -3,10 +3,22 @@
 /// \brief Common types for leader election (paper §2.1 and [9]).
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "net/types.hpp"
 
 namespace dknn {
+
+/// A multi-phase election observed a message from a different attempt than
+/// the one it is executing — the synchronous-lockstep assumption was
+/// violated (e.g. a fault plan delayed the message across a phase
+/// boundary).  Typed so callers running elections under faults get a
+/// diagnosable failure instead of a silent wrong leader or a hang.
+class ElectionDesyncError final : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Outcome of a leader-election protocol at one machine. Every machine in a
 /// run must end with the same `leader`.

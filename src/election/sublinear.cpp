@@ -84,7 +84,11 @@ Task<ElectionOutcome> elect_sublinear(Ctx& ctx, SublinearElectionConfig config) 
     std::uint32_t min_heard = kNoMachine;
     while (auto env = ctx.try_take(tags::kElectCandidate)) {
       const auto msg = from_bytes<ElectMsg>(env->payload);
-      DKNN_ASSERT(msg.attempt == attempt_tag, "stale candidate message");
+      if (msg.attempt != attempt_tag) {
+        throw ElectionDesyncError("sublinear election: candidate message from attempt " +
+                                  std::to_string(msg.attempt) + " arrived in attempt " +
+                                  std::to_string(attempt_tag));
+      }
       min_heard = std::min(min_heard, msg.id);
       contacted_by.push_back(env->src);
     }
@@ -100,7 +104,11 @@ Task<ElectionOutcome> elect_sublinear(Ctx& ctx, SublinearElectionConfig config) 
       auto replies = co_await recv_n(ctx, tags::kElectReply, contacted);
       for (const auto& env : replies) {
         const auto msg = from_bytes<ElectMsg>(env.payload);
-        DKNN_ASSERT(msg.attempt == attempt_tag, "stale reply message");
+        if (msg.attempt != attempt_tag) {
+          throw ElectionDesyncError("sublinear election: reply from attempt " +
+                                    std::to_string(msg.attempt) + " arrived in attempt " +
+                                    std::to_string(attempt_tag));
+        }
         best = std::min(best, msg.id);
       }
       // The global minimum candidate can never hear a smaller id, so it
@@ -109,7 +117,9 @@ Task<ElectionOutcome> elect_sublinear(Ctx& ctx, SublinearElectionConfig config) 
       claimed = (best == ctx.id());
       if (claimed) {
         for (MachineId m = 0; m < k; ++m) {
-          if (m != ctx.id()) ctx.send(m, tags::kElectAnnounce, Bytes{});
+          if (m != ctx.id()) {
+            ctx.send_value(m, tags::kElectAnnounce, ElectMsg{ctx.id(), attempt_tag});
+          }
         }
       }
     }
@@ -122,6 +132,12 @@ Task<ElectionOutcome> elect_sublinear(Ctx& ctx, SublinearElectionConfig config) 
     // deterministic-correct even when several candidates claim.
     MachineId accepted = claimed ? ctx.id() : kNoMachine;
     while (auto env = ctx.try_take(tags::kElectAnnounce)) {
+      const auto msg = from_bytes<ElectMsg>(env->payload);
+      if (msg.attempt != attempt_tag) {
+        throw ElectionDesyncError("sublinear election: claim from attempt " +
+                                  std::to_string(msg.attempt) + " arrived in attempt " +
+                                  std::to_string(attempt_tag));
+      }
       accepted = std::min(accepted, env->src);
     }
     if (accepted != kNoMachine) {

@@ -25,9 +25,13 @@
 /// (the elected leader is always the minimum candidate of the successful
 /// attempt).
 ///
-/// Message sizes: candidate/reply messages carry a 32-bit ID plus an 8-bit
-/// attempt number (40 bits); claims are empty (the sender ID is the claim).
-/// All fit in B = 64-bit links, so the protocol runs under Strict bandwidth.
+/// Message sizes: candidate/reply/claim messages carry a 32-bit ID plus an
+/// 8-bit attempt number (40 bits).  All fit in B = 64-bit links, so the
+/// protocol runs under Strict bandwidth.  Every phase checks the attempt
+/// number and throws a typed ElectionDesyncError on a cross-attempt
+/// message (a fault plan delaying traffic across a phase boundary) — under
+/// faults the protocol either agrees or fails diagnosably, never silently
+/// elects two leaders.
 
 #include <cstdint>
 

@@ -1,0 +1,179 @@
+#include "fault/health.hpp"
+
+#include <string>
+
+#include "support/panic.hpp"
+
+namespace dknn {
+
+MachineHealth::MachineHealth(std::size_t machines, HealthConfig config)
+    : config_(config), states_(machines, MachineState::Alive), modes_(machines) {
+  DKNN_REQUIRE(machines >= 1, "MachineHealth needs at least one machine");
+}
+
+void MachineHealth::require_machine(std::size_t machine) const {
+  DKNN_REQUIRE(machine < states_.size(), "MachineHealth: bad machine id");
+}
+
+MachineState MachineHealth::state(std::size_t machine) const {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return states_[machine];
+}
+
+bool MachineHealth::alive(std::size_t machine) const {
+  return state(machine) == MachineState::Alive;
+}
+
+std::size_t MachineHealth::alive_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const MachineState s : states_) count += s == MachineState::Alive ? 1 : 0;
+  return count;
+}
+
+std::vector<std::uint32_t> MachineHealth::alive_set() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint32_t> out;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (states_[m] == MachineState::Alive) out.push_back(static_cast<std::uint32_t>(m));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> MachineHealth::dead_set() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint32_t> out;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (states_[m] == MachineState::Dead) out.push_back(static_cast<std::uint32_t>(m));
+  }
+  return out;
+}
+
+std::uint32_t MachineHealth::expected_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t total = 0;
+  for (const MachineState s : states_) total += s != MachineState::Retired ? 1 : 0;
+  return total;
+}
+
+std::uint64_t MachineHealth::generation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+void MachineHealth::kill(std::size_t machine) {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (states_[machine] != MachineState::Alive) {
+    throw std::logic_error("MachineHealth::kill: machine " + std::to_string(machine) +
+                           " is not alive");
+  }
+  states_[machine] = MachineState::Dead;
+  ++generation_;
+  ++stats_.kills;
+}
+
+void MachineHealth::revive(std::size_t machine) {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (states_[machine] != MachineState::Dead) {
+    throw std::logic_error("MachineHealth::revive: machine " + std::to_string(machine) +
+                           " is not dead");
+  }
+  states_[machine] = MachineState::Alive;
+  modes_[machine] = FailureMode{};  // a revived machine answers again
+  ++generation_;
+  ++stats_.revives;
+}
+
+void MachineHealth::retire(std::size_t machine) {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (states_[machine] != MachineState::Dead) {
+    throw std::logic_error("MachineHealth::retire: machine " + std::to_string(machine) +
+                           " is not dead");
+  }
+  states_[machine] = MachineState::Retired;
+  ++generation_;
+  ++stats_.retires;
+}
+
+void MachineHealth::set_failure_mode(std::size_t machine, FailureMode mode) {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  modes_[machine] = mode;
+}
+
+CallReport MachineHealth::check_call(std::size_t machine) {
+  require_machine(machine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CallReport report;
+  if (states_[machine] == MachineState::Dead) {
+    report.status = CallStatus::Dead;
+    return report;
+  }
+  if (states_[machine] == MachineState::Retired) {
+    report.status = CallStatus::Retired;
+    return report;
+  }
+
+  FailureMode& mode = modes_[machine];
+  for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++report.attempts;
+    ++stats_.probes;
+    bool answered = false;
+    switch (mode.kind) {
+      case FailureModeKind::Healthy:
+        answered = true;
+        break;
+      case FailureModeKind::Slow:
+        if (mode.timeouts > 0) {
+          --mode.timeouts;
+          if (mode.timeouts == 0) mode.kind = FailureModeKind::Healthy;
+        } else {
+          answered = true;
+        }
+        break;
+      case FailureModeKind::Unresponsive:
+        break;
+    }
+    if (answered) {
+      report.status = CallStatus::Ok;
+      stats_.backoff_ns += report.backoff_ns;
+      return report;
+    }
+    ++stats_.timeouts;
+    if (attempt < config_.max_retries) {
+      report.backoff_ns += config_.backoff_ns << attempt;  // exponential
+    }
+  }
+
+  // All probes exhausted their deadline: deadline-based detection.
+  states_[machine] = MachineState::Dead;
+  ++generation_;
+  ++stats_.deaths_detected;
+  stats_.backoff_ns += report.backoff_ns;
+  report.status = CallStatus::TimedOut;
+  return report;
+}
+
+Coverage MachineHealth::coverage_now() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Coverage coverage;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (states_[m] == MachineState::Retired) continue;
+    ++coverage.total;
+    if (states_[m] == MachineState::Dead) {
+      coverage.missing.push_back(static_cast<std::uint32_t>(m));
+    }
+  }
+  return coverage;
+}
+
+HealthStats MachineHealth::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dknn

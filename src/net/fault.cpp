@@ -3,15 +3,34 @@
 namespace dknn {
 
 FaultInjector::FaultInjector(Network& network, FaultPlan plan, std::uint64_t seed)
-    : plan_(plan), rng_(seed) {
-  network.set_send_filter([this](const Envelope& env) {
-    if (env.sent_round < plan_.from_round) return true;
-    if (plan_.only_tag && env.tag != *plan_.only_tag) return true;
-    if (plan_.only_src && env.src != *plan_.only_src) return true;
-    if (plan_.max_drops != 0 && drops_ >= plan_.max_drops) return true;
-    if (!rng_.bernoulli(plan_.drop_probability)) return true;
-    ++drops_;
-    return false;  // drop
+    : shared_(std::make_shared<Shared>(plan, seed)) {
+  network.set_fault_filter([state = shared_](const Envelope& env) {
+    FaultDecision pass;  // Deliver
+    Shared& s = *state;
+    if (env.sent_round < s.plan.from_round) return pass;
+    if (s.plan.only_tag && env.tag != *s.plan.only_tag) return pass;
+    if (s.plan.only_src && env.src != *s.plan.only_src) return pass;
+
+    // Drop stage: one bernoulli draw per eligible message, unconditionally
+    // — the exact rng stream the drop-only injector always consumed, so
+    // plans with the new probabilities at 0 drop identically to before.
+    const bool drop_capped = s.plan.max_drops != 0 && s.drops >= s.plan.max_drops;
+    if (!drop_capped && s.rng.bernoulli(s.plan.drop_probability)) {
+      ++s.drops;
+      return FaultDecision{FaultAction::Drop, 0};
+    }
+    // Delay / duplicate stages draw only when enabled, preserving the
+    // drop-only stream byte for byte.
+    if (s.plan.delay_probability > 0.0 && s.plan.delay_rounds > 0 &&
+        s.rng.bernoulli(s.plan.delay_probability)) {
+      ++s.delays;
+      return FaultDecision{FaultAction::Delay, s.plan.delay_rounds};
+    }
+    if (s.plan.duplicate_probability > 0.0 && s.rng.bernoulli(s.plan.duplicate_probability)) {
+      ++s.duplicates;
+      return FaultDecision{FaultAction::Duplicate, 0};
+    }
+    return pass;
   });
 }
 

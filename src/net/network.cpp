@@ -21,6 +21,16 @@ std::size_t Network::link_index(MachineId src, MachineId dst) const {
   return static_cast<std::size_t>(src) * config_.world_size + dst;
 }
 
+void Network::set_send_filter(SendFilter filter) {
+  if (!filter) {
+    filter_ = nullptr;
+    return;
+  }
+  filter_ = [f = std::move(filter)](const Envelope& env) {
+    return FaultDecision{f(env) ? FaultAction::Deliver : FaultAction::Drop, 0};
+  };
+}
+
 void Network::send(Envelope env) {
   DKNN_REQUIRE(env.src < config_.world_size, "send: bad source machine");
   DKNN_REQUIRE(env.dst < config_.world_size, "send: bad destination machine");
@@ -29,10 +39,35 @@ void Network::send(Envelope env) {
   env.sent_round = current_round_;
   env.seq = send_seq_[env.src]++;
 
-  if (filter_ && !filter_(env)) return;  // dropped by fault injection
+  FaultDecision decision;
+  if (filter_) decision = filter_(env);
+  if (decision.action == FaultAction::Drop) return;  // dropped by fault injection
+
+  if (decision.action == FaultAction::Delay && decision.delay_rounds > 0) {
+    // Held back: the message enters its link at the end of round
+    // sent_round + delay_rounds, exactly as if sent that much later (its
+    // stamped sent_round is untouched — receivers can observe the lag).
+    // It still counts as sent now, and in_flight() sees it (deadlock
+    // detection must not fire while a wake-up is merely late).
+    stats_.on_send(env);
+    delayed_.push_back(Delayed{std::move(env), current_round_ + decision.delay_rounds});
+    return;
+  }
 
   stats_.on_send(env);
+  if (decision.action == FaultAction::Duplicate) {
+    // A spurious network-level duplicate: same seq, queued right behind
+    // the original on the same FIFO (both copies count as traffic).
+    Envelope copy = env;
+    stats_.on_send(copy);
+    enqueue(std::move(env));
+    enqueue(std::move(copy));
+    return;
+  }
+  enqueue(std::move(env));
+}
 
+void Network::enqueue(Envelope env) {
   if (config_.policy == BandwidthPolicy::Strict) {
     DKNN_REQUIRE(env.payload_bits() <= config_.bits_per_round,
                  "Strict bandwidth: message exceeds B bits");
@@ -50,6 +85,21 @@ void Network::send(Envelope env) {
 }
 
 void Network::end_round(std::uint64_t round) {
+  // Release the delay stage first: a message delayed to this round joins
+  // its link before transmission, so it behaves exactly like a fresh send
+  // from this round onward (FIFO order behind anything already queued).
+  if (!delayed_.empty()) {
+    std::vector<Delayed> still_held;
+    still_held.reserve(delayed_.size());
+    for (Delayed& held : delayed_) {
+      if (held.release_round <= round) {
+        enqueue(std::move(held.env));
+      } else {
+        still_held.push_back(std::move(held));
+      }
+    }
+    delayed_ = std::move(still_held);
+  }
   const bool unlimited = config_.policy == BandwidthPolicy::Unlimited;
   constexpr std::uint64_t kInfinite = ~std::uint64_t{0};
   for (MachineId dst = 0; dst < config_.world_size; ++dst) {

@@ -57,6 +57,26 @@ struct NetworkConfig {
 /// drops the message silently.
 using SendFilter = std::function<bool(const Envelope&)>;
 
+/// What a fault filter decided for one message.
+enum class FaultAction : std::uint8_t {
+  Deliver,    ///< normal transmission
+  Drop,       ///< vanish silently (not counted as sent)
+  Delay,      ///< enter the link `delay_rounds` rounds late
+  Duplicate,  ///< transmit twice back to back (same seq — a true duplicate)
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::Deliver;
+  std::uint64_t delay_rounds = 0;  ///< Delay only; 0 behaves like Deliver
+};
+
+/// Generalized interception hook: per message, deliver / drop / delay /
+/// duplicate.  `set_send_filter` wraps the boolean form into this one, so
+/// a plain drop filter behaves exactly as before.  The network owns the
+/// installed std::function (shared ownership of any state it captures) —
+/// installers may be destroyed before or during the run.
+using FaultFilter = std::function<FaultDecision(const Envelope&)>;
+
 class Network {
 public:
   explicit Network(NetworkConfig config);
@@ -74,13 +94,18 @@ public:
   /// round, then by the round's rotated sender order, then per-sender FIFO.
   [[nodiscard]] std::vector<Envelope> collect_delivered(MachineId dst);
 
-  /// True when any message is still queued or in transit.
-  [[nodiscard]] bool in_flight() const { return in_flight_ != 0; }
+  /// True when any message is still queued, held by the delay stage, or in
+  /// transit (delayed messages count: they will wake a receiver later, so
+  /// the engine's deadlock detector must not fire while they are held).
+  [[nodiscard]] bool in_flight() const { return in_flight_ != 0 || !delayed_.empty(); }
 
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
-  void set_send_filter(SendFilter filter) { filter_ = std::move(filter); }
+  /// Boolean drop filter (false = drop), byte-compatible with the original
+  /// hook: wrapped into a FaultFilter that never delays or duplicates.
+  void set_send_filter(SendFilter filter);
+  void set_fault_filter(FaultFilter filter) { filter_ = std::move(filter); }
 
   /// Round at which the current send() calls are stamped; set by the engine.
   void set_current_round(std::uint64_t round) { current_round_ = round; }
@@ -97,14 +122,25 @@ private:
 
   [[nodiscard]] std::size_t link_index(MachineId src, MachineId dst) const;
 
+  /// Places a filtered-in message onto its directed link (Strict
+  /// accounting, in-flight count, busy-source tracking).
+  void enqueue(Envelope env);
+
+  /// A message held by the delay stage until `release_round` ends.
+  struct Delayed {
+    Envelope env;
+    std::uint64_t release_round = 0;
+  };
+
   NetworkConfig config_;
   std::vector<DirectedLink> links_;                 // k*k directed (diagonal unused)
   std::vector<std::vector<Envelope>> mailboxes_;    // per destination, ready to deliver
   /// Sources with queued traffic, per destination (kept sorted by end_round)
   /// so a round costs O(active links), not O(k²).
   std::vector<std::vector<MachineId>> busy_sources_;
+  std::vector<Delayed> delayed_;                    // fault-injected late messages
   TrafficStats stats_;
-  SendFilter filter_;
+  FaultFilter filter_;
   std::uint64_t current_round_ = 0;
   std::uint64_t in_flight_ = 0;
   std::vector<std::uint64_t> send_seq_;             // per-sender sequence numbers

@@ -63,8 +63,40 @@ std::vector<ServeQueryResult> QueryFrontEnd::query_batch(std::span<const PointD>
 }
 
 void QueryFrontEnd::execute(std::span<Pending*> batch) {
-  const SnapshotPtr snapshot = store_.snapshot();
   const auto batch_size = static_cast<std::uint32_t>(batch.size());
+
+  // Health gate first: the probe may flip the machine Dead (bumping the
+  // generation), and the cache epoch below must see the settled value —
+  // probing after computing the key could serve a healthy-keyed answer
+  // for a batch that already observed the failure.
+  if (config_.health != nullptr && !config_.health->check_call(config_.machine).ok()) {
+    Coverage degraded;
+    degraded.total = 1;
+    degraded.missing = {config_.machine};
+    for (Pending* pending : batch) {
+      pending->result.keys.clear();
+      pending->result.epoch = 0;
+      pending->result.cache_hit = false;
+      pending->result.batch_size = batch_size;
+      pending->result.coverage = degraded;
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    queries_ += batch_size;
+    batches_ += 1;
+    degraded_ += 1;
+    degraded_queries_ += batch_size;
+    return;
+  }
+
+  const SnapshotPtr snapshot = store_.snapshot();
+  Coverage full;
+  full.total = 1;
+  // Cache entries are keyed on snapshot epoch *plus* health generation:
+  // both only grow, so equal sums imply the same (data, liveness) state —
+  // an answer cached while degraded-then-recovered can never collide with
+  // a healthy one.
+  const std::uint64_t epoch =
+      snapshot->epoch + (config_.health != nullptr ? config_.health->generation() : 0);
 
   // Cache pass: fill hits, collect misses.  A disabled cache skips the
   // coord-bits materialization and cache locking entirely — the
@@ -77,11 +109,12 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
   } else {
     for (Pending* pending : batch) {
       auto bits = query_coord_bits(*pending->query);
-      if (auto cached = cache_.lookup(bits, snapshot->epoch); cached.has_value()) {
+      if (auto cached = cache_.lookup(bits, epoch); cached.has_value()) {
         pending->result.keys = std::move(*cached);
         pending->result.epoch = snapshot->epoch;
         pending->result.cache_hit = true;
         pending->result.batch_size = batch_size;
+        pending->result.coverage = full;
       } else {
         misses.push_back(pending);
         miss_keys.push_back(std::move(bits));
@@ -96,14 +129,15 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
     KernelScratch scratch;
     std::vector<std::vector<Key>> out;
     snapshot_top_ell_batch(*snapshot, queries, config_.ell, config_.kind, out, scratch);
-    if (caching) cache_.make_room(misses.size(), snapshot->epoch);
+    if (caching) cache_.make_room(misses.size(), epoch);
     for (std::size_t i = 0; i < misses.size(); ++i) {
       misses[i]->result.keys = std::move(out[i]);
       misses[i]->result.epoch = snapshot->epoch;
       misses[i]->result.cache_hit = false;
       misses[i]->result.batch_size = batch_size;
+      misses[i]->result.coverage = full;
       if (caching) {
-        cache_.insert(std::move(miss_keys[i]), snapshot->epoch, misses[i]->result.keys);
+        cache_.insert(std::move(miss_keys[i]), epoch, misses[i]->result.keys);
       }
     }
   }
@@ -124,9 +158,10 @@ FrontEndStats QueryFrontEnd::stats() const {
   // batch completion, so they are mutually consistent even while another
   // batch is mid-flight (the cache's own counters move earlier, inside
   // lookup, and would tear against queries_).
-  stats.cache_hits = queries_ - kernel_misses_;
+  stats.cache_hits = queries_ - kernel_misses_ - degraded_queries_;
   stats.cache_misses = kernel_misses_;
   stats.cache_flushes = cache.flushes;
+  stats.degraded_batches = degraded_;
   return stats;
 }
 

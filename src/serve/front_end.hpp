@@ -40,6 +40,7 @@
 #include "data/key.hpp"
 #include "data/metric_kind.hpp"
 #include "data/point.hpp"
+#include "fault/health.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/segment_store.hpp"
 
@@ -59,6 +60,16 @@ struct FrontEndConfig {
   /// entries are cheap to recompute and an LRU chain is not worth the
   /// locked-path cost).
   std::size_t cache_capacity = 4096;
+  /// Optional machine-health gate: when set, every batch first runs the
+  /// deadline/retry probe for `machine`; a dead or timed-out machine
+  /// degrades the whole batch (empty keys, coverage reports the miss)
+  /// instead of touching the store.  The cache keys on snapshot epoch plus
+  /// health generation, so a degraded answer is never served after the
+  /// machine recovers and vice versa.  Borrowed; must outlive the front
+  /// end.  nullptr = no gate (byte-identical to the pre-fault front end).
+  MachineHealth* health = nullptr;
+  /// This front end's machine id in `health`'s registry.
+  std::uint32_t machine = 0;
 };
 
 /// One query's answer plus its provenance.
@@ -67,6 +78,9 @@ struct ServeQueryResult {
   std::uint64_t epoch = 0;      ///< snapshot epoch the answer is exact for
   bool cache_hit = false;
   std::uint32_t batch_size = 0; ///< micro-batch this query rode in
+  /// Which machines answered (total=1 here — one store per front end);
+  /// complete() unless the health gate declared this machine unreachable.
+  Coverage coverage;
 };
 
 struct FrontEndStats {
@@ -75,6 +89,7 @@ struct FrontEndStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;  ///< answers that ran the kernels
   std::uint64_t cache_flushes = 0; ///< epoch-advance + capacity resets
+  std::uint64_t degraded_batches = 0;  ///< batches the health gate refused
 };
 
 class QueryFrontEnd {
@@ -123,6 +138,8 @@ class QueryFrontEnd {
   std::uint64_t queries_ = 0;        ///< total submitted
   std::uint64_t batches_ = 0;        ///< micro-batches executed
   std::uint64_t kernel_misses_ = 0;  ///< answers that ran the kernels
+  std::uint64_t degraded_ = 0;         ///< batches the health gate refused
+  std::uint64_t degraded_queries_ = 0; ///< queries inside those batches
 };
 
 }  // namespace dknn

@@ -49,8 +49,14 @@ std::optional<Envelope> Ctx::try_take_from(MachineId src, Tag tag) {
 }
 
 void Ctx::engine_deliver(std::vector<Envelope> delivered) {
-  if (!delivered.empty()) mail_arrived_ = true;
-  for (auto& env : delivered) mailbox_.push_back(std::move(env));
+  if (seen_seq_.empty() && !delivered.empty()) seen_seq_.resize(world_);
+  for (auto& env : delivered) {
+    // At-most-once: drop network-level duplicates (same src + seq) so a
+    // mail-parked machine is only woken by genuinely new messages.
+    if (env.src < seen_seq_.size() && !seen_seq_[env.src].insert(env.seq).second) continue;
+    mail_arrived_ = true;
+    mailbox_.push_back(std::move(env));
+  }
 }
 
 std::vector<Envelope> Ctx::engine_take_outbox() {

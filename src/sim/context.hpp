@@ -14,6 +14,7 @@
 #include <deque>
 #include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "net/types.hpp"
@@ -108,6 +109,13 @@ private:
   Rng rng_;
   std::uint64_t round_ = 0;
   std::deque<Envelope> mailbox_;
+  /// At-most-once delivery: sequence numbers already seen, per source.
+  /// Senders stamp a monotone per-link seq, so a network-level duplicate
+  /// (fault injection) is suppressed here — it still burned link bandwidth
+  /// in transit, but machine programs never observe a spurious repeat.
+  /// A set (not a high-water mark) because delayed messages may legally
+  /// arrive out of seq order.
+  std::vector<std::unordered_set<std::uint64_t>> seen_seq_;
   std::vector<Envelope> outbox_;
   std::coroutine_handle<> resume_point_ = nullptr;
   bool mail_wait_ = false;     ///< parked on a MailBarrier

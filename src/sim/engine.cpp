@@ -81,10 +81,18 @@ RunReport Engine::run(const MachineProgram& program) {
       }
     };
     std::size_t stepped = 0;
+    std::size_t stalled = 0;
+    // The stall hook runs on the engine thread in machine order (also under
+    // the pool executor), so hook state needs no synchronization.
+    auto stalls = [&](MachineId i) {
+      if (!config_.stall_hook || !config_.stall_hook(i, round)) return false;
+      ++stalled;
+      return true;
+    };
     if (pool) {
       for (MachineId i = 0; i < k; ++i) {
         step_ns[i] = 0;
-        if (alive[i] && ctxs[i]->engine_runnable()) {
+        if (alive[i] && ctxs[i]->engine_runnable() && !stalls(i)) {
           ++stepped;
           pool->submit([&step, i] { step(i); });
         }
@@ -93,15 +101,17 @@ RunReport Engine::run(const MachineProgram& program) {
     } else {
       for (MachineId i = 0; i < k; ++i) {
         step_ns[i] = 0;
-        if (alive[i] && ctxs[i]->engine_runnable()) {
+        if (alive[i] && ctxs[i]->engine_runnable() && !stalls(i)) {
           ++stepped;
           step(i);
         }
       }
     }
 
-    // Fast deadlock detection: nobody ran, nobody can be woken by traffic.
-    if (stepped == 0 && !network_->in_flight() && alive_count > 0) {
+    // Fast deadlock detection: nobody ran, nobody can be woken by traffic,
+    // and nobody is merely stalled (a stalled machine may run next round —
+    // a *permanent* stall ends in the round-budget SimError instead).
+    if (stepped == 0 && stalled == 0 && !network_->in_flight() && alive_count > 0) {
       throw SimError("deadlock: all machines are waiting for messages and none are in flight");
     }
 

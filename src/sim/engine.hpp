@@ -58,6 +58,14 @@ struct EngineConfig {
   /// Record per-superstep per-machine wall time (costs one clock read per
   /// machine-step; disable for pure counting runs).
   bool measure_compute = true;
+  /// Scheduling fault hook: when set, consulted per (machine, round) before
+  /// resuming a runnable machine; returning true *stalls* the machine for
+  /// this superstep (it neither runs nor loses its resume point).  A
+  /// transiently stalled machine counts as schedulable, so the deadlock
+  /// detector does not fire on it; a machine stalled forever runs the
+  /// round budget out into a typed SimError — never a hang.  Used by fault
+  /// tests to model straggling / frozen machines inside the scheduler.
+  std::function<bool(MachineId, std::uint64_t)> stall_hook;
 };
 
 /// Everything a run produces besides the machines' own outputs.
