@@ -20,7 +20,13 @@
 // `degraded` stanza shards the same workload over four machines, kills
 // one, and serves on: every answer is exact over the survivors at
 // coverage 3/4, and the row tracks what guarded scoring + health probes
-// cost relative to the healthy facade row.
+// cost relative to the healthy facade row.  The `facade_concurrent`
+// stanza (JSON null below 4 hardware threads, like `concurrent`) runs
+// four closed-loop submitters through service.query() — the facade's
+// coalescing seat — while the main thread churns inserts/erases and
+// compaction against them: the lock-free snapshot read path means the
+// mutators never block the submitters, and this row is where a
+// reintroduced service-wide query lock would show up as a cliff.
 //
 //   ./bench_serve [--json=BENCH_serve.json] [--n=100000] [--dim=8] [--ell=64]
 //                 [--queries=2000] [--churn-every=4] [--seed=3]
@@ -243,6 +249,76 @@ LatencyStats run_facade(const Workload& w, double* hit_rate, std::uint64_t* debt
   return latency_stats(std::move(latencies_ms), total_sec);
 }
 
+/// The facade under real read concurrency: four closed-loop submitters
+/// through service.query() (the coalescing seat) while the main thread
+/// churns inserts/erases and compaction against them.  Queries take no
+/// service-wide lock — they score against published snapshots — so the
+/// mutator thread never stalls the submitters; compare against the serial
+/// `facade` row for the concurrency payoff.  Null below 4 hardware
+/// threads, same convention as the `concurrent` stanza.
+std::optional<LatencyStats> run_facade_concurrent(const Workload& w,
+                                                  std::size_t hardware_threads,
+                                                  double* hit_rate, std::uint64_t* batches) {
+  if (hardware_threads < 4) return std::nullopt;
+  constexpr std::size_t kSubmitters = 4;
+  Rng rng(w.seed);
+  KnnService service =
+      KnnServiceBuilder()
+          .machines(1)
+          .ell(w.ell)
+          .live(ServeConfig{.seal_threshold = 256, .policy = ScoringPolicy::Auto})
+          .compaction(CompactionConfig{.max_dead_fraction = 0.2, .min_segment_points = 1024})
+          .cache_capacity(4096)
+          .scoring(BatchScoringConfig{.threads = 1})
+          .coalesce(32, std::chrono::microseconds{200})
+          .seed(w.seed)
+          .dataset(uniform_points(w.n, w.dim, 100.0, rng))
+          .build();
+  std::vector<PointId> live = service.live_ids();
+  PointId next_id = 1;
+  const auto query_pool = uniform_points(64, w.dim, 100.0, rng);
+
+  const std::size_t per_thread = w.queries / kSubmitters;
+  std::vector<std::vector<double>> latencies(kSubmitters);
+  std::vector<std::thread> threads;
+  const WallTimer total;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&service, &query_pool, &latencies, w, t, per_thread] {
+      Rng traffic(w.seed + 200 + t);
+      latencies[t].reserve(per_thread);
+      for (std::size_t q = 0; q < per_thread; ++q) {
+        const PointD& query = query_pool[traffic.below(query_pool.size())];
+        const WallTimer timer;
+        const auto result = service.query(query);
+        latencies[t].push_back(ns_to_ms(timer.elapsed_ns()));
+        if (result.keys.empty()) std::fprintf(stderr, "empty facade answer?!\n");
+      }
+    });
+  }
+  // Churn rides the main thread while submitters run: inserts, erases and
+  // periodic compaction race the lock-free readers.
+  const std::size_t churn_ops = w.queries / std::max<std::size_t>(1, w.churn_every);
+  for (std::size_t c = 0; c < churn_ops; ++c) {
+    while (service.contains(next_id)) ++next_id;
+    service.insert(uniform_points(1, w.dim, 100.0, rng)[0], next_id);
+    live.push_back(next_id++);
+    const std::size_t victim = rng.below(live.size());
+    (void)service.erase(live[victim]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    if (c % 64 == 0) (void)service.maybe_compact();
+  }
+  for (auto& thread : threads) thread.join();
+  const double total_sec = total.elapsed_sec();
+  const auto stats = service.stats();
+  *hit_rate = stats.queries == 0 ? 0.0
+                                 : static_cast<double>(stats.cache_hits) /
+                                       static_cast<double>(stats.queries);
+  *batches = stats.batches;
+  std::vector<double> merged;
+  for (auto& part : latencies) merged.insert(merged.end(), part.begin(), part.end());
+  return latency_stats(std::move(merged), total_sec);
+}
+
 /// Degraded serving: the facade workload sharded over four machines with
 /// one of them dead.  Every answer is exact over the three survivors and
 /// carries coverage 3/4; the row tracks what the guarded scoring path and
@@ -315,6 +391,17 @@ int emit_json(const std::string& path, const Workload& w) {
   std::uint64_t facade_debt = 0;
   const std::optional<LatencyStats> facade = run_facade(w, &facade_hit_rate, &facade_debt);
 
+  // Facade-concurrent stanza — submitters through the coalescing seat vs
+  // a churning mutator thread; null below 4 hardware threads.
+  double facade_concurrent_hit_rate = 0.0;
+  std::uint64_t facade_concurrent_batches = 0;
+  const std::optional<LatencyStats> facade_concurrent = run_facade_concurrent(
+      w, hardware_threads, &facade_concurrent_hit_rate, &facade_concurrent_batches);
+  if (!facade_concurrent.has_value()) {
+    std::printf("facade_concurrent stanza skipped: %zu hardware thread(s) < 4\n",
+                hardware_threads);
+  }
+
   // Degraded stanza — the facade over four machines with one dead.
   double degraded_coverage = 1.0;
   const std::optional<LatencyStats> degraded = run_degraded(w, &degraded_coverage);
@@ -375,6 +462,14 @@ int emit_json(const std::string& path, const Workload& w) {
   }
   {
     char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"cache_hit_rate\": %.3f, \"seat_batches\": %" PRIu64
+                  ", \"submitters\": 4, \"machines\": 1",
+                  facade_concurrent_hit_rate, facade_concurrent_batches);
+    write_latency(f, "facade_concurrent", facade_concurrent, extra, true);
+  }
+  {
+    char extra[160];
     std::snprintf(extra, sizeof extra, ", \"machines\": 4, \"dead\": 1, \"coverage\": %.3f",
                   degraded_coverage);
     write_latency(f, "degraded", degraded, extra, true);
@@ -400,6 +495,10 @@ int emit_json(const std::string& path, const Workload& w) {
   if (facade.has_value()) {
     std::printf("facade %.0f q/s p99 %.3f ms cache hit %.1f%%; ", facade->queries_per_sec,
                 facade->p99_ms, 100.0 * facade_hit_rate);
+  }
+  if (facade_concurrent.has_value()) {
+    std::printf("facade_concurrent %.0f q/s p99 %.3f ms; ",
+                facade_concurrent->queries_per_sec, facade_concurrent->p99_ms);
   }
   if (degraded.has_value()) {
     std::printf("degraded %.0f q/s at coverage %.2f; ", degraded->queries_per_sec,

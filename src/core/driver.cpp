@@ -349,12 +349,18 @@ std::vector<std::vector<std::vector<Key>>> score_tiled_grid(
     }
   }
 
+  // A TaskGroup, not wait_idle(): several scoring batches (and background
+  // compactions) may share this pool concurrently — the lock-free
+  // KnnService read path does exactly that — and global quiescence would
+  // make each batch wait on every other submitter's jobs (or starve under
+  // sustained load).  The group waits for exactly this call's tiles.
+  ThreadPool::TaskGroup tiles(*pool);
   for (std::size_t m = 0; m < machines; ++m) {
     const std::size_t pieces = pieces_of[m];
     for (std::size_t q0 = 0; q0 < queries.size(); q0 += block) {
       const std::size_t len = std::min(block, queries.size() - q0);
       if (pieces == 1) {
-        pool->submit([&out, &score, queries, m, q0, len] {
+        tiles.submit([&out, &score, queries, m, q0, len] {
           KernelScratch scratch;
           std::vector<std::vector<Key>> keys;
           score(m, queries.subspan(q0, len), keys, scratch);
@@ -367,7 +373,7 @@ std::vector<std::vector<std::vector<Key>>> score_tiled_grid(
         // Balanced ranges: piece p covers [p·rows/pieces, (p+1)·rows/pieces).
         const std::size_t lo = piece * rows / pieces;
         const std::size_t hi = (piece + 1) * rows / pieces;
-        pool->submit([&partials, &score_range, queries, m, piece, lo, hi, q0, len] {
+        tiles.submit([&partials, &score_range, queries, m, piece, lo, hi, q0, len] {
           KernelScratch scratch;
           std::vector<std::vector<Key>> keys;
           score_range(m, lo, hi, queries.subspan(q0, len), keys, scratch);
@@ -378,7 +384,7 @@ std::vector<std::vector<std::vector<Key>>> score_tiled_grid(
       }
     }
   }
-  pool->wait_idle();
+  tiles.wait();
 
   // Merge pass for split machines: ℓ smallest of the concatenated range
   // winners, per query.
@@ -522,11 +528,21 @@ GuardedScoreBatch score_serve_snapshots_batch_guarded(
     std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind, MachineHealth& health, const BatchScoringConfig& config) {
   GuardedScoreBatch out;
-  const std::vector<char> skip = guard_machines(health, snapshots.size(), out.coverage);
+  std::vector<char> skip = guard_machines(health, snapshots.size(), out.coverage);
+  // A null slot marks a machine that was unreachable in the *caller's*
+  // view (e.g. dead when a service snapshot was published) even if its
+  // probe just answered Ok (revived since).  The caller has no data to
+  // score, so the machine is skipped and reported missing — no second
+  // probe, and silently when Retired (its data lives on survivors).
+  bool missing_merged = false;
   for (std::size_t m = 0; m < snapshots.size(); ++m) {
-    DKNN_REQUIRE(skip[m] || snapshots[m] != nullptr,
-                 "score_serve_snapshots_batch_guarded: null snapshot for a live machine");
+    if (snapshots[m] == nullptr && !skip[m]) {
+      skip[m] = 1;
+      out.coverage.missing.push_back(static_cast<std::uint32_t>(m));
+      missing_merged = true;
+    }
   }
+  if (missing_merged) std::sort(out.coverage.missing.begin(), out.coverage.missing.end());
   out.scored = score_tiled_grid(
       snapshots.size(), queries, ell, config,
       [&snapshots, &skip, ell, kind](std::size_t m, std::span<const PointD> block,

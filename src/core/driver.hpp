@@ -255,9 +255,14 @@ struct GuardedScoreBatch {
     const std::vector<ShardIndex>& indexes, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind, MachineHealth& health, const BatchScoringConfig& config = {});
 
-/// Deadline-guarded variant of the snapshot overload.  `snapshots[m]` may
-/// be null only when machine m is skipped by the health gate (the caller
-/// could not snapshot a dead store).
+/// Deadline-guarded variant of the snapshot overload.  A null
+/// `snapshots[m]` marks machine m unreachable in the *caller's* view (it
+/// could not snapshot the store — e.g. the machine was dead when the
+/// caller's service snapshot was published): the machine is skipped and
+/// reported missing without a probe even if the health gate would now
+/// answer Ok for it (revived since), and silently when Retired (its data
+/// lives on survivors).  Non-null slots go through the usual
+/// `check_call(m)` gate.
 [[nodiscard]] GuardedScoreBatch score_serve_snapshots_batch_guarded(
     std::span<const SnapshotPtr> snapshots, std::span<const PointD> queries, std::uint64_t ell,
     MetricKind kind, MachineHealth& health, const BatchScoringConfig& config = {});

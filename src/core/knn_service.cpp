@@ -1,13 +1,64 @@
 #include "core/knn_service.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 
+#include "serve/compactor.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
+
+// --- the published read-path view --------------------------------------------
+
+/// Everything a query needs, frozen at one publish: the per-machine scoring
+/// structures (store snapshots in live mode, the immutable index set in
+/// static mode), the payload tables (COW — mutators install fresh maps, so a
+/// published table never changes under a reader), and the liveness state
+/// (generation + coverage + which stores were reachable) the view was taken
+/// at.  Readers hold one of these by shared_ptr for the whole call; nothing
+/// in it is ever mutated after publish.
+struct KnnService::Snapshot {
+  /// Service epoch (sum of per-store epochs) at publish; 0 in static mode.
+  std::uint64_t epoch = 0;
+  /// Health generation at publish (0 without fault tolerance).  Readers
+  /// compare against the live generation: equal means the cached-answer key
+  /// (epoch + generation) is still current.
+  std::uint64_t generation = 0;
+  /// Detected coverage at publish — what cache hits are stamped with.
+  Coverage coverage;
+  std::size_t machine_count = 0;
+  /// Live mode: one coherent snapshot per machine; a slot is null iff its
+  /// machine was not Alive at publish (its store is unreachable — the
+  /// guarded scoring step reports it missing without probing).
+  std::vector<SnapshotPtr> stores;
+  /// Static mode: the frozen per-machine indexes (shared, never rebuilt).
+  std::shared_ptr<const std::vector<ShardIndex>> indexes;
+  /// COW payload tables for classify/regress, aligned with the stores.
+  std::vector<std::shared_ptr<const std::unordered_map<PointId, std::uint32_t>>> labels;
+  std::vector<std::shared_ptr<const std::unordered_map<PointId, double>>> targets;
+  bool has_labels = false;
+  bool has_targets = false;
+};
+
+/// One waiting query() call in the coalescing seat (the QueryFrontEnd
+/// leader/follower discipline, facade-wide).  Owned by the caller's stack;
+/// `done`/`result`/`error` are written by the leader and read by the owner,
+/// both under seat_mutex.
+struct KnnService::SeatSlot {
+  const PointD* query = nullptr;
+  KnnAlgo algo{};
+  std::uint64_t ell = 0;
+  MetricKind metric{};
+  QueryResult result;
+  std::exception_ptr error;
+  bool done = false;
+};
 
 // --- State -------------------------------------------------------------------
 
@@ -15,18 +66,21 @@ struct KnnService::State {
   ServiceConfig config;
   std::size_t dim = 0;  ///< 0 = unknown (empty static dataset)
 
-  // Static mode: each machine's frozen scoring structures.
-  std::vector<ShardIndex> indexes;
+  // Static mode: each machine's frozen scoring structures (shared with
+  // every published Snapshot; immutable after build).
+  std::shared_ptr<const std::vector<ShardIndex>> indexes;
   // Live mode: each machine's mutable store.
   std::vector<std::unique_ptr<SegmentStore>> stores;
   std::uint64_t next_machine = 0;  ///< round-robin insert routing
 
   // id → payload per machine, shared by both modes (a live store's
-  // membership churns, so positional arrays cannot label it).
+  // membership churns, so positional arrays cannot label it).  Copy-on-
+  // write: a published Snapshot shares these maps, so mutators never edit
+  // one in place — they clone, edit the clone, and swap the pointer.
   bool has_labels = false;
   bool has_targets = false;
-  std::vector<std::unordered_map<PointId, std::uint32_t>> labels;
-  std::vector<std::unordered_map<PointId, double>> targets;
+  std::vector<std::shared_ptr<const std::unordered_map<PointId, std::uint32_t>>> labels;
+  std::vector<std::shared_ptr<const std::unordered_map<PointId, double>>> targets;
 
   // Fault-tolerant mode only: the liveness registry gating every scoring
   // step, the recovery mirror (live mode — what re-shards a dead machine's
@@ -38,56 +92,111 @@ struct KnnService::State {
   std::unique_ptr<ReplicaMirror> mirror;
   std::vector<std::vector<PointId>> pending_erases;
 
+  EpochResultCache cache;
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> batches{0};
+
+  // The *mutation* mutex: insert / erase / compact installs / kill /
+  // revive / recover (and the bookkeeping readers over the mutable mirror)
+  // serialize here.  The query paths never touch it — they read the
+  // published snapshot below.
+  std::mutex mutex;
+
+  // The read-path snapshot, swapped under a leaf mutex (not
+  // std::atomic<shared_ptr>: TSan can't see through libstdc++'s _Sp_atomic,
+  // and a leaf mutex held for one pointer copy costs the same — the exact
+  // convention SegmentStore::snapshot() uses).
+  mutable std::mutex snapshot_mutex;
+  std::shared_ptr<const Snapshot> snapshot;
+
+  // query()'s coalescing seat (one per service).
+  std::mutex seat_mutex;
+  std::condition_variable seat_cv;   ///< arrivals, completions, leader hand-off
+  std::vector<SeatSlot*> seat_queue; ///< guarded by seat_mutex
+  bool seat_leader_active = false;   ///< guarded by seat_mutex
+
   // Service-owned scoring pool (null when scoring is serial or the caller
   // supplied an external pool); `scoring` is config.scoring with the pool
   // wired in.
   std::unique_ptr<ThreadPool> pool;
   BatchScoringConfig scoring;
 
-  EpochResultCache cache;
-  std::uint64_t queries = 0;
-  std::uint64_t batches = 0;
-
-  // One coarse service mutex: every public call serializes on it, which
-  // makes any cross-thread interleaving safe (the scoring *inside* a call
-  // still fans out over the pool).
-  std::mutex mutex;
+  // Background compactors (live mode with an owned pool), one per store.
+  // Declared after `pool` so they destroy first: each drains its in-flight
+  // round (whose completion hook takes `mutex` and republishes) before the
+  // pool — or anything the hook touches — goes away.
+  std::vector<std::unique_ptr<Compactor>> compactors;
 
   explicit State(std::size_t cache_capacity) : cache(cache_capacity) {}
 
   [[nodiscard]] std::size_t machine_count() const {
-    return config.live ? stores.size() : indexes.size();
+    if (config.live) return stores.size();
+    return indexes != nullptr ? indexes->size() : 0;
   }
 
   /// The strictly monotone service epoch (sum of per-store epochs; each
-  /// store's epoch never decreases and every mutation bumps one).
+  /// store's epoch never decreases and every mutation bumps one, so equal
+  /// sums imply an identical store state).
   [[nodiscard]] std::uint64_t epoch() const {
     std::uint64_t sum = 0;
     for (const auto& store : stores) sum += store->epoch();
     return sum;
   }
-
-  /// Cache key epoch: the data epoch plus (fault-tolerant mode) the health
-  /// generation.  Both terms are monotone over the service's timeline, so
-  /// two distinct (data, liveness) states can never share a sum — equal
-  /// keys imply nothing changed in between, which is exactly what makes a
-  /// hit sound.  This is how a degraded answer is never served after
-  /// recovery (and vice versa): any liveness flip bumps the generation and
-  /// re-tags the cache.
-  [[nodiscard]] std::uint64_t effective_epoch() const {
-    return epoch() + (health ? health->generation() : 0);
-  }
-
-  /// Coverage all answers carry outside fault-tolerant mode (and cache
-  /// hits inside it — the generation key guarantees the detected state
-  /// matches the entry's compute-time state).
-  [[nodiscard]] Coverage coverage_now() const {
-    if (health) return health->coverage_now();
-    Coverage coverage;
-    coverage.total = static_cast<std::uint32_t>(machine_count());
-    return coverage;
-  }
 };
+
+namespace {
+
+/// One locked pointer copy of the published snapshot (templated so the
+/// helper needn't name the private Snapshot type).
+template <typename SnapPtr>
+[[nodiscard]] SnapPtr load_published(std::mutex& mutex, const SnapPtr& slot) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return slot;
+}
+
+/// COW-erase `id` from one machine's payload table (no-op when absent).
+template <typename Value>
+void erase_payload(std::vector<std::shared_ptr<const std::unordered_map<PointId, Value>>>& tables,
+                   std::size_t machine, PointId id) {
+  if (tables[machine]->count(id) == 0) return;
+  auto next = std::make_shared<std::unordered_map<PointId, Value>>(*tables[machine]);
+  next->erase(id);
+  tables[machine] = std::move(next);
+}
+
+}  // namespace
+
+void KnnService::publish_locked(State& state) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->machine_count = state.machine_count();
+  snap->indexes = state.indexes;
+  snap->has_labels = state.has_labels;
+  snap->has_targets = state.has_targets;
+  snap->labels = state.labels;
+  snap->targets = state.targets;
+  snap->epoch = state.epoch();
+  std::vector<char> alive;
+  if (state.health != nullptr) {
+    // One view() read keeps generation / coverage / alive-mask coherent —
+    // a concurrent probe detection between separate reads could publish a
+    // generation that disagrees with the store set.
+    LivenessView view = state.health->view();
+    snap->generation = view.generation;
+    snap->coverage = std::move(view.coverage);
+    alive = std::move(view.alive);
+  } else {
+    snap->coverage.total = static_cast<std::uint32_t>(snap->machine_count);
+  }
+  if (state.config.live) {
+    snap->stores.reserve(state.stores.size());
+    for (std::size_t m = 0; m < state.stores.size(); ++m) {
+      const bool reachable = state.health == nullptr || (m < alive.size() && alive[m] != 0);
+      snap->stores.push_back(reachable ? state.stores[m]->snapshot() : nullptr);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(state.snapshot_mutex);
+  state.snapshot = std::move(snap);
+}
 
 // --- lifecycle ---------------------------------------------------------------
 
@@ -128,7 +237,9 @@ std::size_t KnnService::total_points() const {
     if (state.mirror != nullptr) return state.mirror->total_points();
     for (const auto& store : state.stores) total += store->live_points();
   } else {
-    for (const auto& index : state.indexes) total += index.store().size();
+    if (state.indexes != nullptr) {
+      for (const ShardIndex& index : *state.indexes) total += index.store().size();
+    }
   }
   return total;
 }
@@ -146,52 +257,37 @@ void validate_query_dims(std::size_t dim, std::span<const PointD> queries) {
 
 }  // namespace
 
-namespace {
-
-/// One coherent snapshot set for a whole batch (live mode).  In
-/// fault-tolerant mode a non-Alive machine's slot stays null — its store
-/// is unreachable; the guarded scoring step skips it (and would reject a
-/// null snapshot for any machine the health gate lets through).
-std::vector<SnapshotPtr> snapshot_stores(const std::vector<std::unique_ptr<SegmentStore>>& stores,
-                                         const MachineHealth* health) {
-  std::vector<SnapshotPtr> snapshots;
-  snapshots.reserve(stores.size());
-  for (std::size_t m = 0; m < stores.size(); ++m) {
-    const bool reachable = health == nullptr || health->state(m) == MachineState::Alive;
-    snapshots.push_back(reachable ? stores[m]->snapshot() : nullptr);
-  }
-  return snapshots;
-}
-
-}  // namespace
-
-BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
-                                         std::optional<KnnAlgo> algo) {
-  State& state = ensure_built();
-  const std::lock_guard<std::mutex> lock(state.mutex);
+BatchQueryResult KnnService::run_batch_core(State& state,
+                                            const std::shared_ptr<const Snapshot>& snap,
+                                            std::span<const PointD> queries, KnnAlgo algo,
+                                            std::uint64_t ell, MetricKind metric) {
   BatchQueryResult out;
-  out.epoch = state.epoch();
-  if (queries.empty()) return out;
-  validate_query_dims(state.dim, queries);
-
-  const bool fault_tolerant = state.health != nullptr;
-  std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
-
+  out.epoch = snap->epoch;
   out.per_query.resize(queries.size());
   const auto batch_size = static_cast<std::uint32_t>(queries.size());
+  const bool fault_tolerant = state.health != nullptr;
 
-  // Cache pass: fill hits, collect misses.  Sound because every answer is
-  // a deterministic function of (effective epoch, query); see the header.
-  // A disabled cache (the default) skips the coord-bits materialization
-  // and cache locking entirely.  Hits carry the currently *detected*
-  // coverage — the generation component of the key guarantees it equals
-  // the coverage the entry was computed under.
-  const Coverage hit_coverage = state.coverage_now();
+  // Caching gate.  The key is (coord bits, ℓ, metric, epoch + generation);
+  // both epoch and generation are monotone, so equal sums imply an
+  // identical (data, liveness) state — a hit is byte-exact.  The snapshot
+  // pins the data epoch; the generation can still move under us (a probe
+  // detection needs no mutation), so caching is active only while the live
+  // generation equals the snapshot's.  A stale window (detection not yet
+  // republished) bypasses the cache entirely — scored answers still come
+  // out right (the guard skips the dead machine), they just aren't cached,
+  // and note_bypass keeps the miss counter reconciled.
+  const std::uint64_t live_generation =
+      fault_tolerant ? state.health->generation() : 0;
+  const bool generation_stable = live_generation == snap->generation;
+  const bool caching = state.cache.capacity() > 0 && generation_stable;
+  const std::uint64_t cache_epoch = snap->epoch + live_generation;
+  // What cache hits are stamped with: the publish-time detected coverage —
+  // the generation key guarantees it equals the entry's compute-time state.
+  const Coverage& hit_coverage = snap->coverage;
+
   std::vector<std::size_t> miss_index;
   std::vector<PointD> miss_queries;
   std::vector<std::vector<std::uint64_t>> miss_bits;
-  const bool caching = state.cache.capacity() > 0;
   if (!caching) {
     miss_index.reserve(queries.size());
     miss_queries.reserve(queries.size());
@@ -199,15 +295,20 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
       miss_index.push_back(q);
       miss_queries.push_back(queries[q]);
     }
+    state.cache.note_bypass(queries.size());
   } else {
-    const std::uint64_t lookup_epoch = state.effective_epoch();
     for (std::size_t q = 0; q < queries.size(); ++q) {
       auto bits = query_coord_bits(queries[q]);
-      if (auto cached = state.cache.lookup(bits, lookup_epoch); cached.has_value()) {
-        out.per_query[q].keys = std::move(*cached);
-        out.per_query[q].epoch = out.epoch;
-        out.per_query[q].cache_hit = true;
-        out.per_query[q].coverage = hit_coverage;
+      // Per-call ℓ/metric ride in the key as two extra words, so an
+      // overridden answer can never collide with a canonical one.
+      bits.push_back(ell);
+      bits.push_back(static_cast<std::uint64_t>(metric));
+      if (auto cached = state.cache.lookup(bits, cache_epoch); cached.has_value()) {
+        QueryResult& dst = out.per_query[q];
+        dst.keys = std::move(*cached);
+        dst.epoch = snap->epoch;
+        dst.cache_hit = true;
+        dst.coverage = hit_coverage;
       } else {
         miss_index.push_back(q);
         miss_queries.push_back(queries[q]);
@@ -218,40 +319,49 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
 
   if (!miss_queries.empty()) {
     // Local computation: the fused batch kernels over every machine's
-    // resident structures — exactly the free-function paths.  Fault-
+    // snapshotted structures — exactly the free-function paths.  Fault-
     // tolerant mode routes through the deadline-guarded variants: dead /
     // unresponsive machines are skipped (their slots stay empty, a legal
-    // empty shard for every protocol) and reported in the coverage.
+    // empty shard for every protocol) and reported in the coverage; a
+    // machine whose snapshot slot is null (dead at publish) is reported
+    // missing without a probe.
     std::vector<std::vector<std::vector<Key>>> scored;
     Coverage miss_coverage = hit_coverage;
     if (fault_tolerant) {
       GuardedScoreBatch guarded =
           state.config.live
-              ? score_serve_snapshots_batch_guarded(snapshots, miss_queries, state.config.ell,
-                                                    state.config.metric, *state.health,
-                                                    state.scoring)
-              : score_vector_shards_batch_guarded(state.indexes, miss_queries,
-                                                  state.config.ell, state.config.metric,
+              ? score_serve_snapshots_batch_guarded(snap->stores, miss_queries, ell, metric,
+                                                    *state.health, state.scoring)
+              : score_vector_shards_batch_guarded(*snap->indexes, miss_queries, ell, metric,
                                                   *state.health, state.scoring);
       scored = std::move(guarded.scored);
       miss_coverage = std::move(guarded.coverage);
     } else {
       scored = state.config.live
-                   ? score_serve_snapshots_batch(snapshots, miss_queries, state.config.ell,
-                                                 state.config.metric, state.scoring)
-                   : score_vector_shards_batch(state.indexes, miss_queries, state.config.ell,
-                                               state.config.metric, state.scoring);
+                   ? score_serve_snapshots_batch(snap->stores, miss_queries, ell, metric,
+                                                 state.scoring)
+                   : score_vector_shards_batch(*snap->indexes, miss_queries, ell, metric,
+                                               state.scoring);
     }
     // Global selection: every miss through one engine run.
-    BatchRunResult batch = run_knn_batch(scored, state.config.ell,
-                                         algo.value_or(state.config.algo),
-                                         state.config.engine, state.config.knn);
-    // Publish under the *post-scoring* effective epoch: if the guarded
-    // pass just detected a death, the generation moved and these answers
-    // belong to the new liveness state.  (The cache tag then lags one
-    // batch; the next lookup re-tags it — entries never cross states.)
-    const std::uint64_t publish_epoch = state.effective_epoch();
-    if (caching) state.cache.make_room(miss_index.size(), publish_epoch);
+    BatchRunResult batch = run_knn_batch(scored, ell, algo, state.config.engine,
+                                         state.config.knn);
+
+    // Publish to the cache only if the generation held through scoring —
+    // answers computed while a detection landed belong to neither liveness
+    // state's key.  After any detection, opportunistically republish the
+    // snapshot (try_lock: a mutator holding the mutex will republish
+    // itself) so later reads see the new liveness and caching resumes.
+    bool publish = caching;
+    if (fault_tolerant) {
+      const std::uint64_t post_generation = state.health->generation();
+      publish = caching && post_generation == live_generation;
+      if (post_generation != snap->generation && state.mutex.try_lock()) {
+        publish_locked(state);
+        state.mutex.unlock();
+      }
+    }
+    if (publish) state.cache.make_room(miss_index.size(), cache_epoch);
     for (std::size_t i = 0; i < miss_index.size(); ++i) {
       QueryResult& dst = out.per_query[miss_index[i]];
       GlobalRunResult& src = batch.per_query[i];
@@ -261,34 +371,149 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
       dst.attempts = src.attempts;
       dst.candidates = src.candidates;
       dst.prune_ok = src.prune_ok;
-      dst.epoch = out.epoch;
+      dst.epoch = snap->epoch;
       dst.cache_hit = false;
       dst.coverage = miss_coverage;
-      if (caching) state.cache.insert(std::move(miss_bits[i]), publish_epoch, dst.keys);
+      if (publish) state.cache.insert(std::move(miss_bits[i]), cache_epoch, dst.keys);
     }
     out.report = std::move(batch.report);
-    ++state.batches;
+    state.batches.fetch_add(1, std::memory_order_relaxed);
   }
 
   for (QueryResult& result : out.per_query) result.batch_size = batch_size;
-  state.queries += queries.size();
+  state.queries.fetch_add(queries.size(), std::memory_order_relaxed);
   return out;
 }
 
-QueryResult KnnService::query(const PointD& point, std::optional<KnnAlgo> algo) {
-  BatchQueryResult batch = query_batch(std::span<const PointD>(&point, 1), algo);
-  QueryResult result = std::move(batch.per_query.front());
-  // A lone query owns its whole run: give it the complete engine report
-  // (traffic included), not just the per-query round count.
-  if (!result.cache_hit) result.report = std::move(batch.report);
-  return result;
+BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
+                                         const QueryOptions& options) {
+  State& state = ensure_built();
+  const std::uint64_t ell = options.ell.value_or(state.config.ell);
+  require_positive_ell(ell);
+  const KnnAlgo algo = options.algo.value_or(state.config.algo);
+  const MetricKind metric = options.metric.value_or(state.config.metric);
+  validate_query_dims(state.dim, queries);
+  const auto snap = load_published(state.snapshot_mutex, state.snapshot);
+  if (queries.empty()) {
+    BatchQueryResult out;
+    out.epoch = snap->epoch;
+    return out;
+  }
+  return run_batch_core(state, snap, queries, algo, ell, metric);
+}
+
+void KnnService::execute_seat(State& state, std::span<SeatSlot*> batch) {
+  // One snapshot for the whole seat batch; group batch-mates by effective
+  // (algo, ℓ, metric) — per-call overrides may differ across coalesced
+  // callers, and each group is one scored batch.
+  const auto snap = load_published(state.snapshot_mutex, state.snapshot);
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto key_of = [&](std::size_t i) {
+    return std::make_tuple(static_cast<int>(batch[i]->algo), batch[i]->ell,
+                           static_cast<int>(batch[i]->metric));
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key_of(a) < key_of(b); });
+  std::size_t start = 0;
+  while (start < order.size()) {
+    std::size_t stop = start + 1;
+    while (stop < order.size() && key_of(order[stop]) == key_of(order[start])) ++stop;
+    std::vector<PointD> queries;
+    queries.reserve(stop - start);
+    for (std::size_t i = start; i < stop; ++i) queries.push_back(*batch[order[i]]->query);
+    SeatSlot& lead = *batch[order[start]];
+    try {
+      BatchQueryResult result =
+          run_batch_core(state, snap, queries, lead.algo, lead.ell, lead.metric);
+      for (std::size_t i = start; i < stop; ++i) {
+        batch[order[i]]->result = std::move(result.per_query[i - start]);
+      }
+      if (stop - start == 1 && !lead.result.cache_hit) {
+        // A lone, uncoalesced query owns its whole run: give it the
+        // complete engine report (traffic included).  A coalesced group's
+        // whole-batch report belongs to no single caller and is dropped.
+        lead.result.report = std::move(result.report);
+      }
+    } catch (...) {
+      // A group that fails (bad_alloc mid-kernel, ...) fails only its own
+      // members; other groups still answer.
+      for (std::size_t i = start; i < stop; ++i) {
+        batch[order[i]]->error = std::current_exception();
+      }
+    }
+    start = stop;
+  }
+}
+
+QueryResult KnnService::query(const PointD& point, const QueryOptions& options) {
+  State& state = ensure_built();
+  const std::uint64_t ell = options.ell.value_or(state.config.ell);
+  require_positive_ell(ell);
+  // Validate before taking a seat: precondition errors stay the caller's
+  // own (a throw from inside the scored batch would have to fan out to
+  // every batch-mate).
+  validate_query_dims(state.dim, std::span<const PointD>(&point, 1));
+
+  SeatSlot slot;
+  slot.query = &point;
+  slot.algo = options.algo.value_or(state.config.algo);
+  slot.ell = ell;
+  slot.metric = options.metric.value_or(state.config.metric);
+
+  std::unique_lock<std::mutex> lock(state.seat_mutex);
+  state.seat_queue.push_back(&slot);
+  state.seat_cv.notify_all();  // a collecting leader may be waiting for company
+  for (;;) {
+    if (slot.done) break;
+    if (!state.seat_leader_active) break;  // seat is free and our slot is still queued
+    state.seat_cv.wait(lock);
+  }
+  if (!slot.done) {
+    // Leader: collect companions up to coalesce_max_batch or the deadline,
+    // then score the whole batch outside the lock (the QueryFrontEnd
+    // discipline — see serve/front_end.cpp).
+    state.seat_leader_active = true;
+    if (state.config.coalesce_max_delay.count() > 0) {
+      const auto deadline = std::chrono::steady_clock::now() + state.config.coalesce_max_delay;
+      while (state.seat_queue.size() < state.config.coalesce_max_batch &&
+             state.seat_cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
+    }
+    // Take at most coalesce_max_batch slots: an arrival storm while the
+    // seat was occupied can queue more.  The leader's own slot always
+    // rides in its batch (it returns after this one execute), joined by
+    // the oldest queued companions; the remainder stays queued — one of
+    // its owners is elected leader by the post-publish notify_all below.
+    state.seat_queue.erase(std::find(state.seat_queue.begin(), state.seat_queue.end(), &slot));
+    const std::size_t take =
+        std::min(state.seat_queue.size(), state.config.coalesce_max_batch - 1);
+    std::vector<SeatSlot*> batch(
+        state.seat_queue.begin(),
+        state.seat_queue.begin() + static_cast<std::ptrdiff_t>(take));
+    state.seat_queue.erase(state.seat_queue.begin(),
+                           state.seat_queue.begin() + static_cast<std::ptrdiff_t>(take));
+    batch.push_back(&slot);
+    lock.unlock();
+    execute_seat(state, batch);
+    lock.lock();
+    // Publish results under the lock (followers read `done` + `result`
+    // under it), retire the seat, wake everyone: batch members return,
+    // queries that arrived mid-execute elect the next leader.
+    for (SeatSlot* member : batch) member->done = true;
+    state.seat_leader_active = false;
+    state.seat_cv.notify_all();
+  }
+  lock.unlock();
+  if (slot.error != nullptr) std::rethrow_exception(slot.error);
+  return std::move(slot.result);
 }
 
 std::vector<ClassifyResult> KnnService::classify_batch(std::span<const PointD> queries,
                                                        VoteRule rule) {
   State& state = ensure_built();
-  const std::lock_guard<std::mutex> lock(state.mutex);
-  if (!state.has_labels) {
+  const auto snap = load_published(state.snapshot_mutex, state.snapshot);
+  if (!snap->has_labels) {
     throw ServiceStateError(
         "dknn: KnnService::classify requires labels (KnnServiceBuilder::labels or "
         "insert_labeled)");
@@ -296,31 +521,32 @@ std::vector<ClassifyResult> KnnService::classify_batch(std::span<const PointD> q
   if (queries.empty()) return {};  // consistent with query_batch
   validate_query_dims(state.dim, queries);
 
-  std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
+  // One snapshot end to end: the winners come out of the snapshotted
+  // stores and the labels are the tables published with them, so a
+  // concurrent erase can never strand a winner without its label.
   const auto scored = [&] {
     if (state.health != nullptr) {
       // Degraded classify: dead machines' shards drop out of the vote.
       return state.config.live
-                 ? score_serve_snapshots_batch_guarded(snapshots, queries, state.config.ell,
+                 ? score_serve_snapshots_batch_guarded(snap->stores, queries, state.config.ell,
                                                        state.config.metric, *state.health,
                                                        state.scoring)
                        .scored
-                 : score_vector_shards_batch_guarded(state.indexes, queries, state.config.ell,
+                 : score_vector_shards_batch_guarded(*snap->indexes, queries, state.config.ell,
                                                      state.config.metric, *state.health,
                                                      state.scoring)
                        .scored;
     }
     return state.config.live
-               ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+               ? score_serve_snapshots_batch(snap->stores, queries, state.config.ell,
                                              state.config.metric, state.scoring)
-               : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+               : score_vector_shards_batch(*snap->indexes, queries, state.config.ell,
                                            state.config.metric, state.scoring);
   }();
-  auto results = classify_scored_batch(scored, state.labels, state.config.ell,
+  auto results = classify_scored_batch(scored, snap->labels, state.config.ell,
                                        state.config.engine, state.config.knn, rule);
-  state.queries += queries.size();
-  ++state.batches;
+  state.queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  state.batches.fetch_add(1, std::memory_order_relaxed);
   return results;
 }
 
@@ -330,8 +556,8 @@ ClassifyResult KnnService::classify(const PointD& point, VoteRule rule) {
 
 std::vector<RegressResult> KnnService::regress_batch(std::span<const PointD> queries) {
   State& state = ensure_built();
-  const std::lock_guard<std::mutex> lock(state.mutex);
-  if (!state.has_targets) {
+  const auto snap = load_published(state.snapshot_mutex, state.snapshot);
+  if (!snap->has_targets) {
     throw ServiceStateError(
         "dknn: KnnService::regress requires targets (KnnServiceBuilder::targets or "
         "insert_target)");
@@ -339,31 +565,29 @@ std::vector<RegressResult> KnnService::regress_batch(std::span<const PointD> que
   if (queries.empty()) return {};  // consistent with query_batch
   validate_query_dims(state.dim, queries);
 
-  std::vector<SnapshotPtr> snapshots;
-  if (state.config.live) snapshots = snapshot_stores(state.stores, state.health.get());
   const auto scored = [&] {
     if (state.health != nullptr) {
       // Degraded regress: dead machines' shards drop out of the mean.
       return state.config.live
-                 ? score_serve_snapshots_batch_guarded(snapshots, queries, state.config.ell,
+                 ? score_serve_snapshots_batch_guarded(snap->stores, queries, state.config.ell,
                                                        state.config.metric, *state.health,
                                                        state.scoring)
                        .scored
-                 : score_vector_shards_batch_guarded(state.indexes, queries, state.config.ell,
+                 : score_vector_shards_batch_guarded(*snap->indexes, queries, state.config.ell,
                                                      state.config.metric, *state.health,
                                                      state.scoring)
                        .scored;
     }
     return state.config.live
-               ? score_serve_snapshots_batch(snapshots, queries, state.config.ell,
+               ? score_serve_snapshots_batch(snap->stores, queries, state.config.ell,
                                              state.config.metric, state.scoring)
-               : score_vector_shards_batch(state.indexes, queries, state.config.ell,
+               : score_vector_shards_batch(*snap->indexes, queries, state.config.ell,
                                            state.config.metric, state.scoring);
   }();
-  auto results = regress_scored_batch(scored, state.targets, state.config.ell,
+  auto results = regress_scored_batch(scored, snap->targets, state.config.ell,
                                       state.config.engine, state.config.knn);
-  state.queries += queries.size();
-  ++state.batches;
+  state.queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  state.batches.fetch_add(1, std::memory_order_relaxed);
   return results;
 }
 
@@ -373,14 +597,15 @@ RegressResult KnnService::regress(const PointD& point) {
 
 ServiceStats KnnService::stats() const {
   State& state = ensure_built();
-  // Cache counters are read under the service mutex: every facade cache
-  // mutation happens inside it, so the snapshot is exact (hits + misses
-  // always reconcile with the query count).
-  const std::lock_guard<std::mutex> lock(state.mutex);
+  // Lock-free counters: the query counters are atomics and the cache keeps
+  // its own leaf-locked counters.  A quiescent service reconciles exactly
+  // (hits + misses == query/query_batch answers at every cache
+  // configuration — see the stats convention in result_cache.hpp); a read
+  // taken while batches are in flight can lag by the in-flight answers.
   const ResultCacheStats cache = state.cache.stats();
   ServiceStats stats;
-  stats.queries = state.queries;
-  stats.batches = state.batches;
+  stats.queries = state.queries.load(std::memory_order_relaxed);
+  stats.batches = state.batches.load(std::memory_order_relaxed);
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
   stats.cache_flushes = cache.flushes;
@@ -423,6 +648,7 @@ std::uint64_t KnnService::insert(const PointD& point, PointId id) {
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
   insert_point(state, point, id);
+  publish_locked(state);
   return state.epoch();
 }
 
@@ -430,11 +656,16 @@ std::uint64_t KnnService::insert_labeled(const PointD& point, PointId id, std::u
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
   const std::size_t machine = insert_point(state, point, id);
-  state.labels[machine][id] = label;
+  // COW: published snapshots share the old table; clone, edit, swap.
+  auto next =
+      std::make_shared<std::unordered_map<PointId, std::uint32_t>>(*state.labels[machine]);
+  (*next)[id] = label;
+  state.labels[machine] = std::move(next);
   state.has_labels = true;
   if (state.mirror != nullptr) {
     state.mirror->record(machine, ReplicaRecord{point, id, label, std::nullopt});
   }
+  publish_locked(state);
   return state.epoch();
 }
 
@@ -442,11 +673,14 @@ std::uint64_t KnnService::insert_target(const PointD& point, PointId id, double 
   State& state = ensure_live();
   const std::lock_guard<std::mutex> lock(state.mutex);
   const std::size_t machine = insert_point(state, point, id);
-  state.targets[machine][id] = target;
+  auto next = std::make_shared<std::unordered_map<PointId, double>>(*state.targets[machine]);
+  (*next)[id] = target;
+  state.targets[machine] = std::move(next);
   state.has_targets = true;
   if (state.mirror != nullptr) {
     state.mirror->record(machine, ReplicaRecord{point, id, std::nullopt, target});
   }
+  publish_locked(state);
   return state.epoch();
 }
 
@@ -458,8 +692,8 @@ std::optional<std::uint64_t> KnnService::erase(PointId id) {
     if (!owner.has_value()) return std::nullopt;
     const std::size_t m = *owner;
     state.mirror->erase(id);
-    state.labels[m].erase(id);
-    state.targets[m].erase(id);
+    erase_payload(state.labels, m, id);
+    erase_payload(state.targets, m, id);
     if (state.health->alive(m)) {
       const bool erased = state.stores[m]->erase(id).has_value();
       DKNN_ASSERT(erased, "fault-tolerant erase: mirror and store disagree");
@@ -471,12 +705,14 @@ std::optional<std::uint64_t> KnnService::erase(PointId id) {
       // absent from every answer.
       state.pending_erases[m].push_back(id);
     }
+    publish_locked(state);
     return state.epoch();
   }
   for (std::size_t m = 0; m < state.stores.size(); ++m) {
     if (state.stores[m]->erase(id).has_value()) {
-      state.labels[m].erase(id);
-      state.targets[m].erase(id);
+      erase_payload(state.labels, m, id);
+      erase_payload(state.targets, m, id);
+      publish_locked(state);
       return state.epoch();
     }
   }
@@ -485,27 +721,59 @@ std::optional<std::uint64_t> KnnService::erase(PointId id) {
 
 std::uint64_t KnnService::compact_now() {
   State& state = ensure_live();
-  const std::lock_guard<std::mutex> lock(state.mutex);
+  // No service mutex while planning or merging: merges read only frozen
+  // views, and installs are conditional on victim identity.  A racing
+  // erase that tombstones a victim between plan and install aborts the
+  // round (deletes always win) and we simply re-plan; the abort cap bounds
+  // the pathological case of a saturating erase storm — the leftover debt
+  // just waits for the next call.
   for (const auto& store : state.stores) {
-    // plan → build → install, synchronously, until this store is clean.
-    // Each install strictly shrinks the backlog, so this terminates; under
-    // the service mutex no victim can change, so installs cannot abort
-    // (the break is a safety net, not a path).
-    for (;;) {
-      const SegmentStore::CompactionPlan plan =
-          store->plan_compaction(state.config.compaction);
+    std::size_t consecutive_aborts = 0;
+    while (consecutive_aborts < 8) {
+      const SegmentStore::CompactionPlan plan = store->plan_compaction(state.config.compaction);
       if (plan.empty()) break;
       auto merged = SegmentStore::merge_segments(plan.victims, state.config.serve);
-      if (!store->install_compaction(plan, std::move(merged))) break;
+      if (store->install_compaction(plan, std::move(merged))) {
+        consecutive_aborts = 0;
+      } else {
+        ++consecutive_aborts;
+      }
     }
   }
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  publish_locked(state);
   return state.epoch();
+}
+
+std::size_t KnnService::maybe_compact() {
+  State& state = ensure_live();
+  if (!state.compactors.empty()) {
+    std::size_t scheduled = 0;
+    for (const auto& compactor : state.compactors) {
+      if (compactor->maybe_schedule()) ++scheduled;
+    }
+    return scheduled;
+  }
+  // No owned pool (serial scoring config): one inline round per indebted
+  // store — the same conditional-install discipline, synchronously.
+  std::size_t rounds = 0;
+  for (const auto& store : state.stores) {
+    const SegmentStore::CompactionPlan plan = store->plan_compaction(state.config.compaction);
+    if (plan.empty()) continue;
+    auto merged = SegmentStore::merge_segments(plan.victims, state.config.serve);
+    store->install_compaction(plan, std::move(merged));
+    ++rounds;
+  }
+  if (rounds > 0) {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    publish_locked(state);
+  }
+  return rounds;
 }
 
 std::uint64_t KnnService::snapshot_epoch() const {
   State& state = ensure_built();
-  const std::lock_guard<std::mutex> lock(state.mutex);
-  return state.epoch();
+  return load_published(state.snapshot_mutex, state.snapshot)->epoch;
 }
 
 bool KnnService::contains(PointId id) const {
@@ -572,6 +840,7 @@ void KnnService::kill_machine(std::size_t machine) {
   State& state = ensure_fault_tolerant();
   const std::lock_guard<std::mutex> lock(state.mutex);
   state.health->kill(machine);
+  publish_locked(state);
 }
 
 void KnnService::revive_machine(std::size_t machine) {
@@ -584,12 +853,16 @@ void KnnService::revive_machine(std::size_t machine) {
     state.pending_erases[machine].clear();
   }
   state.health->revive(machine);
+  publish_locked(state);
 }
 
 void KnnService::set_failure_mode(std::size_t machine, FailureMode mode) {
   State& state = ensure_fault_tolerant();
   const std::lock_guard<std::mutex> lock(state.mutex);
   state.health->set_failure_mode(machine, mode);
+  // No republish: scripting a probe outcome changes no detected state (the
+  // generation moves when a scoring step actually detects the failure —
+  // readers then bypass the cache and republish opportunistically).
 }
 
 RecoveryReport KnnService::recover_locked(State& state, std::size_t machine) {
@@ -607,24 +880,47 @@ RecoveryReport KnnService::recover_locked(State& state, std::size_t machine) {
 
   // Re-shard the dead machine's mirrored points round-robin over the
   // survivors, starting at the coordinator.  Records arrive ascending by
-  // id, so placement is deterministic.
+  // id, so placement is deterministic.  Payload tables are COW (published
+  // snapshots keep reading the old ones): clone each touched survivor's
+  // table once, batch the edits, swap at the end.
   std::vector<ReplicaRecord> records = state.mirror->recover(machine);
   state.pending_erases[machine].clear();
   std::size_t start = 0;
   for (std::size_t i = 0; i < alive.size(); ++i) {
     if (alive[i] == election.coordinator) start = i;
   }
+  std::vector<std::shared_ptr<std::unordered_map<PointId, std::uint32_t>>> fresh_labels(
+      state.labels.size());
+  std::vector<std::shared_ptr<std::unordered_map<PointId, double>>> fresh_targets(
+      state.targets.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     ReplicaRecord& rec = records[i];
     const std::size_t target = alive[(start + i) % alive.size()];
     state.stores[target]->insert(rec.point, rec.id);
-    if (rec.label.has_value()) state.labels[target][rec.id] = *rec.label;
-    if (rec.target.has_value()) state.targets[target][rec.id] = *rec.target;
+    if (rec.label.has_value()) {
+      if (fresh_labels[target] == nullptr) {
+        fresh_labels[target] = std::make_shared<std::unordered_map<PointId, std::uint32_t>>(
+            *state.labels[target]);
+      }
+      (*fresh_labels[target])[rec.id] = *rec.label;
+    }
+    if (rec.target.has_value()) {
+      if (fresh_targets[target] == nullptr) {
+        fresh_targets[target] =
+            std::make_shared<std::unordered_map<PointId, double>>(*state.targets[target]);
+      }
+      (*fresh_targets[target])[rec.id] = *rec.target;
+    }
     state.mirror->record(target, std::move(rec));
   }
-  state.labels[machine].clear();
-  state.targets[machine].clear();
+  for (std::size_t m = 0; m < fresh_labels.size(); ++m) {
+    if (fresh_labels[m] != nullptr) state.labels[m] = std::move(fresh_labels[m]);
+    if (fresh_targets[m] != nullptr) state.targets[m] = std::move(fresh_targets[m]);
+  }
+  state.labels[machine] = std::make_shared<std::unordered_map<PointId, std::uint32_t>>();
+  state.targets[machine] = std::make_shared<std::unordered_map<PointId, double>>();
   state.health->retire(machine);
+  publish_locked(state);
 
   RecoveryReport report;
   report.machine = machine;
@@ -722,6 +1018,12 @@ KnnServiceBuilder& KnnServiceBuilder::cache_capacity(std::size_t entries) {
   config_.cache_capacity = entries;
   return *this;
 }
+KnnServiceBuilder& KnnServiceBuilder::coalesce(std::size_t max_batch,
+                                               std::chrono::microseconds max_delay) {
+  config_.coalesce_max_batch = max_batch;
+  config_.coalesce_max_delay = max_delay;
+  return *this;
+}
 KnnServiceBuilder& KnnServiceBuilder::fault_tolerant() {
   config_.fault_tolerant = true;
   return *this;
@@ -775,6 +1077,10 @@ KnnServiceBuilder& KnnServiceBuilder::targets_sharded(std::vector<std::vector<do
 
 KnnService KnnServiceBuilder::build() {
   require_positive_ell(config_.ell);
+  if (config_.coalesce_max_batch == 0) {
+    throw ServiceStateError(
+        "dknn: coalesce_max_batch must be positive (1 disables coalescing)");
+  }
   if (have_flat_ && have_sharded_) {
     throw ServiceStateError("dknn: give the builder dataset() or dataset_sharded(), not both");
   }
@@ -825,8 +1131,8 @@ KnnService KnnServiceBuilder::build() {
   }
 
   const std::size_t k = shards.size();
-  state->labels.resize(k);
-  state->targets.resize(k);
+  std::vector<std::unordered_map<PointId, std::uint32_t>> labels(k);
+  std::vector<std::unordered_map<PointId, double>> targets(k);
   state->has_labels = have_labels_;
   state->has_targets = have_targets_;
   if (have_labels_ || have_targets_) {
@@ -845,8 +1151,8 @@ KnnService KnnServiceBuilder::build() {
           throw ServiceStateError("dknn: targets_sharded() must align with dataset_sharded()");
         }
         for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
-          if (have_labels_) state->labels[m].emplace(shards[m].ids[i], sharded_labels_[m][i]);
-          if (have_targets_) state->targets[m].emplace(shards[m].ids[i], sharded_targets_[m][i]);
+          if (have_labels_) labels[m].emplace(shards[m].ids[i], sharded_labels_[m][i]);
+          if (have_targets_) targets[m].emplace(shards[m].ids[i], sharded_targets_[m][i]);
         }
       }
     } else {
@@ -854,10 +1160,19 @@ KnnService KnnServiceBuilder::build() {
       for (std::size_t i = 0; i < flat_count; ++i) {
         const auto [machine, row] = placement[i];
         const PointId id = shards[machine].ids[row];
-        if (have_labels_) state->labels[machine].emplace(id, flat_labels_[i]);
-        if (have_targets_) state->targets[machine].emplace(id, flat_targets_[i]);
+        if (have_labels_) labels[machine].emplace(id, flat_labels_[i]);
+        if (have_targets_) targets[machine].emplace(id, flat_targets_[i]);
       }
     }
+  }
+  // Seed the COW tables (mutators clone-and-swap from here on).
+  state->labels.reserve(k);
+  state->targets.reserve(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    state->labels.push_back(
+        std::make_shared<std::unordered_map<PointId, std::uint32_t>>(std::move(labels[m])));
+    state->targets.push_back(
+        std::make_shared<std::unordered_map<PointId, double>>(std::move(targets[m])));
   }
 
   // Dimensionality: from the data, else the explicit builder override.
@@ -878,6 +1193,7 @@ KnnService KnnServiceBuilder::build() {
           "dknn: a live KnnService needs a known dimension (provide points or "
           "KnnServiceBuilder::dim)");
     }
+    state->indexes = std::make_shared<const std::vector<ShardIndex>>();
     state->stores.reserve(k);
     for (VectorShard& shard : shards) {
       auto store = std::make_unique<SegmentStore>(dim, state->config.serve);
@@ -888,7 +1204,8 @@ KnnService KnnServiceBuilder::build() {
       state->stores.push_back(std::move(store));
     }
   } else {
-    state->indexes = make_shard_indexes(shards, config_.policy, config_.leaf_size);
+    state->indexes = std::make_shared<const std::vector<ShardIndex>>(
+        make_shard_indexes(shards, config_.policy, config_.leaf_size));
   }
 
   // Fault tolerance: the health registry gates scoring in both modes; the
@@ -905,10 +1222,10 @@ KnnService KnnServiceBuilder::build() {
         for (std::size_t i = 0; i < shards[m].ids.size(); ++i) {
           const PointId id = shards[m].ids[i];
           ReplicaRecord rec{shards[m].points[i], id, std::nullopt, std::nullopt};
-          if (const auto it = state->labels[m].find(id); it != state->labels[m].end()) {
+          if (const auto it = state->labels[m]->find(id); it != state->labels[m]->end()) {
             rec.label = it->second;
           }
-          if (const auto it = state->targets[m].find(id); it != state->targets[m].end()) {
+          if (const auto it = state->targets[m]->find(id); it != state->targets[m]->end()) {
             rec.target = it->second;
           }
           state->mirror->record(m, std::move(rec));
@@ -930,6 +1247,29 @@ KnnService KnnServiceBuilder::build() {
       state->scoring.pool = state->pool.get();
     }
   }
+
+  // Background compactors: one per store on the owned pool; each installed
+  // round republishes the snapshot from the worker so lock-free readers
+  // see the compacted segments without waiting for the next mutation.
+  if (state->config.live && state->pool != nullptr) {
+    KnnService::State* raw = state.get();
+    state->compactors.reserve(state->stores.size());
+    for (const auto& store : state->stores) {
+      auto compactor =
+          std::make_unique<Compactor>(*store, *state->pool, state->config.compaction);
+      compactor->set_on_complete([raw](bool installed) {
+        if (!installed) return;
+        // Safe against the mutation mutex: no code path waits on the pool
+        // while holding it, so this lock always clears.
+        const std::lock_guard<std::mutex> lock(raw->mutex);
+        KnnService::publish_locked(*raw);
+      });
+      state->compactors.push_back(std::move(compactor));
+    }
+  }
+
+  // The initial publish — queries are lock-free from the first call.
+  KnnService::publish_locked(*state);
 
   return KnnService(std::move(state));
 }

@@ -48,14 +48,24 @@
 /// ℓ > n stays permissive — every path returns min(ℓ, n) keys, exactly
 /// like the free functions.
 ///
-/// Thread-safety: all public methods serialize on one internal service
-/// mutex, so any interleaving from any threads is safe (scoring itself
-/// still runs parallel on the service's pool *inside* a call).  For
-/// high-concurrency single-store serving where queries should coalesce
-/// instead of queue, the dynamic-batching QueryFrontEnd
-/// (serve/front_end.hpp) remains the dedicated tool — it shares this
-/// facade's result-cache machinery.
+/// Thread-safety — the epoch-snapshot read discipline (same as
+/// SegmentStore's): `query` / `query_batch` / `classify` / `regress` grab
+/// one immutable, atomically-published ServiceSnapshot (the stores'
+/// snapshots + indexes + payload tables + health generation) and never
+/// touch the service mutex; only mutations (insert / erase / compact /
+/// kill / revive / recover) serialize on it, republishing the snapshot
+/// before returning.  Readers therefore never block mutators and vice
+/// versa — a query that began before an insert finishes against the
+/// membership it started with, stamped with that epoch.  The bookkeeping
+/// readers (total_points / contains / live_ids / segment_count /
+/// compaction_debt / live_ids_on) still take the service mutex — they read
+/// the mutable mirror, not the snapshot.  `query()` additionally coalesces
+/// concurrently-submitted singles through one leader/follower seat per
+/// service (the QueryFrontEnd discipline, facade-wide), so under load
+/// singles approach the batch path's kernel amortization; query_batch
+/// bypasses the seat.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -129,11 +139,23 @@ struct ServiceConfig {
   CompactionConfig compaction{};
   /// Epoch-keyed result-cache entries for query/query_batch; 0 disables.
   /// Sound in both modes: answers are deterministic per epoch, and any
-  /// mutation advances the service epoch.  A fault-tolerant service
-  /// additionally mixes the health generation into the cache key, so a
-  /// degraded answer is never served after a liveness change (and vice
+  /// mutation advances the service epoch.  The key is (coord bits, ℓ,
+  /// metric, effective epoch) — per-call ℓ/metric overrides can never
+  /// collide with canonical answers.  A fault-tolerant service
+  /// additionally mixes the health generation into the effective epoch, so
+  /// a degraded answer is never served after a liveness change (and vice
   /// versa).
   std::size_t cache_capacity = 0;
+  /// query()'s facade-wide coalescing seat (the QueryFrontEnd
+  /// leader/follower discipline): concurrently submitted singles ride one
+  /// scored batch of up to `coalesce_max_batch`; the leader waits up to
+  /// `coalesce_max_delay` for companions (0 = coalesce only queries
+  /// already queued — no added latency, the default).  Coalescing changes
+  /// no answer bytes: each answer is a pure function of (snapshot, query,
+  /// effective ℓ/metric), and batch-mates with different overrides score
+  /// in separate groups.
+  std::size_t coalesce_max_batch = 32;
+  std::chrono::microseconds coalesce_max_delay{0};
   /// Machine-failure handling: a MachineHealth registry gates every
   /// scoring step (deadline + bounded retry), dead machines degrade the
   /// answer (QueryResult::coverage) instead of failing it, and
@@ -142,6 +164,24 @@ struct ServiceConfig {
   /// to before this layer existed.
   bool fault_tolerant = false;
   FaultConfig fault{};
+};
+
+/// Per-call overrides for query / query_batch.  Implicitly constructible
+/// from a KnnAlgo so existing `svc.query(p, KnnAlgo::Simple)` call sites
+/// read unchanged.  Overridden ℓ/metric answers are cached under their own
+/// key — the cache key carries (ℓ, metric) alongside the coordinate bits,
+/// so they can never collide with canonical answers.
+struct QueryOptions {
+  /// Selection protocol for this call (affects cost, never keys).
+  std::optional<KnnAlgo> algo;
+  /// Answer size for this call; must be ≥ 1 (InvalidEllError otherwise).
+  std::optional<std::uint64_t> ell;
+  /// Distance metric for this call.
+  std::optional<MetricKind> metric;
+
+  QueryOptions() = default;
+  QueryOptions(KnnAlgo algo) : algo(algo) {}  // NOLINT(google-explicit-constructor)
+  QueryOptions(std::optional<KnnAlgo> algo) : algo(algo) {}  // NOLINT
 };
 
 /// One query's answer through the facade — the same shape for the static
@@ -183,7 +223,11 @@ struct BatchQueryResult {
   std::uint64_t epoch = 0;  ///< service epoch all answers are exact for
 };
 
-/// Facade health counters.
+/// Facade health counters.  For query/query_batch-only workloads,
+/// cache_hits + cache_misses == queries at *every* cache configuration —
+/// a disabled cache (capacity 0) counts every scored answer as a miss
+/// (see result_cache.hpp's stats convention).  classify/regress answers
+/// count in `queries` but never touch the cache.
 struct ServiceStats {
   std::uint64_t queries = 0;        ///< answers produced (all entry points)
   std::uint64_t batches = 0;        ///< scoring+protocol runs executed
@@ -216,21 +260,24 @@ class KnnService {
   /// Live points across all machines (static mode: total resident points).
   [[nodiscard]] std::size_t total_points() const;
 
-  // --- queries (static and live mode; serialized, any thread) ---------------
+  // --- queries (static and live mode; lock-free snapshot reads, any thread) -
 
   /// Full distributed answer for one query: local scoring on every
   /// machine, the configured selection protocol (default Algorithm 2), the
-  /// globally merged ℓ-NN.  `algo` overrides the configured algorithm for
-  /// this call only.
-  [[nodiscard]] QueryResult query(const PointD& point,
-                                  std::optional<KnnAlgo> algo = std::nullopt);
+  /// globally merged ℓ-NN.  `options` overrides algo / ℓ / metric for this
+  /// call only.  Concurrent query() calls coalesce through the service's
+  /// leader/follower seat (see ServiceConfig::coalesce_max_batch); a
+  /// coalesced member's `report` carries its per-query round counts — the
+  /// whole-group engine report belongs to no single caller and is dropped
+  /// (a lone, uncoalesced query still owns the full report, as before).
+  [[nodiscard]] QueryResult query(const PointD& point, const QueryOptions& options = {});
 
   /// Batched entry: the whole block is scored with the fused kernels and
   /// driven through one engine run (cache hits excluded).  Byte-identical
   /// to score_vector_shards_batch/score_serve_snapshots_batch +
-  /// run_knn_batch over the same machines.
+  /// run_knn_batch over the same machines.  Bypasses the coalescing seat.
   [[nodiscard]] BatchQueryResult query_batch(std::span<const PointD> queries,
-                                             std::optional<KnnAlgo> algo = std::nullopt);
+                                             const QueryOptions& options = {});
 
   /// Distributed ℓ-NN classification (majority / inverse-distance vote of
   /// the global winners' labels).  Requires labels at build time (or via
@@ -264,7 +311,20 @@ class KnnService {
   /// purges + small-segment merges under `config().compaction`).  Returns
   /// the new service epoch.  Held QueryResults are unaffected — they own
   /// their keys and stay exact for the epoch they are stamped with.
+  /// Runs *without* the service mutex (merges read frozen views; installs
+  /// are conditional on victim identity, so racing erases win and the
+  /// round re-plans) — in-flight queries and concurrent mutations are
+  /// never blocked behind the merge work.
   std::uint64_t compact_now();
+
+  /// Background maintenance tick: schedules at most one compaction round
+  /// per indebted machine on the service's owned pool (conditional install
+  /// on tombstone identity, exactly the Compactor discipline) and returns
+  /// immediately; the snapshot republishes from the worker as each round
+  /// installs.  Returns the number of rounds scheduled.  Cheap enough to
+  /// call every serving-loop tick.  Falls back to one inline round per
+  /// machine when the service owns no pool (serial scoring config).
+  std::size_t maybe_compact();
 
   /// The service epoch: strictly monotone over mutations (sum of the
   /// per-machine store epochs), 0 in static mode.  The epoch every
@@ -325,6 +385,11 @@ class KnnService {
  private:
   friend class KnnServiceBuilder;
   struct State;
+  /// The immutable read-path view (stores' snapshots + indexes + payload
+  /// tables + liveness at publish); defined in the .cpp.
+  struct Snapshot;
+  /// One waiting query() call's slot in the coalescing seat.
+  struct SeatSlot;
   explicit KnnService(std::unique_ptr<State> state);
 
   /// Throws ServiceStateError unless built.
@@ -338,6 +403,20 @@ class KnnService {
   /// Shared body of the insert family: validate, route round-robin,
   /// insert.  Returns the machine the point landed on.
   static std::size_t insert_point(State& state, const PointD& point, PointId id);
+  /// Rebuilds and atomically publishes the read-path snapshot; called at
+  /// the end of every mutation, with the service mutex held.
+  static void publish_locked(State& state);
+  /// Shared scored-batch core of every read path: cache pass + (guarded)
+  /// scoring + selection + cache publish against one snapshot, no service
+  /// mutex.
+  static BatchQueryResult run_batch_core(State& state,
+                                         const std::shared_ptr<const Snapshot>& snap,
+                                         std::span<const PointD> queries, KnnAlgo algo,
+                                         std::uint64_t ell, MetricKind metric);
+  /// Leader body of the coalescing seat: groups `batch` by effective
+  /// (algo, ℓ, metric) and runs each group through run_batch_core against
+  /// one snapshot.
+  static void execute_seat(State& state, std::span<SeatSlot*> batch);
 
   std::unique_ptr<State> state_;
 };
@@ -367,6 +446,9 @@ class KnnServiceBuilder {
   KnnServiceBuilder& live(const ServeConfig& serve);
   KnnServiceBuilder& compaction(const CompactionConfig& compaction);
   KnnServiceBuilder& cache_capacity(std::size_t entries);
+  /// query()'s coalescing-seat knobs (see ServiceConfig).
+  KnnServiceBuilder& coalesce(std::size_t max_batch,
+                              std::chrono::microseconds max_delay = std::chrono::microseconds{0});
   /// Enables machine-failure handling (see ServiceConfig::fault_tolerant).
   KnnServiceBuilder& fault_tolerant();
   KnnServiceBuilder& fault_tolerant(const FaultConfig& fault);

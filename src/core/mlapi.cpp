@@ -264,6 +264,71 @@ std::vector<RegressResult> regress_scored_batch(
   return results;
 }
 
+std::vector<ClassifyResult> classify_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::shared_ptr<const std::unordered_map<PointId, std::uint32_t>>>& labels,
+    std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config,
+    VoteRule rule) {
+  DKNN_REQUIRE(!scored_batch.empty(), "need at least one query");
+  const std::size_t world = scored_batch.front().size();
+  DKNN_REQUIRE(world > 0, "need at least one machine");
+  DKNN_REQUIRE(labels.size() == world, "scored/labels must align");
+  for (const auto& table : labels) DKNN_REQUIRE(table != nullptr, "null label table");
+
+  auto lookup = [&labels](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& table = *labels[machine];
+    const auto it = table.find(id);
+    if (it == table.end()) {
+      throw PreconditionError("dknn: winner id " + std::to_string(id) +
+                              " has no label on its machine");
+    }
+    return it->second;
+  };
+  RunReport report;
+  auto slots = run_ml_batch_scored(scored_batch, world, ell, engine_config, knn_config, lookup,
+                                   &report);
+
+  std::vector<ClassifyResult> results(scored_batch.size());
+  for (std::size_t q = 0; q < scored_batch.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_classify(results[q], slots[q][knn_config.leader].winners, rule);
+  }
+  return results;
+}
+
+std::vector<RegressResult> regress_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::shared_ptr<const std::unordered_map<PointId, double>>>& targets,
+    std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config) {
+  DKNN_REQUIRE(!scored_batch.empty(), "need at least one query");
+  const std::size_t world = scored_batch.front().size();
+  DKNN_REQUIRE(world > 0, "need at least one machine");
+  DKNN_REQUIRE(targets.size() == world, "scored/targets must align");
+  for (const auto& table : targets) DKNN_REQUIRE(table != nullptr, "null target table");
+
+  auto lookup = [&targets](MachineId machine, PointId id) -> std::uint64_t {
+    const auto& table = *targets[machine];
+    const auto it = table.find(id);
+    if (it == table.end()) {
+      throw PreconditionError("dknn: winner id " + std::to_string(id) +
+                              " has no target on its machine");
+    }
+    return std::bit_cast<std::uint64_t>(it->second);
+  };
+  RunReport report;
+  auto slots = run_ml_batch_scored(scored_batch, world, ell, engine_config, knn_config, lookup,
+                                   &report);
+
+  std::vector<RegressResult> results(scored_batch.size());
+  for (std::size_t q = 0; q < scored_batch.size(); ++q) {
+    results[q].run = make_run_result(slots[q], q == 0 ? std::move(report) : RunReport{},
+                                     knn_config.leader);
+    finish_regress(results[q], slots[q][knn_config.leader].winners);
+  }
+  return results;
+}
+
 // The batched dataset-level entries are thin wrappers over the facade's
 // decomposed stages: exactly the make_shard_indexes →
 // score_vector_shards_batch → classify/regress_scored_batch pipeline

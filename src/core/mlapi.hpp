@@ -16,6 +16,7 @@
 /// winners' labels ever cross the network — never the feature vectors.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -90,6 +91,22 @@ struct RegressResult {
     const std::vector<std::vector<std::vector<Key>>>& scored_batch,
     const std::vector<std::unordered_map<PointId, double>>& targets, std::uint64_t ell,
     const EngineConfig& engine_config, const KnnConfig& knn_config = {});
+
+/// Shared-ownership payload-table overloads, for snapshot-reading callers
+/// (the lock-free KnnService read path keeps copy-on-write per-machine
+/// maps alive via shared_ptr and must classify against the *snapshot's*
+/// tables, not the live ones a concurrent insert may be replacing).
+/// Byte-identical to the by-value-table overloads over equal tables; every
+/// `labels[m]` / `targets[m]` must be non-null.
+[[nodiscard]] std::vector<ClassifyResult> classify_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::shared_ptr<const std::unordered_map<PointId, std::uint32_t>>>& labels,
+    std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config = {},
+    VoteRule rule = VoteRule::Majority);
+[[nodiscard]] std::vector<RegressResult> regress_scored_batch(
+    const std::vector<std::vector<std::vector<Key>>>& scored_batch,
+    const std::vector<std::shared_ptr<const std::unordered_map<PointId, double>>>& targets,
+    std::uint64_t ell, const EngineConfig& engine_config, const KnnConfig& knn_config = {});
 
 /// Batched classification: scores the whole query block against SoA
 /// mirrors of the shards with the fused kernels (data/kernels.hpp) and

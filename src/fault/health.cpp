@@ -171,6 +171,23 @@ Coverage MachineHealth::coverage_now() const {
   return coverage;
 }
 
+LivenessView MachineHealth::view() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  LivenessView view;
+  view.generation = generation_;
+  view.alive.resize(states_.size(), 0);
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (states_[m] == MachineState::Retired) continue;
+    ++view.coverage.total;
+    if (states_[m] == MachineState::Dead) {
+      view.coverage.missing.push_back(static_cast<std::uint32_t>(m));
+    } else {
+      view.alive[m] = 1;
+    }
+  }
+  return view;
+}
+
 HealthStats MachineHealth::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

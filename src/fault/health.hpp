@@ -116,6 +116,18 @@ struct Coverage {
   }
 };
 
+/// One atomically-read (generation, coverage, alive mask) triple — the
+/// detected liveness state at a single instant.  Callers that read
+/// generation() and coverage_now() separately can tear across a concurrent
+/// transition; snapshot publishers (KnnService) and lock-free cache keys
+/// need the three to describe the *same* state.
+struct LivenessView {
+  std::uint64_t generation = 0;
+  Coverage coverage;
+  /// alive[m] != 0 iff machine m is Alive (reachable for a snapshot).
+  std::vector<char> alive;
+};
+
 struct HealthStats {
   std::uint64_t probes = 0;           ///< individual probes issued
   std::uint64_t timeouts = 0;         ///< probes that missed their deadline
@@ -169,6 +181,10 @@ class MachineHealth {
   /// cache hits, where the generation key guarantees the state matches the
   /// entry's compute-time state).
   [[nodiscard]] Coverage coverage_now() const;
+
+  /// The detected state as one consistent triple (generation + coverage +
+  /// alive mask), read under a single lock acquisition — see LivenessView.
+  [[nodiscard]] LivenessView view() const;
 
   [[nodiscard]] HealthStats stats() const;
 

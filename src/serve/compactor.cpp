@@ -5,7 +5,7 @@
 namespace dknn {
 
 Compactor::Compactor(SegmentStore& store, ThreadPool& pool, CompactionConfig config)
-    : store_(store), pool_(pool), config_(config) {}
+    : store_(store), pool_(pool), config_(config), group_(pool) {}
 
 Compactor::~Compactor() {
   // wait_idle rethrows job exceptions; a throwing destructor would
@@ -25,7 +25,7 @@ bool Compactor::maybe_schedule() {
     return false;
   }
   scheduled_.fetch_add(1);
-  pool_.submit([this, plan = std::move(plan)] {
+  group_.submit([this, plan = std::move(plan)] {
     // Reset in-flight even if the merge throws (e.g. bad_alloc on a large
     // victim set) — the exception surfaces at the next drain(), but a
     // stuck flag would silently disable compaction forever.
@@ -36,16 +36,22 @@ bool Compactor::maybe_schedule() {
     // Pure merge over frozen views — the only lock-touching steps are the
     // plan (already taken) and the install below.
     auto merged = SegmentStore::merge_segments(plan.victims, store_.config());
-    if (store_.install_compaction(plan, std::move(merged))) {
+    const bool installed = store_.install_compaction(plan, std::move(merged));
+    if (installed) {
       installed_.fetch_add(1);
     } else {
       aborted_.fetch_add(1);
     }
+    if (on_complete_) on_complete_(installed);
   });
   return true;
 }
 
-void Compactor::drain() { pool_.wait_idle(); }
+void Compactor::drain() { group_.wait(); }
+
+void Compactor::set_on_complete(std::function<void(bool)> hook) {
+  on_complete_ = std::move(hook);
+}
 
 Compactor::Stats Compactor::stats() const {
   return Stats{scheduled_.load(), installed_.load(), aborted_.load()};

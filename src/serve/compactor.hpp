@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "serve/segment_store.hpp"
@@ -48,10 +49,19 @@ class Compactor {
   /// round was scheduled.  Cheap enough to call every serving-loop tick.
   bool maybe_schedule();
 
-  /// Blocks until the in-flight round (if any) has installed or aborted.
-  /// Uses ThreadPool::wait_idle — do not call from inside a pool job, and
-  /// expect it to also drain unrelated jobs on a shared pool.
+  /// Blocks until the in-flight round (if any) has installed or aborted,
+  /// then rethrows the round's exception if it raised one.  Waits on this
+  /// compactor's own completion group — safe while other submitters
+  /// (scoring batches, sibling compactors) keep the shared pool busy.
   void drain();
+
+  /// Hook run on the pool worker after each round completes (install or
+  /// abort), with `installed` telling which.  Owners use it to republish
+  /// derived state (the KnnService facade re-snapshots the store set so
+  /// lock-free readers see the compacted segments).  Must not call back
+  /// into this compactor and must not block on the pool.  Set before the
+  /// first maybe_schedule(); not thread-safe against in-flight rounds.
+  void set_on_complete(std::function<void(bool installed)> hook);
 
   /// Current backlog under this compactor's config (rows a full
   /// compaction would rewrite or drop).
@@ -70,6 +80,10 @@ class Compactor {
   SegmentStore& store_;
   ThreadPool& pool_;
   CompactionConfig config_;
+  /// This compactor's jobs only — drain() must not wait on (or steal
+  /// exceptions from) unrelated work sharing the pool.
+  ThreadPool::TaskGroup group_;
+  std::function<void(bool)> on_complete_;
 
   std::atomic<bool> in_flight_{false};
   std::atomic<std::uint64_t> scheduled_{0};

@@ -1,5 +1,6 @@
 #include "serve/front_end.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "data/validate.hpp"
@@ -34,8 +35,18 @@ ServeQueryResult QueryFrontEnd::query(const PointD& query) {
            batch_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
     }
   }
-  std::vector<Pending*> batch = std::move(queue_);
-  queue_.clear();
+  // Take at most max_batch slots: an arrival storm while the seat was
+  // occupied can queue more than max_batch, and the leader must not score
+  // an unbounded batch.  The leader's own slot always rides in its batch
+  // (it returns its result after this one execute), joined by the oldest
+  // queued companions; the remainder stays queued — one of its owners is
+  // elected leader by the post-publish notify_all below.
+  queue_.erase(std::find(queue_.begin(), queue_.end(), &slot));
+  const std::size_t take = std::min(queue_.size(), config_.max_batch - 1);
+  std::vector<Pending*> batch(queue_.begin(),
+                              queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  batch.push_back(&slot);
   lock.unlock();
   execute(batch);
   lock.lock();
@@ -73,9 +84,16 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
     Coverage degraded;
     degraded.total = 1;
     degraded.missing = {config_.machine};
+    // Stamp the real snapshot epoch, not a 0 sentinel: 0 is a legitimate
+    // epoch (a fresh store), so it cannot double as "degraded" — the
+    // degradation signal is coverage (missing non-empty), and the epoch
+    // keeps meaning "the store state this answer is exact for" (an empty
+    // answer over zero reachable shards is exact for any epoch, so the
+    // current one is the honest stamp).
+    const std::uint64_t store_epoch = store_.epoch();
     for (Pending* pending : batch) {
       pending->result.keys.clear();
-      pending->result.epoch = 0;
+      pending->result.epoch = store_epoch;
       pending->result.cache_hit = false;
       pending->result.batch_size = batch_size;
       pending->result.coverage = degraded;
@@ -106,6 +124,10 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
   const bool caching = cache_.capacity() > 0;
   if (!caching) {
     misses.assign(batch.begin(), batch.end());
+    // Stats convention (see result_cache.hpp): every answer that runs the
+    // kernels is a cache miss even with the cache disabled, so the cache's
+    // own counters reconcile with FrontEndStats on every configuration.
+    cache_.note_bypass(misses.size());
   } else {
     for (Pending* pending : batch) {
       auto bits = query_coord_bits(*pending->query);

@@ -75,7 +75,12 @@ struct FrontEndConfig {
 /// One query's answer plus its provenance.
 struct ServeQueryResult {
   std::vector<Key> keys;        ///< min(ℓ, live) best keys, ascending
-  std::uint64_t epoch = 0;      ///< snapshot epoch the answer is exact for
+  /// Snapshot epoch the answer is exact for — on the degraded path too
+  /// (the health gate's empty answer is stamped with the store's current
+  /// epoch; degradation is signalled by `coverage`, never by the epoch, so
+  /// a degraded answer and a legitimate fresh-store epoch-0 answer stay
+  /// distinguishable).
+  std::uint64_t epoch = 0;
   bool cache_hit = false;
   std::uint32_t batch_size = 0; ///< micro-batch this query rode in
   /// Which machines answered (total=1 here — one store per front end);

@@ -66,6 +66,11 @@ void EpochResultCache::insert(std::vector<std::uint64_t> bits, std::uint64_t epo
   entries_.emplace(std::move(bits), keys);
 }
 
+void EpochResultCache::note_bypass(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.misses += n;
+}
+
 ResultCacheStats EpochResultCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

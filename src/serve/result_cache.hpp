@@ -14,7 +14,18 @@
 /// Entries are keyed by the query's coordinate *bit patterns*:
 /// bit-identical queries share an entry; distinct-but-equal encodings
 /// (-0.0 vs 0.0) simply don't, which is always sound.  ℓ and metric are
-/// fixed per owner, so they are not part of the key.
+/// fixed per QueryFrontEnd, so the front end keys on the bits alone; the
+/// KnnService facade supports per-call ℓ/metric overrides and appends both
+/// as two extra words to every key, so an overridden call can never
+/// collide with a canonical one (key lengths are uniform per owner — the
+/// two conventions never share a cache).
+///
+/// Stats convention (asserted across all owners in tests): every answer
+/// that had to run the kernels counts as a cache miss, *including* when
+/// the cache is disabled (capacity 0).  lookup() already counts the miss
+/// on the disabled path; owners that skip lookup entirely for speed must
+/// call note_bypass() instead, so ResultCacheStats always reconciles with
+/// the owner's own counters (hits + misses = answers produced).
 ///
 /// Eviction is a wholesale generation reset when full — the entries are
 /// cheap to recompute and an LRU chain is not worth the locked-path cost.
@@ -64,6 +75,12 @@ class EpochResultCache {
   /// the cache is full (call make_room once per round first), has moved to
   /// a newer epoch (a concurrent lookup re-tagged it), or is disabled.
   void insert(std::vector<std::uint64_t> bits, std::uint64_t epoch, const std::vector<Key>& keys);
+
+  /// Counts `n` misses without probing the map — for owners that bypass
+  /// lookup() wholesale (disabled cache, or a transitional liveness state
+  /// where caching is unsound) yet still score `n` answers.  Keeps the
+  /// miss counter meaning "answers that ran the kernels" on every path.
+  void note_bypass(std::size_t n);
 
   [[nodiscard]] ResultCacheStats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -137,6 +137,42 @@ void ThreadPool::run_job(std::function<void()>& job) {
   }
 }
 
+ThreadPool::TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+  }
+}
+
+void ThreadPool::TaskGroup::submit(std::function<void()> job) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  // The wrapper owns error capture: a group job's exception lands in the
+  // group (rethrown from its wait()), never in the pool's first_error_ —
+  // so an unrelated wait_idle() caller cannot steal it.
+  pool_.submit([this, job = std::move(job)] {
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mutex_);
+      done_.notify_all();
+    }
+  });
+}
+
+void ThreadPool::TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  if (error_ != nullptr) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker = index;

@@ -81,6 +81,39 @@ public:
   /// (e.g. in-flight compactions).  Racy by nature; never synchronize on it.
   [[nodiscard]] std::size_t pending_jobs() const { return unfinished_.load(); }
 
+  /// A completion scope over a subset of this pool's jobs.  wait_idle()
+  /// waits for *global* quiescence, which several independent submitters
+  /// sharing one pool can starve indefinitely (each new batch of tiles
+  /// keeps `unfinished_` above zero); a TaskGroup waits for exactly the
+  /// jobs it submitted and rethrows only their first exception, so
+  /// concurrent scoring batches and background compactions on a shared
+  /// pool never wait on (or steal errors from) each other.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    /// wait()s; a throwing destructor would terminate, so the error (if
+    /// any) is swallowed here — call wait() explicitly if you need it.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueues a job on the pool, tracked by this group.
+    void submit(std::function<void()> job);
+
+    /// Blocks until every job submitted through *this group* has finished,
+    /// then rethrows the first exception any of them raised (clearing it).
+    /// Unlike wait_idle(), safe while other threads keep the pool busy.
+    void wait();
+
+   private:
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::exception_ptr error_;  ///< guarded by mutex_
+  };
+
 private:
   struct Worker {
     std::mutex mutex;

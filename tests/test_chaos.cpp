@@ -215,6 +215,47 @@ TEST(ChaosDirected, FrontEndCacheNeverCrossesLivenessFlips) {
   EXPECT_TRUE(front.query(query).cache_hit);
 }
 
+TEST(ChaosDirected, DegradedAnswerCarriesRealEpochNotZeroSentinel) {
+  // Regression: the degraded front-end path used to stamp epoch = 0, which
+  // collides with a legitimate fresh-store answer (epoch 0 is a real epoch).
+  // The contract now: epoch always means "store state this answer is exact
+  // for" and *coverage* carries the degradation signal.
+  Rng rng(27);
+  ServeConfig serve;
+  SegmentStore store(2, serve);
+  for (PointId id = 1; id <= 12; ++id) store.insert(random_point(2, rng), id);
+  const std::uint64_t store_epoch = store.epoch();
+  ASSERT_GT(store_epoch, 0u);  // inserts advanced it — 0 would be ambiguous
+  MachineHealth health(1);
+
+  FrontEndConfig config;
+  config.ell = 3;
+  config.kind = kChaosKind;
+  config.max_delay = std::chrono::microseconds{0};
+  config.health = &health;
+  config.machine = 0;
+  QueryFrontEnd front(store, config);
+
+  health.kill(0);
+  const ServeQueryResult degraded = front.query(random_point(2, rng));
+  EXPECT_TRUE(degraded.keys.empty());
+  EXPECT_EQ(degraded.epoch, store_epoch);  // not the old 0 sentinel
+  ASSERT_EQ(degraded.coverage.missing, (std::vector<std::uint32_t>{0}));
+
+  // Contrast case: a genuinely fresh, empty store also answers with empty
+  // keys — at its own low epoch, with *full* coverage.  The two situations
+  // stay distinguishable by coverage alone, never by an epoch sentinel.
+  SegmentStore fresh(2, serve);
+  MachineHealth fresh_health(1);
+  FrontEndConfig fresh_config = config;
+  fresh_config.health = &fresh_health;
+  QueryFrontEnd fresh_front(fresh, fresh_config);
+  const ServeQueryResult empty_store = fresh_front.query(random_point(2, rng));
+  EXPECT_TRUE(empty_store.keys.empty());
+  EXPECT_EQ(empty_store.epoch, fresh.epoch());
+  EXPECT_TRUE(empty_store.coverage.complete());
+}
+
 // --- directed: recovery invariants -------------------------------------------
 
 TEST(ChaosDirected, DeletesNeverResurrectThroughRecovery) {

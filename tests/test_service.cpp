@@ -342,6 +342,96 @@ TEST(ServiceCache, HitsAreByteIdenticalAndEpochKeyed) {
   EXPECT_EQ(stats.cache_misses, 2u);
 }
 
+TEST(ServiceCache, DisabledCacheStillReconcilesStats) {
+  // The stats convention (result_cache.hpp): every answer that ran the
+  // kernels is a miss, *including* at capacity 0 — hits + misses == queries
+  // at every cache configuration, so dashboards never see the counters
+  // diverge when someone turns the cache off.
+  KnnService service = make_static_service(30, 2, 3, /*cache=*/0);
+  const PointD query({1.0, 2.0});
+  (void)service.query(query);
+  (void)service.query(query);  // identical query: still scored, still a miss
+  (void)service.query_batch(std::vector<PointD>{query, PointD({3.0, 4.0})});
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+TEST(ServiceQueryOptions, PerCallEllAndMetricMatchDedicatedService) {
+  // A per-call override must answer byte-identically to a service *built*
+  // with those knobs — the override changes the effective parameters, not
+  // the path.
+  Rng rng(41);
+  const auto points = make_points(80, 3, rng);
+  KnnService canonical = KnnServiceBuilder()
+                             .machines(3)
+                             .ell(4)
+                             .metric(MetricKind::SquaredEuclidean)
+                             .dataset(points)
+                             .build();
+  KnnService dedicated = KnnServiceBuilder()
+                             .machines(3)
+                             .ell(7)
+                             .metric(MetricKind::Manhattan)
+                             .dataset(points)
+                             .build();
+  QueryOptions options;
+  options.ell = 7;
+  options.metric = MetricKind::Manhattan;
+  for (int i = 0; i < 5; ++i) {
+    const PointD query = make_points(1, 3, rng)[0];
+    const QueryResult overridden = canonical.query(query, options);
+    const QueryResult want = dedicated.query(query);
+    expect_same_keys(want.keys, overridden.keys, "per-call override");
+    EXPECT_EQ(overridden.keys.size(), 7u);
+  }
+  // ℓ = 0 stays a typed error on the per-call surface too.
+  QueryOptions zero;
+  zero.ell = 0;
+  EXPECT_THROW((void)canonical.query(PointD({0.0, 0.0, 0.0}), zero), InvalidEllError);
+}
+
+TEST(ServiceCache, OverriddenCallsNeverCollideWithCanonicalEntries) {
+  // The cache key carries (ℓ, metric) alongside the coordinate bits: the
+  // same query under different effective parameters is a different entry,
+  // and each variant hits only its own.
+  Rng rng(43);
+  KnnService service = KnnServiceBuilder()
+                           .machines(2)
+                           .ell(3)
+                           .cache_capacity(64)
+                           .dataset(make_points(60, 2, rng))
+                           .build();
+  const PointD query({1.5, -2.5});
+  QueryOptions wider;
+  wider.ell = 6;
+  QueryOptions other_metric;
+  other_metric.metric = MetricKind::Chebyshev;
+
+  const QueryResult canonical = service.query(query);
+  EXPECT_FALSE(canonical.cache_hit);
+  const QueryResult widened = service.query(query, wider);
+  EXPECT_FALSE(widened.cache_hit);  // same bits, different ℓ word: distinct key
+  EXPECT_EQ(widened.keys.size(), 6u);
+  const QueryResult cheby = service.query(query, other_metric);
+  EXPECT_FALSE(cheby.cache_hit);  // same bits, different metric word
+
+  const QueryResult canonical_hit = service.query(query);
+  EXPECT_TRUE(canonical_hit.cache_hit);
+  expect_same_keys(canonical.keys, canonical_hit.keys, "canonical hit");
+  EXPECT_EQ(canonical_hit.keys.size(), 3u);
+  const QueryResult widened_hit = service.query(query, wider);
+  EXPECT_TRUE(widened_hit.cache_hit);
+  expect_same_keys(widened.keys, widened_hit.keys, "override hit");
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+}
+
 TEST(ServiceLifecycle, ExplicitServeConfigIsNotClobbered) {
   // live(ServeConfig) hands the store knobs over verbatim; only the plain
   // live() derives them from policy()/leaf_size().
