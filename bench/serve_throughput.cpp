@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/latency.hpp"
 #include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "data/simd/dispatch.hpp"
@@ -61,19 +62,18 @@ struct LatencyStats {
   double p99_ms = 0.0;
 };
 
-double percentile(const std::vector<double>& sorted_ms, double p) {
-  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[rank];
-}
-
+// All percentiles come from the shared ceil nearest-rank estimator in
+// bench/latency.hpp (unit-tested in tests/test_latency.cpp).  The floored
+// `sorted[size_t(p * (n-1))]` this replaces under-reported the tail
+// whenever a stanza measured fewer than 1/(1−p) samples.
 LatencyStats latency_stats(std::vector<double> latencies_ms, double total_sec) {
   LatencyStats stats;
   if (latencies_ms.empty()) return stats;  // --queries too small for this stanza
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  stats.queries_per_sec = static_cast<double>(latencies_ms.size()) / total_sec;
-  stats.p50_ms = percentile(latencies_ms, 0.50);
-  stats.p95_ms = percentile(latencies_ms, 0.95);
-  stats.p99_ms = percentile(latencies_ms, 0.99);
+  const bench::LatencySummary summary = bench::summarize_latencies(latencies_ms);
+  stats.queries_per_sec = static_cast<double>(summary.count) / total_sec;
+  stats.p50_ms = summary.p50_ms;
+  stats.p95_ms = summary.p95_ms;
+  stats.p99_ms = summary.p99_ms;
   return stats;
 }
 

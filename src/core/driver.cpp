@@ -256,6 +256,20 @@ std::vector<ShardIndex> make_shard_indexes(const std::vector<VectorShard>& shard
   return indexes;
 }
 
+TreeStats tree_stats(const std::vector<ShardIndex>& indexes) {
+  TreeStats out;
+  for (const ShardIndex& index : indexes) {
+    if (index.has_tree()) out += index.tree->stats();
+  }
+  return out;
+}
+
+void reset_tree_stats(const std::vector<ShardIndex>& indexes) {
+  for (const ShardIndex& index : indexes) {
+    if (index.has_tree()) index.tree->reset_stats();
+  }
+}
+
 namespace {
 
 /// One (shard, query block) tile through the shard's policy path.

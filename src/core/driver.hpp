@@ -183,6 +183,13 @@ struct ShardIndex {
     const std::vector<VectorShard>& shards, ScoringPolicy policy,
     std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize);
 
+/// Cumulative kd-hybrid traversal counters summed over every tree-indexed
+/// shard (brute shards contribute nothing).  Counters accumulate across
+/// score_vector_shards_batch calls; pair with reset_tree_stats for
+/// per-stanza deltas in the benches.
+[[nodiscard]] TreeStats tree_stats(const std::vector<ShardIndex>& indexes);
+void reset_tree_stats(const std::vector<ShardIndex>& indexes);
+
 /// Execution knobs for the policy-aware batched scoring step.
 struct BatchScoringConfig {
   /// Worker threads: 1 = serial in the calling thread (no pool), 0 =

@@ -609,6 +609,14 @@ ServiceStats KnnService::stats() const {
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
   stats.cache_flushes = cache.flushes;
+  // Tree traversal counters are owned by the per-shard KdRangeIndexes /
+  // per-segment trees themselves (relaxed atomics), so no service lock is
+  // needed to read them either.
+  if (state.config.live) {
+    for (const auto& store : state.stores) stats.tree += store->tree_stats();
+  } else if (state.indexes != nullptr) {
+    stats.tree += tree_stats(*state.indexes);
+  }
   return stats;
 }
 

@@ -234,6 +234,13 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_flushes = 0;
+  /// Kd-hybrid traversal counters summed over every tree-carrying shard
+  /// (static mode) or currently-published tree segment (live mode) — the
+  /// measured pruning behavior behind the Auto routing policy.  All-zero
+  /// when no shard/segment carries a tree.  Live mode: segments retired
+  /// by compaction take their counters with them, so read this as a
+  /// per-interval delta, not a lifetime total.
+  TreeStats tree;
 };
 
 class KnnServiceBuilder;

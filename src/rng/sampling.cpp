@@ -1,5 +1,8 @@
 #include "rng/sampling.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dknn {
 
 std::vector<std::size_t> sample_indices_without_replacement(std::size_t population,
@@ -22,6 +25,26 @@ std::vector<std::size_t> sample_indices_without_replacement(std::size_t populati
     out.push_back(chosen);
   }
   return out;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  DKNN_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+  DKNN_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // pin the top against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
 }
 
 }  // namespace dknn

@@ -49,6 +49,28 @@ template <typename T>
   return out;
 }
 
+/// Zipf-distributed rank sampler over {0, …, n−1}: P(rank = r) ∝ 1/(r+1)^s.
+/// The skewed-popularity generator behind bench_scenarios' zipf stanzas
+/// (Debatty et al.'s online-graph evaluation is driven by exactly this
+/// shape: a few hot items take most of the traffic).  Sampling is
+/// inverse-CDF by binary search over a precomputed prefix table — O(n)
+/// build, O(log n) per draw, deterministic given the Rng stream.
+class ZipfSampler {
+public:
+  /// `n` ranks, exponent `s` ≥ 0 (s = 0 degenerates to uniform; s ≈ 1 is
+  /// the classic web-traffic skew).
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return s_; }
+
+private:
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank ≤ r), cdf_.back() == 1
+  double s_ = 1.0;
+};
+
 /// Classic reservoir sampling (Vitter's Algorithm R) for streaming input;
 /// used where the population size is unknown upfront.
 template <typename T>

@@ -201,22 +201,26 @@ double box_raw_bound(MetricKind kind, std::span<const double> box_lo,
 }
 
 void hybrid_query(const KdRangeIndex& index, const PointD& query, MetricKind kind,
-                  std::int32_t node_index, RangeTopEll& scorer) {
+                  std::int32_t node_index, RangeTopEll& scorer, TreeStats& stats) {
   const auto at = static_cast<std::size_t>(node_index);
   const KdRangeIndex::Node& node = index.nodes()[at];
+  ++stats.nodes_visited;
   // Lossless prune: bound ≤ every covered raw score, so bound > threshold
   // means the heap prefilter would reject the whole subtree point by point.
   if (box_raw_bound(kind, index.box_lo(at), index.box_hi(at), query) > scorer.threshold()) {
+    ++stats.subtrees_pruned;
     return;
   }
   if (node.left < 0) {
+    ++stats.leaves_scored;
+    stats.points_scored += node.hi - node.lo;
     scorer.score_range(node.lo, node.hi);
     return;
   }
   // Near side first tightens the threshold before the far side's bound test.
   const bool left_near = query[node.axis] < node.split;
-  hybrid_query(index, query, kind, left_near ? node.left : node.right, scorer);
-  hybrid_query(index, query, kind, left_near ? node.right : node.left, scorer);
+  hybrid_query(index, query, kind, left_near ? node.left : node.right, scorer, stats);
+  hybrid_query(index, query, kind, left_near ? node.right : node.left, scorer, stats);
 }
 
 }  // namespace
@@ -233,11 +237,16 @@ void hybrid_top_ell_batch(const KdRangeIndex& index, std::span<const PointD> que
     for (auto& keys : out) keys.clear();
     return;
   }
+  TreeStats stats;
   for (std::size_t q = 0; q < queries.size(); ++q) {
     RangeTopEll scorer(store, queries[q], ell, kind, scratch);
-    hybrid_query(index, queries[q], kind, 0, scorer);
+    ++stats.queries;
+    hybrid_query(index, queries[q], kind, 0, scorer, stats);
     scorer.finish(out[q]);
   }
+  // One relaxed-atomic add per batch (not per node): concurrent tiles over
+  // the same index accumulate without contention on the hot path.
+  index.add_stats(stats);
 }
 
 }  // namespace dknn

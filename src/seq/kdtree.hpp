@@ -13,6 +13,7 @@
 /// same random-unique-id tie-breaking as every other component, so results
 /// are comparable to brute force element-for-element.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,6 +24,41 @@
 #include "data/point.hpp"
 
 namespace dknn {
+
+/// Cumulative kd-hybrid traversal counters — the measured pruning behavior
+/// behind every `tree` scoring path.  Accumulated per KdRangeIndex across
+/// hybrid_top_ell_batch calls (relaxed atomics: concurrent query tiles
+/// over one shard add without tearing), surfaced per shard set via
+/// `tree_stats(indexes)`, per live store via `SegmentStore::tree_stats()`,
+/// and per service via `ServiceStats::tree`.  This is the signal the
+/// `tree_pays_off` calibration table is derived from (bench_scenarios'
+/// `calibration` stanza, see bench/README.md): a routing choice is good
+/// exactly when points_scored / (queries · n) is small.
+struct TreeStats {
+  std::uint64_t queries = 0;         ///< traversals run
+  std::uint64_t nodes_visited = 0;   ///< nodes whose box bound was tested
+  std::uint64_t subtrees_pruned = 0; ///< bound tests that cut a whole subtree
+  std::uint64_t leaves_scored = 0;   ///< leaves handed to the fused kernel
+  std::uint64_t points_scored = 0;   ///< rows those leaves contained
+
+  TreeStats& operator+=(const TreeStats& other) {
+    queries += other.queries;
+    nodes_visited += other.nodes_visited;
+    subtrees_pruned += other.subtrees_pruned;
+    leaves_scored += other.leaves_scored;
+    points_scored += other.points_scored;
+    return *this;
+  }
+
+  /// Fraction of the resident rows the kernels actually scanned:
+  /// points_scored / (queries · n).  1.0 when nothing pruned, 0 when no
+  /// traversal ran.
+  [[nodiscard]] double scan_fraction(std::size_t n) const {
+    if (queries == 0 || n == 0) return 0.0;
+    return static_cast<double>(points_scored) /
+           (static_cast<double>(queries) * static_cast<double>(n));
+  }
+};
 
 class KdTree {
 public:
@@ -119,6 +155,36 @@ class KdRangeIndex {
     return {box_hi_.data() + i * store_.dim(), store_.dim()};
   }
 
+  /// Snapshot of the cumulative traversal counters (see TreeStats).
+  [[nodiscard]] TreeStats stats() const {
+    TreeStats out;
+    out.queries = stat_queries_.load(std::memory_order_relaxed);
+    out.nodes_visited = stat_nodes_.load(std::memory_order_relaxed);
+    out.subtrees_pruned = stat_pruned_.load(std::memory_order_relaxed);
+    out.leaves_scored = stat_leaves_.load(std::memory_order_relaxed);
+    out.points_scored = stat_points_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Zeroes the counters (per-stanza deltas in the benches).
+  void reset_stats() const {
+    stat_queries_.store(0, std::memory_order_relaxed);
+    stat_nodes_.store(0, std::memory_order_relaxed);
+    stat_pruned_.store(0, std::memory_order_relaxed);
+    stat_leaves_.store(0, std::memory_order_relaxed);
+    stat_points_.store(0, std::memory_order_relaxed);
+  }
+
+  /// One batch's worth of counters, added with relaxed atomics (called by
+  /// hybrid_top_ell_batch once per call, not per node).
+  void add_stats(const TreeStats& delta) const {
+    stat_queries_.fetch_add(delta.queries, std::memory_order_relaxed);
+    stat_nodes_.fetch_add(delta.nodes_visited, std::memory_order_relaxed);
+    stat_pruned_.fetch_add(delta.subtrees_pruned, std::memory_order_relaxed);
+    stat_leaves_.fetch_add(delta.leaves_scored, std::memory_order_relaxed);
+    stat_points_.fetch_add(delta.points_scored, std::memory_order_relaxed);
+  }
+
  private:
   std::int32_t build(std::span<const PointD> points, std::span<const PointId> ids,
                      std::vector<std::size_t>& order, std::size_t lo, std::size_t hi);
@@ -127,6 +193,13 @@ class KdRangeIndex {
   std::vector<Node> nodes_;
   std::vector<double> box_lo_, box_hi_;  ///< nodes × dim, aligned with nodes_
   std::size_t leaf_size_ = kDefaultLeafSize;
+  // Traversal counters (mutable: queries are const; atomic: concurrent
+  // query tiles share one index).  Counting never changes an answer byte.
+  mutable std::atomic<std::uint64_t> stat_queries_{0};
+  mutable std::atomic<std::uint64_t> stat_nodes_{0};
+  mutable std::atomic<std::uint64_t> stat_pruned_{0};
+  mutable std::atomic<std::uint64_t> stat_leaves_{0};
+  mutable std::atomic<std::uint64_t> stat_points_{0};
 };
 
 /// Tree-pruned batched scoring: per query, descend `index`, skip subtrees

@@ -24,10 +24,16 @@ enum class ScoringPolicy : std::uint8_t {
 
 [[nodiscard]] const char* scoring_policy_name(ScoringPolicy policy);
 
-/// Auto's per-shard heuristic: kd-tree pruning beats the dense scan only
-/// when the shard is big enough to amortize the build and the
-/// dimensionality low enough that boxes still prune (curse of
-/// dimensionality: a tree needs n ≫ 2^d to discard anything).
+/// Auto's per-shard routing decision: true iff the kd-hybrid beat the
+/// fused dense scan for shards of this (n, dim) on bench_scenarios'
+/// calibration grid (measured brute-vs-tree timings and leaf-visit rates
+/// over uniform and clustered data — see the table and its derivation in
+/// scoring_policy.cpp, and the checked-in rows in BENCH_scenarios.json).
+/// Low dimensions win from n = 2048 up; mid dimensions (≤ 24) only in a
+/// moderate-n band where bound tests stay cheap relative to the scan they
+/// skip; above d = 24 pruning never recovers its overhead.  Routing
+/// changes cost only, never answers — both paths produce byte-identical
+/// keys.
 [[nodiscard]] bool tree_pays_off(std::size_t n, std::size_t dim);
 
 }  // namespace dknn

@@ -215,6 +215,24 @@ std::uint64_t SegmentStore::dead_rows() const {
   return dead;
 }
 
+TreeStats SegmentStore::tree_stats() const {
+  TreeStats out;
+  // Snapshot, not writer state: counters belong to the segments queries
+  // actually traverse, and snapshot() is wait-free w.r.t. writers.
+  const SnapshotPtr snap = snapshot();
+  for (const SegmentView& seg : snap->segments) {
+    if (seg.data->tree != nullptr) out += seg.data->tree->stats();
+  }
+  return out;
+}
+
+void SegmentStore::reset_tree_stats() const {
+  const SnapshotPtr snap = snapshot();
+  for (const SegmentView& seg : snap->segments) {
+    if (seg.data->tree != nullptr) seg.data->tree->reset_stats();
+  }
+}
+
 namespace {
 
 /// Shared victim predicate of plan_compaction / compaction_debt.

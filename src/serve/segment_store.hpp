@@ -178,6 +178,15 @@ class SegmentStore {
   /// Tombstoned rows across all sealed segments.
   [[nodiscard]] std::uint64_t dead_rows() const;
 
+  /// Cumulative kd-hybrid traversal counters summed over the *currently
+  /// published* tree-carrying segments (brute segments and the delta
+  /// mirror contribute nothing).  Counters live on each segment's
+  /// KdRangeIndex, so a segment retired by compaction takes its history
+  /// with it — treat this as a per-stanza delta source (reset, run,
+  /// read) rather than a lifetime total.
+  [[nodiscard]] TreeStats tree_stats() const;
+  void reset_tree_stats() const;
+
   // --- compaction (used by serve/compactor.hpp; callable directly) ----------
   //
   // Split into plan / build / install so the expensive build can run on a

@@ -283,6 +283,55 @@ TEST(ChaosDirected, DeletesNeverResurrectThroughRecovery) {
   EXPECT_EQ(service.health().state(0), MachineState::Retired);
 }
 
+TEST(ChaosDirected, EraseOnDeadSurvivesRecoveryAtTheQueryLevel) {
+  // The mirror-path ordering this pins: erase() applies to the replica
+  // mirror *immediately* even when the owner is dead (the store-side erase
+  // is deferred to pending_erases), and recover_machine() consumes the
+  // mirror and clears the machine's pending_erases on a different path
+  // than revive_machine() (which applies them to the store).  Those two
+  // paths must agree that an id erased while its owner was down stays
+  // dead: recovery re-homes the mirror's members, the pending entry is
+  // dropped (the Retired machine can never revive and replay it), and a
+  // query aimed exactly at the erased point — the worst case — answers
+  // byte-exactly from the survivors without it.
+  Rng rng(29);
+  KnnService service = make_live_service(3, 2, 6, /*fault_tolerant=*/true);
+  std::unordered_map<PointId, PointD> shadow;
+  for (PointId id = 1; id <= 18; ++id) {
+    const PointD p = random_point(2, rng);
+    shadow.emplace(id, p);
+    (void)service.insert(p, id);
+  }
+  const std::vector<PointId> on_zero = service.live_ids_on(0);
+  ASSERT_FALSE(on_zero.empty());
+  const PointId victim_id = on_zero.front();
+
+  service.kill_machine(0);
+  ASSERT_TRUE(service.erase(victim_id).has_value());
+  const RecoveryReport report = service.recover_machine(0);
+  EXPECT_EQ(report.points_recovered, on_zero.size() - 1);
+
+  // Query at the erased point's own location: full coverage (Retired is
+  // excluded silently — its data lives on survivors), and the answer is
+  // byte-equal to the oracle over everyone *minus* the victim.
+  const PointD query = shadow.at(victim_id);
+  shadow.erase(victim_id);
+  const QueryResult result = service.query(query);
+  EXPECT_TRUE(result.coverage.complete());
+  expect_same_keys(member_oracle(shadow, service.live_ids(), query, 6), result.keys,
+                   "post-recovery");
+
+  // Re-minting the erased id afterwards is a fresh point, not a replayed
+  // tombstone: it must serve at its *new* location.
+  const PointD fresh = random_point(2, rng);
+  (void)service.insert(fresh, victim_id);
+  shadow.emplace(victim_id, fresh);
+  const QueryResult after = service.query(fresh);
+  EXPECT_TRUE(after.coverage.complete());
+  expect_same_keys(member_oracle(shadow, service.live_ids(), fresh, 6), after.keys,
+                   "post-remint");
+}
+
 TEST(ChaosDirected, DeletesNeverResurrectThroughRevive) {
   Rng rng(27);
   KnnService service = make_live_service(3, 2, 6, /*fault_tolerant=*/true);

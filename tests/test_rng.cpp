@@ -301,6 +301,40 @@ TEST(Sampling, ReservoirExactWhenSmall) {
   EXPECT_EQ(res.seen(), 7u);
 }
 
+TEST(Sampling, ZipfMatchesAnalyticMass) {
+  // s = 1 over 4 ranks: weights 1, 1/2, 1/3, 1/4 → normalizer 25/12.
+  Rng rng(30);
+  ZipfSampler zipf(4, 1.0);
+  std::array<int, 4> hits{};
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) ++hits[zipf.sample(rng)];
+  const double z = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(hits[r] / double(kTrials), (1.0 / double(r + 1)) / z, 0.01) << "rank " << r;
+  }
+}
+
+TEST(Sampling, ZipfZeroExponentIsUniform) {
+  Rng rng(31);
+  ZipfSampler zipf(8, 0.0);
+  std::array<int, 8> hits{};
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) ++hits[zipf.sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h / double(kTrials), 0.125, 0.01);
+}
+
+TEST(Sampling, ZipfSingleRankAlwaysZero) {
+  Rng rng(32);
+  ZipfSampler zipf(1, 1.5);
+  for (int t = 0; t < 100; ++t) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Sampling, ZipfDeterministicGivenSeed) {
+  ZipfSampler zipf(100, 1.2);
+  Rng a(33), b(33);
+  for (int t = 0; t < 256; ++t) EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
 TEST(Sampling, ReservoirUniformMarginals) {
   Rng rng(29);
   std::array<int, 20> hits{};

@@ -15,6 +15,7 @@
 #include "rng/rng.hpp"
 #include "seq/brute.hpp"
 #include "seq/kdtree.hpp"
+#include "seq/scoring_policy.hpp"
 #include "seq/select.hpp"
 #include "seq/weighted_median.hpp"
 #include "support/panic.hpp"
@@ -218,6 +219,92 @@ TEST(KdTree, DuplicatePointsHandled) {
   for (std::size_t i = 1; i < got.size(); ++i) {
     EXPECT_LT(got[i - 1].first.id, got[i].first.id);
   }
+}
+
+// --- scoring policy routing table -------------------------------------------
+
+// Pins the recalibrated tree_pays_off against the heuristic it replaced
+// (`dim ≤ 16 && n ≥ max(2048, 2^dim)`), cell by cell over an (n, dim)
+// grid, so a future edit to the calibration table is a deliberate,
+// visible diff here — routing changes cost, never answers (byte parity
+// across brute/tree is fuzzed in tests/test_parity.cpp), but a silent
+// routing regression would still cost real throughput.
+TEST(ScoringPolicy, RecalibratedRoutingDecisionTable) {
+  const auto old_rule = [](std::size_t n, std::size_t dim) {
+    if (dim == 0 || dim > 16) return false;
+    return n >= 2048 && n >= (std::size_t{1} << dim);
+  };
+  struct Cell {
+    std::size_t n, dim;
+    bool now;  ///< recalibrated decision (measured, BENCH_scenarios.json)
+  };
+  const Cell cells[] = {
+      // Low-d: unchanged — tree from 2048 up, brute below.
+      {1024, 2, false}, {2048, 2, true},  {40000, 2, true},
+      {1024, 8, false}, {2048, 8, true},  {40000, 8, true}, {1u << 20, 8, true},
+      // Mid-d moderate n: the band the old rule mis-routed to brute
+      // (2^dim floor) — measured tree wins, both data shapes.
+      {5000, 12, true}, {8192, 16, true}, {16384, 16, true}, {8192, 24, true},
+      // Mid-d large n: uniform scans saturate; now brute.  The old rule
+      // sent d = 16 shards at n ≥ 65536 into the tree at scan 1.0.
+      {40000, 12, false}, {40000, 16, false}, {65536, 16, false}, {16384, 24, false},
+      // High-d: brute everywhere, as before.
+      {8192, 32, false}, {40000, 48, false}, {1u << 20, 64, false},
+      // Degenerate inputs.
+      {0, 8, false}, {40000, 0, false},
+  };
+  for (const Cell& c : cells) {
+    EXPECT_EQ(tree_pays_off(c.n, c.dim), c.now) << "n=" << c.n << " dim=" << c.dim;
+  }
+  // The two deliberate departures from the old rule, stated as such: mid-d
+  // moderate-n shards gained the tree, huge uniform-regime d16 lost it.
+  EXPECT_FALSE(old_rule(8192, 24));
+  EXPECT_TRUE(tree_pays_off(8192, 24));
+  EXPECT_TRUE(old_rule(65536, 16));
+  EXPECT_FALSE(tree_pays_off(65536, 16));
+  // And where measurements agreed with the old rule, routing is unchanged.
+  for (const std::size_t n : {std::size_t{512}, std::size_t{2048}, std::size_t{100000}}) {
+    for (const std::size_t dim : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+      EXPECT_EQ(tree_pays_off(n, dim), old_rule(n, dim)) << "n=" << n << " dim=" << dim;
+    }
+  }
+}
+
+// --- KdRangeIndex traversal counters ----------------------------------------
+
+TEST(KdRangeIndex, TraversalCountersAccumulateAndReset) {
+  Rng rng(41);
+  const std::size_t n = 4096;
+  const auto points = uniform_points(n, 2, 100.0, rng);
+  const auto ids = assign_random_ids(n, rng);
+  const KdRangeIndex index(points, ids);
+  EXPECT_EQ(index.stats().queries, 0u);
+
+  const auto queries = uniform_points(8, 2, 100.0, rng);
+  KernelScratch scratch;
+  std::vector<std::vector<Key>> out;
+  hybrid_top_ell_batch(index, queries, 16, MetricKind::SquaredEuclidean, out, scratch);
+
+  const TreeStats stats = index.stats();
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.leaves_scored, 0u);
+  // d = 2 over 4096 points prunes hard: the scan fraction must be well
+  // under 1 and every scored point must come from a counted leaf.
+  EXPECT_GT(stats.subtrees_pruned, 0u);
+  EXPECT_LE(stats.points_scored, stats.leaves_scored * index.leaf_size());
+  EXPECT_GT(stats.scan_fraction(n), 0.0);
+  EXPECT_LT(stats.scan_fraction(n), 1.0);
+
+  // Counters accumulate across batches…
+  hybrid_top_ell_batch(index, queries, 16, MetricKind::SquaredEuclidean, out, scratch);
+  EXPECT_EQ(index.stats().queries, 2 * queries.size());
+  EXPECT_EQ(index.stats().points_scored, 2 * stats.points_scored);
+  // …and reset to zero (the per-stanza delta convention in the benches).
+  index.reset_stats();
+  EXPECT_EQ(index.stats().queries, 0u);
+  EXPECT_EQ(index.stats().points_scored, 0u);
 }
 
 // --- weighted median -----------------------------------------------------------------------
