@@ -26,8 +26,10 @@ REQUIRED_SCENARIOS = (
     "uniform_d2", "uniform_d8", "uniform_d64", "uniform_d256",
     "clustered_d8", "clustered_d64",
     "zipf_queries_d8", "zipf_churn_d8", "uniform_churn_d8", "delete_storm_d8",
-    "open_loop_qps_d8", "calibration",
+    "open_loop_qps_d8", "calibration", "obs_overhead",
 )
+OBS_OVERHEAD_FIELDS = ("metrics_on_qps", "metrics_off_qps", "overhead_fraction",
+                       "budget_fraction")
 
 
 def fail(msg):
@@ -108,8 +110,18 @@ def main():
             if field not in cell:
                 fail(f"calibration cell {i}: missing '{field}'")
 
+    obs = scenarios["obs_overhead"]
+    if obs.get("mode") != "obs-overhead":
+        fail("obs_overhead stanza is not mode 'obs-overhead'")
+    for field in OBS_OVERHEAD_FIELDS:
+        if field not in obs:
+            fail(f"obs_overhead: missing '{field}'")
+        if not isinstance(obs[field], (int, float)):
+            fail(f"obs_overhead: field '{field}' is not a number")
+
     print(f"schema check OK: {len(closed)} closed-loop stanzas, "
-          f"{len(levels)} open-loop levels, {len(grid)} calibration cells")
+          f"{len(levels)} open-loop levels, {len(grid)} calibration cells, "
+          f"obs overhead {obs['overhead_fraction']:.4f}")
 
 
 if __name__ == "__main__":

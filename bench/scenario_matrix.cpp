@@ -48,6 +48,7 @@
 #include "core/knn_service.hpp"
 #include "data/generators.hpp"
 #include "data/simd/dispatch.hpp"
+#include "obs/metrics.hpp"
 #include "rng/sampling.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
@@ -375,6 +376,25 @@ int emit_json(const std::string& path, const Config& cfg) {
                 r.tree.scan_fraction(std::max<std::size_t>(1, r.n / kMachines)));
   }
 
+  // --- obs-overhead A/B -----------------------------------------------------
+  // The canonical stanza twice over: metrics registry disabled (every
+  // instrument collapses to one relaxed load + branch) vs enabled with trace
+  // sampling off.  Fresh service per arm; budget is <= 3% throughput cost.
+  const Scenario obs_scenario{.name = "obs_overhead", .data = DataKind::Uniform, .dim = 8};
+  // Long arms: the instruments cost nanoseconds, so short arms would
+  // measure scheduler jitter instead of overhead.
+  Config obs_cfg = cfg;
+  obs_cfg.queries = std::max<std::size_t>(obs_cfg.queries, 2000);
+  obs::registry().set_enabled(false);
+  const Row obs_off = run_closed_loop(obs_scenario, obs_cfg);
+  obs::registry().set_enabled(true);
+  const Row obs_on = run_closed_loop(obs_scenario, obs_cfg);
+  const double obs_overhead = obs_off.queries_per_sec > 0.0
+                                  ? 1.0 - obs_on.queries_per_sec / obs_off.queries_per_sec
+                                  : 0.0;
+  std::printf("obs overhead %.1f%% (metrics on %.0f vs off %.0f q/s)\n", 100.0 * obs_overhead,
+              obs_on.queries_per_sec, obs_off.queries_per_sec);
+
   // --- open-loop QPS sweep --------------------------------------------------
   // Offered levels are anchored to the *measured* closed-loop capacity of
   // the matching stanza (uniform_d8), so the sweep brackets saturation on
@@ -437,6 +457,13 @@ int emit_json(const std::string& path, const Config& cfg) {
                simd::isa_name(simd::active_isa()));
   std::fprintf(f, "  \"scenarios\": {\n");
   for (const Row& row : rows) write_row(f, row);
+
+  std::fprintf(f,
+               "    \"obs_overhead\": {\"mode\": \"obs-overhead\", \"n\": %zu, \"dim\": 8, "
+               "\"queries\": %zu, \"metrics_on_qps\": %.1f, \"metrics_off_qps\": %.1f, "
+               "\"overhead_fraction\": %.4f, \"budget_fraction\": 0.03},\n",
+               obs_on.n, obs_on.queries, obs_on.queries_per_sec, obs_off.queries_per_sec,
+               obs_overhead);
 
   std::fprintf(f,
                "    \"open_loop_qps_d8\": {\"mode\": \"open-loop\", \"n\": %zu, \"dim\": 8, "

@@ -9,6 +9,7 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "serve/compactor.hpp"
 #include "support/panic.hpp"
 
@@ -58,6 +59,14 @@ struct KnnService::SeatSlot {
   QueryResult result;
   std::exception_ptr error;
   bool done = false;
+  /// This query's trace (null = untraced).  The leader writes batch-stage
+  /// spans through it strictly before marking `done` under seat_mutex, so
+  /// the owner's reads are ordered by the publish that hands the answer
+  /// back (see obs/trace.hpp's ownership rule).
+  obs::TraceBuilder* trace = nullptr;
+  /// Seat enqueue time (0 = untimed) — execute_seat turns it into the
+  /// seat-wait histogram sample and the traced seat_wait span.
+  std::uint64_t enqueue_ns = 0;
 };
 
 // --- State -------------------------------------------------------------------
@@ -96,6 +105,9 @@ struct KnnService::State {
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> batches{0};
 
+  /// Per-query trace sampling gate + recent-trace ring (obs/trace.hpp).
+  obs::Tracer tracer;
+
   // The *mutation* mutex: insert / erase / compact installs / kill /
   // revive / recover (and the bookkeeping readers over the mutable mirror)
   // serialize here.  The query paths never touch it — they read the
@@ -127,7 +139,8 @@ struct KnnService::State {
   // pool — or anything the hook touches — goes away.
   std::vector<std::unique_ptr<Compactor>> compactors;
 
-  explicit State(std::size_t cache_capacity) : cache(cache_capacity) {}
+  State(std::size_t cache_capacity, std::uint64_t trace_sample_every, std::size_t trace_capacity)
+      : cache(cache_capacity), tracer(trace_sample_every, trace_capacity) {}
 
   [[nodiscard]] std::size_t machine_count() const {
     if (config.live) return stores.size();
@@ -164,6 +177,34 @@ void erase_payload(std::vector<std::shared_ptr<const std::unordered_map<PointId,
   tables[machine] = std::move(next);
 }
 
+/// Facade metrics (obs/metrics.hpp), process-wide across services.  The
+/// query/hit/miss counters move together at the end of run_batch_core, so
+/// hits + misses == queries holds by construction at every quiescent read
+/// (the invariant bench/check_metrics_schema.py asserts).
+struct ServiceMetrics {
+  obs::Counter& queries = obs::registry().counter(
+      "dknn_service_queries_total", "query/query_batch answers produced by any KnnService");
+  obs::Counter& batches = obs::registry().counter(
+      "dknn_service_batches_total", "scoring+protocol runs executed by the facade");
+  obs::Counter& cache_hits = obs::registry().counter(
+      "dknn_service_cache_hits_total", "facade answers served from the epoch result cache");
+  obs::Counter& cache_misses = obs::registry().counter(
+      "dknn_service_cache_misses_total", "facade answers that ran scoring + selection");
+  obs::Counter& epoch_publishes = obs::registry().counter(
+      "dknn_service_epoch_publishes_total", "read-path snapshot publishes (mutations, installs)");
+  obs::Histogram& query_latency = obs::registry().histogram(
+      "dknn_service_query_latency_ns", "query() entry to answer, seat wait included");
+  obs::Histogram& query_seat_wait = obs::registry().histogram(
+      "dknn_service_seat_wait_ns", "seat enqueue -> batch execution start, per coalesced query");
+  obs::Histogram& coalesce_batch_size = obs::registry().histogram(
+      "dknn_service_coalesce_batch_size", "queries per coalescing-seat execute");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
 }  // namespace
 
 void KnnService::publish_locked(State& state) {
@@ -194,8 +235,11 @@ void KnnService::publish_locked(State& state) {
       snap->stores.push_back(reachable ? state.stores[m]->snapshot() : nullptr);
     }
   }
-  const std::lock_guard<std::mutex> lock(state.snapshot_mutex);
-  state.snapshot = std::move(snap);
+  {
+    const std::lock_guard<std::mutex> lock(state.snapshot_mutex);
+    state.snapshot = std::move(snap);
+  }
+  service_metrics().epoch_publishes.add();
 }
 
 // --- lifecycle ---------------------------------------------------------------
@@ -260,7 +304,8 @@ void validate_query_dims(std::size_t dim, std::span<const PointD> queries) {
 BatchQueryResult KnnService::run_batch_core(State& state,
                                             const std::shared_ptr<const Snapshot>& snap,
                                             std::span<const PointD> queries, KnnAlgo algo,
-                                            std::uint64_t ell, MetricKind metric) {
+                                            std::uint64_t ell, MetricKind metric,
+                                            const obs::TraceSink& sink) {
   BatchQueryResult out;
   out.epoch = snap->epoch;
   out.per_query.resize(queries.size());
@@ -288,33 +333,37 @@ BatchQueryResult KnnService::run_batch_core(State& state,
   std::vector<std::size_t> miss_index;
   std::vector<PointD> miss_queries;
   std::vector<std::vector<std::uint64_t>> miss_bits;
-  if (!caching) {
-    miss_index.reserve(queries.size());
-    miss_queries.reserve(queries.size());
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      miss_index.push_back(q);
-      miss_queries.push_back(queries[q]);
-    }
-    state.cache.note_bypass(queries.size());
-  } else {
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      auto bits = query_coord_bits(queries[q]);
-      // Per-call ℓ/metric ride in the key as two extra words, so an
-      // overridden answer can never collide with a canonical one.
-      bits.push_back(ell);
-      bits.push_back(static_cast<std::uint64_t>(metric));
-      if (auto cached = state.cache.lookup(bits, cache_epoch); cached.has_value()) {
-        QueryResult& dst = out.per_query[q];
-        dst.keys = std::move(*cached);
-        dst.epoch = snap->epoch;
-        dst.cache_hit = true;
-        dst.coverage = hit_coverage;
-      } else {
+  {
+    obs::SinkScope span(sink, "cache_lookup");
+    if (!caching) {
+      miss_index.reserve(queries.size());
+      miss_queries.reserve(queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
         miss_index.push_back(q);
         miss_queries.push_back(queries[q]);
-        miss_bits.push_back(std::move(bits));
+      }
+      state.cache.note_bypass(queries.size());
+    } else {
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        auto bits = query_coord_bits(queries[q]);
+        // Per-call ℓ/metric ride in the key as two extra words, so an
+        // overridden answer can never collide with a canonical one.
+        bits.push_back(ell);
+        bits.push_back(static_cast<std::uint64_t>(metric));
+        if (auto cached = state.cache.lookup(bits, cache_epoch); cached.has_value()) {
+          QueryResult& dst = out.per_query[q];
+          dst.keys = std::move(*cached);
+          dst.epoch = snap->epoch;
+          dst.cache_hit = true;
+          dst.coverage = hit_coverage;
+        } else {
+          miss_index.push_back(q);
+          miss_queries.push_back(queries[q]);
+          miss_bits.push_back(std::move(bits));
+        }
       }
     }
+    span.set_detail(queries.size() - miss_index.size());  // cache hits
   }
 
   if (!miss_queries.empty()) {
@@ -327,25 +376,32 @@ BatchQueryResult KnnService::run_batch_core(State& state,
     // missing without a probe.
     std::vector<std::vector<std::vector<Key>>> scored;
     Coverage miss_coverage = hit_coverage;
-    if (fault_tolerant) {
-      GuardedScoreBatch guarded =
-          state.config.live
-              ? score_serve_snapshots_batch_guarded(snap->stores, miss_queries, ell, metric,
-                                                    *state.health, state.scoring)
-              : score_vector_shards_batch_guarded(*snap->indexes, miss_queries, ell, metric,
-                                                  *state.health, state.scoring);
-      scored = std::move(guarded.scored);
-      miss_coverage = std::move(guarded.coverage);
-    } else {
-      scored = state.config.live
-                   ? score_serve_snapshots_batch(snap->stores, miss_queries, ell, metric,
-                                                 state.scoring)
-                   : score_vector_shards_batch(*snap->indexes, miss_queries, ell, metric,
-                                               state.scoring);
+    {
+      obs::SinkScope span(sink, "shard_scoring");
+      span.set_detail(snap->machine_count);
+      if (fault_tolerant) {
+        GuardedScoreBatch guarded =
+            state.config.live
+                ? score_serve_snapshots_batch_guarded(snap->stores, miss_queries, ell, metric,
+                                                      *state.health, state.scoring)
+                : score_vector_shards_batch_guarded(*snap->indexes, miss_queries, ell, metric,
+                                                    *state.health, state.scoring);
+        scored = std::move(guarded.scored);
+        miss_coverage = std::move(guarded.coverage);
+      } else {
+        scored = state.config.live
+                     ? score_serve_snapshots_batch(snap->stores, miss_queries, ell, metric,
+                                                   state.scoring)
+                     : score_vector_shards_batch(*snap->indexes, miss_queries, ell, metric,
+                                                 state.scoring);
+      }
     }
     // Global selection: every miss through one engine run.
-    BatchRunResult batch = run_knn_batch(scored, ell, algo, state.config.engine,
-                                         state.config.knn);
+    BatchRunResult batch = [&] {
+      obs::SinkScope span(sink, "selection");
+      span.set_detail(miss_queries.size());
+      return run_knn_batch(scored, ell, algo, state.config.engine, state.config.knn);
+    }();
 
     // Publish to the cache only if the generation held through scoring —
     // answers computed while a detection landed belong to neither liveness
@@ -361,6 +417,7 @@ BatchQueryResult KnnService::run_batch_core(State& state,
         state.mutex.unlock();
       }
     }
+    obs::SinkScope span(sink, "merge");
     if (publish) state.cache.make_room(miss_index.size(), cache_epoch);
     for (std::size_t i = 0; i < miss_index.size(); ++i) {
       QueryResult& dst = out.per_query[miss_index[i]];
@@ -378,10 +435,17 @@ BatchQueryResult KnnService::run_batch_core(State& state,
     }
     out.report = std::move(batch.report);
     state.batches.fetch_add(1, std::memory_order_relaxed);
+    service_metrics().batches.add();
   }
 
   for (QueryResult& result : out.per_query) result.batch_size = batch_size;
   state.queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  // hits + misses == queries by construction: the three counters move
+  // together here, once per scored/cached batch.
+  ServiceMetrics& metrics = service_metrics();
+  metrics.queries.add(queries.size());
+  metrics.cache_misses.add(miss_index.size());
+  metrics.cache_hits.add(queries.size() - miss_index.size());
   return out;
 }
 
@@ -393,20 +457,54 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
   const KnnAlgo algo = options.algo.value_or(state.config.algo);
   const MetricKind metric = options.metric.value_or(state.config.metric);
   validate_query_dims(state.dim, queries);
+  // The whole batch traces as one unit when forced or sampled (it is one
+  // snapshot + one scored run; per-member spans would all be identical).
+  auto trace = state.tracer.begin(options.trace);
+  obs::TraceSink sink;
+  sink.attach(trace.get());
   const auto snap = load_published(state.snapshot_mutex, state.snapshot);
   if (queries.empty()) {
     BatchQueryResult out;
     out.epoch = snap->epoch;
     return out;
   }
-  return run_batch_core(state, snap, queries, algo, ell, metric);
+  BatchQueryResult out = run_batch_core(state, snap, queries, algo, ell, metric, sink);
+  if (trace != nullptr) state.tracer.finish(std::move(trace));
+  return out;
 }
 
 void KnnService::execute_seat(State& state, std::span<SeatSlot*> batch) {
+  // Seat-batch observability: the effective coalesced size, each timed
+  // member's queue wait, and (for traced members) the batch-wide stage
+  // spans fanned through a TraceSink.
+  if (obs::registry().enabled()) {
+    service_metrics().coalesce_batch_size.record(batch.size());
+    const std::uint64_t start_ns = obs::now_ns();
+    for (const SeatSlot* slot : batch) {
+      if (slot->enqueue_ns != 0) {
+        service_metrics().query_seat_wait.record(start_ns - slot->enqueue_ns);
+      }
+    }
+  }
+  obs::TraceSink batch_sink;
+  for (SeatSlot* slot : batch) batch_sink.attach(slot->trace);
+  if (!batch_sink.empty()) {
+    const std::uint64_t now = obs::now_ns();
+    for (SeatSlot* slot : batch) {
+      if (slot->trace != nullptr && slot->enqueue_ns != 0) {
+        slot->trace->add_span("seat_wait", slot->enqueue_ns, now - slot->enqueue_ns,
+                              batch.size());
+      }
+    }
+  }
+
   // One snapshot for the whole seat batch; group batch-mates by effective
   // (algo, ℓ, metric) — per-call overrides may differ across coalesced
   // callers, and each group is one scored batch.
-  const auto snap = load_published(state.snapshot_mutex, state.snapshot);
+  const auto snap = [&] {
+    obs::SinkScope span(batch_sink, "snapshot_acquire");
+    return load_published(state.snapshot_mutex, state.snapshot);
+  }();
   std::vector<std::size_t> order(batch.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   const auto key_of = [&](std::size_t i) {
@@ -423,9 +521,13 @@ void KnnService::execute_seat(State& state, std::span<SeatSlot*> batch) {
     queries.reserve(stop - start);
     for (std::size_t i = start; i < stop; ++i) queries.push_back(*batch[order[i]]->query);
     SeatSlot& lead = *batch[order[start]];
+    // Stage spans fan to this group's traced members only — batch-mates in
+    // other (algo, ℓ, metric) groups ran their stages separately.
+    obs::TraceSink group_sink;
+    for (std::size_t i = start; i < stop; ++i) group_sink.attach(batch[order[i]]->trace);
     try {
       BatchQueryResult result =
-          run_batch_core(state, snap, queries, lead.algo, lead.ell, lead.metric);
+          run_batch_core(state, snap, queries, lead.algo, lead.ell, lead.metric, group_sink);
       for (std::size_t i = start; i < stop; ++i) {
         batch[order[i]]->result = std::move(result.per_query[i - start]);
       }
@@ -460,6 +562,13 @@ QueryResult KnnService::query(const PointD& point, const QueryOptions& options) 
   slot.algo = options.algo.value_or(state.config.algo);
   slot.ell = ell;
   slot.metric = options.metric.value_or(state.config.metric);
+  // Observability: one branch each when disabled/unsampled.  The trace
+  // builder rides the slot so the seat leader can fan batch-stage spans
+  // into it; neither changes any answer byte.
+  auto trace = state.tracer.begin(options.trace);
+  slot.trace = trace.get();
+  const bool timed = obs::registry().enabled();
+  if (timed || trace != nullptr) slot.enqueue_ns = obs::now_ns();
 
   std::unique_lock<std::mutex> lock(state.seat_mutex);
   state.seat_queue.push_back(&slot);
@@ -505,6 +614,10 @@ QueryResult KnnService::query(const PointD& point, const QueryOptions& options) 
     state.seat_cv.notify_all();
   }
   lock.unlock();
+  if (timed && slot.enqueue_ns != 0) {
+    service_metrics().query_latency.record(obs::now_ns() - slot.enqueue_ns);
+  }
+  if (trace != nullptr) state.tracer.finish(std::move(trace));
   if (slot.error != nullptr) std::rethrow_exception(slot.error);
   return std::move(slot.result);
 }
@@ -618,6 +731,26 @@ ServiceStats KnnService::stats() const {
     stats.tree += tree_stats(*state.indexes);
   }
   return stats;
+}
+
+// --- observability -----------------------------------------------------------
+
+std::string KnnService::metrics_text() const {
+  ensure_built();
+  return obs::registry().prometheus_text();
+}
+
+std::string KnnService::metrics_json() const {
+  ensure_built();
+  return obs::registry().json_text();
+}
+
+std::vector<obs::QueryTrace> KnnService::recent_traces() const {
+  return ensure_built().tracer.recent();
+}
+
+void KnnService::set_trace_sampling(std::uint64_t sample_every) {
+  ensure_built().tracer.set_sample_every(sample_every);
 }
 
 // --- live-serving surface ----------------------------------------------------
@@ -1041,6 +1174,11 @@ KnnServiceBuilder& KnnServiceBuilder::fault_tolerant(const FaultConfig& fault) {
   config_.fault = fault;
   return *this;
 }
+KnnServiceBuilder& KnnServiceBuilder::trace(std::uint64_t sample_every, std::size_t capacity) {
+  config_.trace_sample_every = sample_every;
+  config_.trace_capacity = capacity;
+  return *this;
+}
 KnnServiceBuilder& KnnServiceBuilder::config(const ServiceConfig& config) {
   config_ = config;
   serve_explicit_ = true;  // a hand-rolled config's serve knobs are verbatim
@@ -1093,7 +1231,9 @@ KnnService KnnServiceBuilder::build() {
     throw ServiceStateError("dknn: give the builder dataset() or dataset_sharded(), not both");
   }
 
-  auto state = std::make_unique<KnnService::State>(config_.cache_capacity);
+  auto state = std::make_unique<KnnService::State>(config_.cache_capacity,
+                                                   config_.trace_sample_every,
+                                                   config_.trace_capacity);
   state->config = config_;
   // One policy/leaf-size knob drives both modes — sealed segments build
   // the same scoring structures the static ShardIndexes would — unless

@@ -71,6 +71,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +80,7 @@
 #include "data/validate.hpp"
 #include "fault/health.hpp"
 #include "fault/recovery.hpp"
+#include "obs/trace.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/segment_store.hpp"
 #include "sim/engine.hpp"
@@ -164,6 +166,12 @@ struct ServiceConfig {
   /// to before this layer existed.
   bool fault_tolerant = false;
   FaultConfig fault{};
+  /// Per-query tracing (see obs/trace.hpp): sample every Nth query() into
+  /// the trace ring (0 = off — only QueryOptions::trace forces a trace).
+  /// Tracing never changes answer bytes; an untraced call pays one branch.
+  std::uint64_t trace_sample_every = 0;
+  /// Recent-trace ring capacity (KnnService::recent_traces()).
+  std::size_t trace_capacity = 256;
 };
 
 /// Per-call overrides for query / query_batch.  Implicitly constructible
@@ -178,6 +186,11 @@ struct QueryOptions {
   std::optional<std::uint64_t> ell;
   /// Distance metric for this call.
   std::optional<MetricKind> metric;
+  /// Force a trace of this query() call into the recent-trace ring
+  /// regardless of ServiceConfig::trace_sample_every.  Never changes the
+  /// answer bytes.  Ignored by query_batch's whole-batch trace gate (the
+  /// batch traces as one unit when any caller sets it).
+  bool trace = false;
 
   QueryOptions() = default;
   QueryOptions(KnnAlgo algo) : algo(algo) {}  // NOLINT(google-explicit-constructor)
@@ -235,11 +248,14 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_flushes = 0;
   /// Kd-hybrid traversal counters summed over every tree-carrying shard
-  /// (static mode) or currently-published tree segment (live mode) — the
-  /// measured pruning behavior behind the Auto routing policy.  All-zero
-  /// when no shard/segment carries a tree.  Live mode: segments retired
-  /// by compaction take their counters with them, so read this as a
-  /// per-interval delta, not a lifetime total.
+  /// (static mode) or tree segment (live mode) — the measured pruning
+  /// behavior behind the Auto routing policy.  All-zero when no
+  /// shard/segment carries a tree.  Live mode: a monotone lifetime total —
+  /// compaction banks retired segments' counters into a store-level base
+  /// before unpublishing them (SegmentStore::tree_stats), so installs
+  /// never shrink these numbers.  Traversals recorded against a snapshot
+  /// held across the install may still land after the banking read and be
+  /// missed — diagnostics, racy by design.
   TreeStats tree;
 };
 
@@ -299,6 +315,22 @@ class KnnService {
   [[nodiscard]] std::vector<RegressResult> regress_batch(std::span<const PointD> queries);
 
   [[nodiscard]] ServiceStats stats() const;
+
+  // --- observability (obs/ layer; any thread) -------------------------------
+
+  /// Prometheus text exposition of the process-wide metrics registry
+  /// (every dknn_* counter / gauge / histogram, all services and layers).
+  [[nodiscard]] std::string metrics_text() const;
+  /// The same registry snapshot as JSON (counters, gauges, histograms with
+  /// p50/p95/p99 and non-empty buckets).
+  [[nodiscard]] std::string metrics_json() const;
+  /// The most recent sampled / forced query traces, oldest first (ring of
+  /// ServiceConfig::trace_capacity).  Serialize with obs::Tracer::to_json
+  /// or to_chrome.
+  [[nodiscard]] std::vector<obs::QueryTrace> recent_traces() const;
+  /// Adjusts trace sampling at runtime (0 = off; overrides the built
+  /// ServiceConfig::trace_sample_every).
+  void set_trace_sampling(std::uint64_t sample_every);
 
   // --- live-serving surface (ServiceStateError in static mode) --------------
 
@@ -415,11 +447,14 @@ class KnnService {
   static void publish_locked(State& state);
   /// Shared scored-batch core of every read path: cache pass + (guarded)
   /// scoring + selection + cache publish against one snapshot, no service
-  /// mutex.
+  /// mutex.  `sink` fans stage spans (cache_lookup / shard_scoring /
+  /// selection / merge) to the traced members of the batch — pass an empty
+  /// sink when nothing is traced.
   static BatchQueryResult run_batch_core(State& state,
                                          const std::shared_ptr<const Snapshot>& snap,
                                          std::span<const PointD> queries, KnnAlgo algo,
-                                         std::uint64_t ell, MetricKind metric);
+                                         std::uint64_t ell, MetricKind metric,
+                                         const obs::TraceSink& sink);
   /// Leader body of the coalescing seat: groups `batch` by effective
   /// (algo, ℓ, metric) and runs each group through run_batch_core against
   /// one snapshot.
@@ -459,6 +494,8 @@ class KnnServiceBuilder {
   /// Enables machine-failure handling (see ServiceConfig::fault_tolerant).
   KnnServiceBuilder& fault_tolerant();
   KnnServiceBuilder& fault_tolerant(const FaultConfig& fault);
+  /// Per-query trace sampling knobs (see ServiceConfig::trace_sample_every).
+  KnnServiceBuilder& trace(std::uint64_t sample_every, std::size_t capacity = 256);
   /// Wholesale config (fields staged so far are overwritten).
   KnnServiceBuilder& config(const ServiceConfig& config);
   /// Explicit dimensionality — required only for a live service built

@@ -2,9 +2,38 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
+namespace {
+
+struct HealthMetrics {
+  obs::Counter& probes = obs::registry().counter(
+      "dknn_health_probes_total", "liveness probes issued by check_call");
+  obs::Counter& timeouts = obs::registry().counter(
+      "dknn_health_timeouts_total", "probes that exhausted their deadline");
+  obs::Counter& deaths_detected = obs::registry().counter(
+      "dknn_health_deaths_detected_total", "machines marked Dead by deadline detection");
+  obs::Counter& kills = obs::registry().counter(
+      "dknn_health_kills_total", "explicit kill() transitions");
+  obs::Counter& revives = obs::registry().counter(
+      "dknn_health_revives_total", "explicit revive() transitions");
+  obs::Counter& retires = obs::registry().counter(
+      "dknn_health_retires_total", "explicit retire() transitions");
+  /// Accounted (never slept) probe cost per check_call: deadline misses ×
+  /// per-call deadline + exponential backoff, the simulator's stand-in
+  /// for wall-clock probe latency.
+  obs::Histogram& probe_latency = obs::registry().histogram(
+      "dknn_health_probe_latency_ns", "accounted deadline + backoff cost per check_call");
+};
+
+HealthMetrics& health_metrics() {
+  static HealthMetrics m;
+  return m;
+}
+
+}  // namespace
 
 MachineHealth::MachineHealth(std::size_t machines, HealthConfig config)
     : config_(config), states_(machines, MachineState::Alive), modes_(machines) {
@@ -72,6 +101,7 @@ void MachineHealth::kill(std::size_t machine) {
   states_[machine] = MachineState::Dead;
   ++generation_;
   ++stats_.kills;
+  health_metrics().kills.add();
 }
 
 void MachineHealth::revive(std::size_t machine) {
@@ -85,6 +115,7 @@ void MachineHealth::revive(std::size_t machine) {
   modes_[machine] = FailureMode{};  // a revived machine answers again
   ++generation_;
   ++stats_.revives;
+  health_metrics().revives.add();
 }
 
 void MachineHealth::retire(std::size_t machine) {
@@ -97,6 +128,7 @@ void MachineHealth::retire(std::size_t machine) {
   states_[machine] = MachineState::Retired;
   ++generation_;
   ++stats_.retires;
+  health_metrics().retires.add();
 }
 
 void MachineHealth::set_failure_mode(std::size_t machine, FailureMode mode) {
@@ -119,9 +151,11 @@ CallReport MachineHealth::check_call(std::size_t machine) {
   }
 
   FailureMode& mode = modes_[machine];
+  HealthMetrics& metrics = health_metrics();
   for (std::uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ++report.attempts;
     ++stats_.probes;
+    metrics.probes.add();
     bool answered = false;
     switch (mode.kind) {
       case FailureModeKind::Healthy:
@@ -141,9 +175,14 @@ CallReport MachineHealth::check_call(std::size_t machine) {
     if (answered) {
       report.status = CallStatus::Ok;
       stats_.backoff_ns += report.backoff_ns;
+      // Accounted cost: each failed attempt burned its full deadline,
+      // plus the recorded backoff between attempts.
+      metrics.probe_latency.record(
+          (report.attempts - 1) * config_.call_deadline_ns + report.backoff_ns);
       return report;
     }
     ++stats_.timeouts;
+    metrics.timeouts.add();
     if (attempt < config_.max_retries) {
       report.backoff_ns += config_.backoff_ns << attempt;  // exponential
     }
@@ -153,8 +192,10 @@ CallReport MachineHealth::check_call(std::size_t machine) {
   states_[machine] = MachineState::Dead;
   ++generation_;
   ++stats_.deaths_detected;
+  metrics.deaths_detected.add();
   stats_.backoff_ns += report.backoff_ns;
   report.status = CallStatus::TimedOut;
+  metrics.probe_latency.record(report.attempts * config_.call_deadline_ns + report.backoff_ns);
   return report;
 }
 

@@ -1,0 +1,330 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "support/panic.hpp"
+
+namespace dknn::obs {
+
+std::size_t thread_shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// --- Counter / Gauge ---------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const {
+  std::int64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {
+  for (Shard& s : shards_) s.buckets = std::vector<std::atomic<std::uint64_t>>(kHistogramBuckets);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<std::size_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    std::uint64_t n = 0;
+    for (const Shard& s : shards_) n += s.buckets[i].load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(i, n);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- snapshots ---------------------------------------------------------------
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Ceil nearest-rank, same convention as bench/latency.hpp.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return bucket_representative(index);
+  }
+  return buckets.empty() ? 0 : bucket_representative(buckets.back().first);
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(std::string_view name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const {
+  for (const auto& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+namespace {
+
+void append_help_type(std::string& out, const std::string& name, const std::string& help,
+                      const char* type) {
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+/// Minimal JSON string escape — metric names/help are ASCII identifiers
+/// and prose, so quotes and backslashes are all that can realistically
+/// appear.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::prometheus_text() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    append_help_type(out, c.name, c.help, "counter");
+    out += c.name;
+    out += ' ';
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    append_help_type(out, g.name, g.help, "gauge");
+    out += g.name;
+    out += ' ';
+    append_i64(out, g.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    append_help_type(out, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, n] : h.buckets) {
+      cumulative += n;
+      out += h.name;
+      out += "_bucket{le=\"";
+      // le is inclusive; the bucket covers [lo, lo + width), all integers.
+      append_u64(out, bucket_lo(index) + bucket_width(index) - 1);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += h.name;
+    out += "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    out += h.name;
+    out += "_sum ";
+    append_u64(out, h.sum);
+    out += '\n';
+    out += h.name;
+    out += "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::json_text() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(c.name) + "\": ";
+    append_u64(out, c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const GaugeSnapshot& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(g.name) + "\": ";
+    append_i64(out, g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(h.name) + "\": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"p50\": ";
+    append_u64(out, h.quantile(0.50));
+    out += ", \"p95\": ";
+    append_u64(out, h.quantile(0.95));
+    out += ", \"p99\": ";
+    append_u64(out, h.quantile(0.99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [index, n] : h.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += '[';
+      append_u64(out, bucket_lo(index));
+      out += ", ";
+      append_u64(out, n);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+// --- registry ----------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  const std::scoped_lock lock(mutex_);
+  DKNN_REQUIRE(gauges_.find(name) == gauges_.end() && histograms_.find(name) == histograms_.end(),
+               "obs: metric name already registered as a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      Named<Counter>{std::string(help), std::make_unique<Counter>(&enabled_)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  const std::scoped_lock lock(mutex_);
+  DKNN_REQUIRE(counters_.find(name) == counters_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "obs: metric name already registered as a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      Named<Gauge>{std::string(help), std::make_unique<Gauge>(&enabled_)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help) {
+  const std::scoped_lock lock(mutex_);
+  DKNN_REQUIRE(counters_.find(name) == counters_.end() && gauges_.find(name) == gauges_.end(),
+               "obs: metric name already registered as a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Named<Histogram>{std::string(help), std::make_unique<Histogram>(&enabled_)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, named] : counters_)
+    snap.counters.push_back({name, named.help, named.instrument->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, named] : gauges_)
+    snap.gauges.push_back({name, named.help, named.instrument->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, named] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.help = named.help;
+    // Buckets first: a racing record() that lands between the reads can
+    // only make count/sum >= the bucket total, never lose a bucket.
+    h.buckets = named.instrument->nonzero_buckets();
+    h.count = named.instrument->count();
+    h.sum = named.instrument->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, named] : counters_) named.instrument->reset();
+  for (auto& [name, named] : gauges_) named.instrument->reset();
+  for (auto& [name, named] : histograms_) named.instrument->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace dknn::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dknn::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::finish(std::unique_ptr<TraceBuilder> builder) {
+  if (builder == nullptr) return;
+  QueryTrace trace = builder->take();
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[ring_next_] = std::move(trace);
+  }
+  ring_next_ = (ring_next_ + 1) % capacity_;
+}
+
+std::vector<QueryTrace> Tracer::recent() const {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) return ring_;
+  // Full ring: ring_next_ is the oldest entry.
+  std::vector<QueryTrace> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  return out;
+}
+
+namespace {
+
+void append_span_json(std::string& out, const TraceSpan& span) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\": \"%s\", \"start_ns\": %" PRIu64 ", \"dur_ns\": %" PRIu64
+                ", \"detail\": %" PRIu64 "}",
+                span.name, span.start_ns, span.dur_ns, span.detail);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::to_json(std::span<const QueryTrace> traces) {
+  std::string out = "{\"traces\": [";
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const QueryTrace& trace = traces[t];
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"id\": %" PRIu64 ", \"start_ns\": %" PRIu64 ", \"total_ns\": %" PRIu64
+                  ", \"spans\": [",
+                  t == 0 ? "" : ",", trace.id, trace.start_ns, trace.total_ns);
+    out += buf;
+    for (std::size_t s = 0; s < trace.spans.size(); ++s) {
+      if (s != 0) out += ", ";
+      append_span_json(out, trace.spans[s]);
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::to_chrome(std::span<const QueryTrace> traces) {
+  // One complete event per span plus one per whole query; "tid" is the
+  // query id so each query gets its own row in the viewer.
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  for (const QueryTrace& trace : traces) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"name\": \"query\", \"ph\": \"X\", \"pid\": 1, \"tid\": %" PRIu64
+                  ", \"ts\": %.3f, \"dur\": %.3f}",
+                  first ? "" : ",", trace.id, static_cast<double>(trace.start_ns) / 1000.0,
+                  static_cast<double>(trace.total_ns) / 1000.0);
+    out += buf;
+    first = false;
+    for (const TraceSpan& span : trace.spans) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": %" PRIu64
+                    ", \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"detail\": %" PRIu64 "}}",
+                    span.name, trace.id, static_cast<double>(span.start_ns) / 1000.0,
+                    static_cast<double>(span.dur_ns) / 1000.0, span.detail);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace dknn::obs

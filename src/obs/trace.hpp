@@ -1,0 +1,195 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Per-query trace spans: the stage ladder of one query, sampled.
+///
+/// A trace answers the question metrics cannot: *why was this one query
+/// slow* — did it wait for a coalescing seat, acquire a snapshot behind a
+/// publish, spend its time in shard scoring, or in the selection
+/// protocol?  Each sampled query owns a `TraceBuilder`; the stages append
+/// `TraceSpan`s ({name, start, duration, detail}) via `TraceScope` RAII
+/// over the monotonic clock, and the finished `QueryTrace` lands in the
+/// owning `Tracer`'s fixed-capacity ring of recent traces, exportable as
+/// JSON or chrome://tracing format (load the latter in a Chromium
+/// `about:tracing` tab or https://ui.perfetto.dev).
+///
+/// Cost discipline mirrors the metrics layer: the *untraced* path is one
+/// relaxed load + branch (`Tracer::begin` returns null unless the query
+/// was picked by the sampling rate or forced via
+/// `QueryOptions::trace`), and nothing downstream of a null builder
+/// touches the clock.
+///
+/// Concurrency: a `TraceBuilder` belongs to one query and is written by
+/// whichever thread currently executes that query's stages.  Under seat
+/// coalescing the *leader* writes batch-stage spans for every traced
+/// batch member (fanned out through `TraceSink`) strictly before it
+/// marks the seat done under the seat mutex, so the owner's later reads
+/// are ordered by the same release/acquire that publishes the answer.
+/// The ring itself is guarded by a leaf mutex — traced queries pay it
+/// once, untraced queries never.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dknn::obs {
+
+/// Monotonic nanoseconds (steady clock) — the one clock every span uses.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// One stage of one query.  `name` must be a string literal (stored
+/// unowned).  `detail` is stage-defined: batch size for seat stages,
+/// cache hits for the lookup stage, machines scored for shard scoring.
+struct TraceSpan {
+  const char* name = "";
+  std::uint64_t start_ns = 0;  ///< absolute steady-clock ns
+  std::uint64_t dur_ns = 0;
+  std::uint64_t detail = 0;
+};
+
+/// The finished stage ladder of one sampled query.
+struct QueryTrace {
+  std::uint64_t id = 0;        ///< per-tracer monotone sequence number
+  std::uint64_t start_ns = 0;  ///< query entry (steady clock)
+  std::uint64_t total_ns = 0;  ///< entry → answer, all stages included
+  std::vector<TraceSpan> spans;
+};
+
+/// Accumulates spans for one in-flight sampled query.  Not self
+/// synchronizing — see the header comment for the ownership rule.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::uint64_t id) {
+    trace_.id = id;
+    trace_.start_ns = now_ns();
+    trace_.spans.reserve(8);
+  }
+
+  void add_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                std::uint64_t detail = 0) {
+    trace_.spans.push_back({name, start_ns, dur_ns, detail});
+  }
+
+  /// Stamps total_ns and surrenders the trace.
+  [[nodiscard]] QueryTrace take() {
+    trace_.total_ns = now_ns() - trace_.start_ns;
+    return std::move(trace_);
+  }
+
+ private:
+  QueryTrace trace_;
+};
+
+/// RAII span: times construction → destruction into `builder` (no-op on
+/// null, without reading the clock).
+class TraceScope {
+ public:
+  TraceScope(TraceBuilder* builder, const char* name) : builder_(builder), name_(name) {
+    if (builder_ != nullptr) start_ns_ = now_ns();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (builder_ != nullptr) builder_->add_span(name_, start_ns_, now_ns() - start_ns_, detail_);
+  }
+
+  void set_detail(std::uint64_t detail) { detail_ = detail; }
+
+ private:
+  TraceBuilder* builder_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t detail_ = 0;
+};
+
+/// Fans one batch-stage span out to every traced member of a coalesced
+/// batch (usually zero members — the empty sink is two pointer reads).
+class TraceSink {
+ public:
+  TraceSink() = default;
+
+  void attach(TraceBuilder* builder) {
+    if (builder != nullptr) builders_.push_back(builder);
+  }
+  [[nodiscard]] bool empty() const { return builders_.empty(); }
+
+  void add_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                std::uint64_t detail = 0) const {
+    for (TraceBuilder* b : builders_) b->add_span(name, start_ns, dur_ns, detail);
+  }
+
+ private:
+  std::vector<TraceBuilder*> builders_;
+};
+
+/// RAII batch-stage span over a TraceSink; skips the clock when no batch
+/// member is traced.
+class SinkScope {
+ public:
+  SinkScope(const TraceSink& sink, const char* name) : sink_(sink), name_(name) {
+    if (!sink_.empty()) start_ns_ = now_ns();
+  }
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+  ~SinkScope() {
+    if (!sink_.empty()) sink_.add_span(name_, start_ns_, now_ns() - start_ns_, detail_);
+  }
+
+  void set_detail(std::uint64_t detail) { detail_ = detail; }
+
+ private:
+  const TraceSink& sink_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t detail_ = 0;
+};
+
+/// Sampling gate + ring buffer of recent traces.  One per service.
+class Tracer {
+ public:
+  explicit Tracer(std::uint64_t sample_every = 0, std::size_t capacity = 256)
+      : sample_every_(sample_every), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// 0 disables rate sampling (per-call force still works); N samples
+  /// every Nth query.
+  void set_sample_every(std::uint64_t n) { sample_every_.store(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Null unless this query is sampled (or `force`d).  The common
+  /// untraced path is one relaxed load + branch.
+  [[nodiscard]] std::unique_ptr<TraceBuilder> begin(bool force = false) {
+    const std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+    if (!force && every == 0) return nullptr;
+    const std::uint64_t seq = next_id_.fetch_add(1, std::memory_order_relaxed);
+    if (!force && seq % every != 0) return nullptr;
+    return std::make_unique<TraceBuilder>(seq);
+  }
+
+  /// Lands a finished query's trace in the ring (oldest evicted first).
+  void finish(std::unique_ptr<TraceBuilder> builder);
+
+  /// The ring's contents, oldest first.
+  [[nodiscard]] std::vector<QueryTrace> recent() const;
+
+  /// {"traces": [{id, start_ns, total_ns, spans: [{name, start_ns,
+  /// dur_ns, detail}...]}...]}
+  [[nodiscard]] static std::string to_json(std::span<const QueryTrace> traces);
+  /// chrome://tracing "traceEvents" format: one complete ("ph":"X")
+  /// event per span, microsecond timestamps, one tid per query.
+  [[nodiscard]] static std::string to_chrome(std::span<const QueryTrace> traces);
+
+ private:
+  std::atomic<std::uint64_t> sample_every_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< guards the ring; traced queries only
+  std::vector<QueryTrace> ring_;
+  std::size_t ring_next_ = 0;
+};
+
+}  // namespace dknn::obs

@@ -2,7 +2,30 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dknn {
+namespace {
+
+struct CompactorMetrics {
+  obs::Counter& scheduled = obs::registry().counter(
+      "dknn_compaction_scheduled_total", "background compaction rounds scheduled");
+  obs::Counter& installed = obs::registry().counter(
+      "dknn_compaction_installs_scheduled_total",
+      "background rounds whose install landed (racing erases abort the rest)");
+  obs::Counter& aborted = obs::registry().counter(
+      "dknn_compaction_aborts_total", "background rounds aborted by a racing mutation");
+  obs::Gauge& debt = obs::registry().gauge(
+      "dknn_compaction_debt", "rows a full compaction would rewrite or drop, summed over "
+                              "stores with a Compactor (refreshed per scheduling decision)");
+};
+
+CompactorMetrics& compactor_metrics() {
+  static CompactorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Compactor::Compactor(SegmentStore& store, ThreadPool& pool, CompactionConfig config)
     : store_(store), pool_(pool), config_(config), group_(pool) {}
@@ -14,17 +37,29 @@ Compactor::~Compactor() {
     drain();
   } catch (...) {
   }
+  refresh_debt_gauge(0);
+}
+
+/// Moves this compactor's slice of the process-wide debt gauge to
+/// `debt_now` (delta-tracked so several compactors sum correctly).
+void Compactor::refresh_debt_gauge(std::uint64_t debt_now) {
+  if (!obs::registry().enabled()) return;
+  const auto now = static_cast<std::int64_t>(debt_now);
+  const std::int64_t before = obs_debt_published_.exchange(now, std::memory_order_relaxed);
+  compactor_metrics().debt.add(now - before);
 }
 
 bool Compactor::maybe_schedule() {
   bool expected = false;
   if (!in_flight_.compare_exchange_strong(expected, true)) return false;
   SegmentStore::CompactionPlan plan = store_.plan_compaction(config_);
+  refresh_debt_gauge(store_.compaction_debt(config_));
   if (plan.empty()) {
     in_flight_.store(false);
     return false;
   }
   scheduled_.fetch_add(1);
+  compactor_metrics().scheduled.add();
   group_.submit([this, plan = std::move(plan)] {
     // Reset in-flight even if the merge throws (e.g. bad_alloc on a large
     // victim set) — the exception surfaces at the next drain(), but a
@@ -39,9 +74,12 @@ bool Compactor::maybe_schedule() {
     const bool installed = store_.install_compaction(plan, std::move(merged));
     if (installed) {
       installed_.fetch_add(1);
+      compactor_metrics().installed.add();
     } else {
       aborted_.fetch_add(1);
+      compactor_metrics().aborted.add();
     }
+    refresh_debt_gauge(store_.compaction_debt(config_));
     if (on_complete_) on_complete_(installed);
   });
   return true;

@@ -77,6 +77,8 @@ class Compactor {
   [[nodiscard]] const CompactionConfig& config() const { return config_; }
 
  private:
+  void refresh_debt_gauge(std::uint64_t debt_now);
+
   SegmentStore& store_;
   ThreadPool& pool_;
   CompactionConfig config_;
@@ -89,6 +91,8 @@ class Compactor {
   std::atomic<std::uint64_t> scheduled_{0};
   std::atomic<std::uint64_t> installed_{0};
   std::atomic<std::uint64_t> aborted_{0};
+  /// This compactor's last contribution to the process-wide debt gauge.
+  std::atomic<std::int64_t> obs_debt_published_{0};
 };
 
 }  // namespace dknn

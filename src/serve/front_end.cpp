@@ -4,9 +4,39 @@
 #include <utility>
 
 #include "data/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
+namespace {
+
+struct FrontEndMetrics {
+  obs::Counter& queries = obs::registry().counter(
+      "dknn_frontend_queries_total", "queries answered by any QueryFrontEnd");
+  obs::Counter& batches = obs::registry().counter(
+      "dknn_frontend_batches_total", "micro-batches executed");
+  obs::Counter& cache_hits = obs::registry().counter(
+      "dknn_frontend_cache_hits_total", "answers served from the epoch result cache");
+  obs::Counter& cache_misses = obs::registry().counter(
+      "dknn_frontend_cache_misses_total", "answers that ran the kernels");
+  obs::Counter& degraded_queries = obs::registry().counter(
+      "dknn_frontend_degraded_queries_total", "queries answered degraded by the health gate");
+  obs::Counter& missing_machines = obs::registry().counter(
+      "dknn_frontend_missing_machines_total",
+      "machines absent from answer coverage, summed per query");
+  obs::Histogram& seat_wait = obs::registry().histogram(
+      "dknn_frontend_seat_wait_ns", "enqueue -> batch execution start, per coalesced query");
+  obs::Histogram& batch_size = obs::registry().histogram(
+      "dknn_frontend_batch_size", "effective micro-batch sizes (queries per execute)");
+};
+
+FrontEndMetrics& front_end_metrics() {
+  static FrontEndMetrics m;
+  return m;
+}
+
+}  // namespace
 
 QueryFrontEnd::QueryFrontEnd(const SegmentStore& store, FrontEndConfig config)
     : store_(store), config_(config), cache_(config.cache_capacity) {
@@ -17,6 +47,7 @@ QueryFrontEnd::QueryFrontEnd(const SegmentStore& store, FrontEndConfig config)
 ServeQueryResult QueryFrontEnd::query(const PointD& query) {
   Pending slot;
   slot.query = &query;
+  if (obs::registry().enabled()) slot.enqueue_ns = obs::now_ns();
   std::unique_lock<std::mutex> lock(batch_mutex_);
   queue_.push_back(&slot);
   batch_cv_.notify_all();  // a collecting leader may be waiting for company
@@ -75,6 +106,14 @@ std::vector<ServeQueryResult> QueryFrontEnd::query_batch(std::span<const PointD>
 
 void QueryFrontEnd::execute(std::span<Pending*> batch) {
   const auto batch_size = static_cast<std::uint32_t>(batch.size());
+  FrontEndMetrics& metrics = front_end_metrics();
+  metrics.batch_size.record(batch_size);
+  if (obs::registry().enabled()) {
+    const std::uint64_t start_ns = obs::now_ns();
+    for (const Pending* pending : batch) {
+      if (pending->enqueue_ns != 0) metrics.seat_wait.record(start_ns - pending->enqueue_ns);
+    }
+  }
 
   // Health gate first: the probe may flip the machine Dead (bumping the
   // generation), and the cache epoch below must see the settled value —
@@ -98,6 +137,10 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
       pending->result.batch_size = batch_size;
       pending->result.coverage = degraded;
     }
+    metrics.queries.add(batch_size);
+    metrics.batches.add();
+    metrics.degraded_queries.add(batch_size);
+    metrics.missing_machines.add(batch_size);  // one store per front end
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     queries_ += batch_size;
     batches_ += 1;
@@ -164,6 +207,10 @@ void QueryFrontEnd::execute(std::span<Pending*> batch) {
     }
   }
 
+  metrics.queries.add(batch_size);
+  metrics.batches.add();
+  metrics.cache_hits.add(batch_size - misses.size());
+  metrics.cache_misses.add(misses.size());
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   queries_ += batch_size;
   batches_ += 1;

@@ -118,6 +118,9 @@ class QueryFrontEnd {
     const PointD* query = nullptr;
     ServeQueryResult result;
     bool done = false;
+    /// Coalescing-seat enqueue time (0 = untimed, e.g. the explicit batch
+    /// entry) — execute() turns it into the seat-wait histogram sample.
+    std::uint64_t enqueue_ns = 0;
   };
 
   /// Scores `batch` against one fresh snapshot, consulting/filling the

@@ -3,7 +3,20 @@
 #include <bit>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dknn {
+namespace {
+
+/// Flushes across every EpochResultCache instance (facade caches and
+/// front-end caches share this type — and this counter).
+obs::Counter& flush_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "dknn_cache_flushes_total", "epoch-advance + capacity resets, all result caches");
+  return c;
+}
+
+}  // namespace
 
 std::vector<std::uint64_t> query_coord_bits(const PointD& query) {
   std::vector<std::uint64_t> bits;
@@ -35,7 +48,10 @@ std::optional<std::vector<Key>> EpochResultCache::lookup(
   if (epoch_ != epoch) {
     // Any snapshot advance invalidates every entry: the live set (or at
     // least the epoch the answer is stamped with) changed.
-    if (!entries_.empty()) ++stats_.flushes;
+    if (!entries_.empty()) {
+      ++stats_.flushes;
+      flush_counter().add();
+    }
     entries_.clear();
     epoch_ = epoch;
   }
@@ -52,6 +68,7 @@ void EpochResultCache::make_room(std::size_t incoming, std::uint64_t epoch) {
   if (capacity_ == 0 || epoch_ != epoch) return;
   if (entries_.size() + incoming > capacity_ && !entries_.empty()) {
     ++stats_.flushes;  // generation reset; see the header's eviction note
+    flush_counter().add();
     entries_.clear();
   }
 }

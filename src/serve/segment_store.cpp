@@ -6,11 +6,36 @@
 #include <utility>
 
 #include "data/validate.hpp"
+#include "obs/metrics.hpp"
 #include "seq/select.hpp"
 #include "support/panic.hpp"
 
 namespace dknn {
 namespace {
+
+/// Store-layer instruments, registered once and cached (the registry
+/// lookup takes a mutex; the instruments themselves are sharded atomics).
+struct StoreMetrics {
+  obs::Counter& inserts = obs::registry().counter(
+      "dknn_store_inserts_total", "points appended into any SegmentStore delta");
+  obs::Counter& erases = obs::registry().counter(
+      "dknn_store_erases_total", "successful erases (delta removals + tombstones)");
+  obs::Counter& seals = obs::registry().counter(
+      "dknn_store_seals_total", "delta seals into immutable segments");
+  obs::Counter& publishes = obs::registry().counter(
+      "dknn_store_epoch_publishes_total", "snapshot publishes (epoch advances)");
+  obs::Counter& compaction_installs = obs::registry().counter(
+      "dknn_store_compaction_installs_total", "compaction installs that replaced victims");
+  obs::Gauge& live_points = obs::registry().gauge(
+      "dknn_store_live_points", "live points across all stores (delta + sealed, minus dead)");
+  obs::Gauge& dead_rows = obs::registry().gauge(
+      "dknn_store_dead_rows", "tombstoned rows across all stores' sealed segments");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
 
 /// Seals an AoS point set into an immutable segment under `policy`.
 std::shared_ptr<const SealedSegment> build_segment(std::span<const PointD> points,
@@ -86,6 +111,12 @@ SegmentStore::SegmentStore(std::size_t dim, ServeConfig config)
   publish_locked();  // epoch 1: the empty store
 }
 
+SegmentStore::~SegmentStore() {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  store_metrics().live_points.sub(obs_live_published_);
+  store_metrics().dead_rows.sub(obs_dead_published_);
+}
+
 bool SegmentStore::live_in_writer_state(PointId id) const {
   if (delta_rows_.contains(id)) return true;
   for (const SegmentView& seg : segments_) {
@@ -119,6 +150,7 @@ std::uint64_t SegmentStore::insert_batch(std::span<const PointD> points,
     delta_points_.push_back(points[i]);
     delta_ids_.push_back(ids[i]);
   }
+  store_metrics().inserts.add(points.size());
   delta_dirty_ = true;
   if (delta_points_.size() >= config_.seal_threshold) seal_locked();
   return publish_locked();
@@ -139,6 +171,7 @@ std::optional<std::uint64_t> SegmentStore::erase(PointId id) {
     delta_ids_.pop_back();
     delta_rows_.erase(it);
     delta_dirty_ = true;
+    store_metrics().erases.add();
     return publish_locked();
   }
   // Sealed hit: copy-on-write tombstone.  An id may appear dead in an old
@@ -152,6 +185,7 @@ std::optional<std::uint64_t> SegmentStore::erase(PointId id) {
     seg.live_runs = compute_live_runs(*dead);
     seg.dead = std::move(dead);
     ++seg.dead_count;
+    store_metrics().erases.add();
     return publish_locked();
   }
   return std::nullopt;
@@ -172,6 +206,7 @@ void SegmentStore::seal_locked() {
   delta_ids_.clear();
   delta_rows_.clear();
   delta_dirty_ = true;
+  store_metrics().seals.add();
 }
 
 std::uint64_t SegmentStore::publish_locked() {
@@ -197,6 +232,24 @@ std::uint64_t SegmentStore::publish_locked() {
   }
   for (const SegmentView& seg : next->segments) next->live_points += seg.live();
   {
+    StoreMetrics& m = store_metrics();
+    m.publishes.add();
+    // Delta-tracked gauges: contribute the change since this store's last
+    // publish, so the merged gauge is the sum over all live stores.  Only
+    // advance the book-kept baseline while enabled — gauge adds are
+    // dropped when disabled, and a silently advanced baseline would make
+    // the gauge drift on re-enable.
+    if (obs::registry().enabled()) {
+      std::int64_t dead = 0;
+      for (const SegmentView& seg : segments_) dead += static_cast<std::int64_t>(seg.dead_count);
+      const auto live = static_cast<std::int64_t>(next->live_points);
+      m.live_points.add(live - obs_live_published_);
+      m.dead_rows.add(dead - obs_dead_published_);
+      obs_live_published_ = live;
+      obs_dead_published_ = dead;
+    }
+  }
+  {
     const std::lock_guard<std::mutex> lock(snapshot_mutex_);
     published_ = std::move(next);
   }
@@ -217,6 +270,12 @@ std::uint64_t SegmentStore::dead_rows() const {
 
 TreeStats SegmentStore::tree_stats() const {
   TreeStats out;
+  {
+    // The base holds every compaction-retired segment's counters, so the
+    // total stays monotone across installs instead of silently shrinking.
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    out += retired_tree_base_;
+  }
   // Snapshot, not writer state: counters belong to the segments queries
   // actually traverse, and snapshot() is wait-free w.r.t. writers.
   const SnapshotPtr snap = snapshot();
@@ -227,6 +286,10 @@ TreeStats SegmentStore::tree_stats() const {
 }
 
 void SegmentStore::reset_tree_stats() const {
+  {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    retired_tree_base_ = TreeStats{};
+  }
   const SnapshotPtr snap = snapshot();
   for (const SegmentView& seg : snap->segments) {
     if (seg.data->tree != nullptr) seg.data->tree->reset_stats();
@@ -333,6 +396,14 @@ bool SegmentStore::install_compaction(const CompactionPlan& plan,
     if (it == segments_.end() || it->dead != victim.dead) return false;
     victim_at.push_back(static_cast<std::size_t>(it - segments_.begin()));
   }
+  // Bank the victims' traversal counters before they leave the store:
+  // tree_stats() folds this base back in, so compaction never shrinks the
+  // store's lifetime totals.  (A traversal still running against a held
+  // snapshot of a victim can increment after this read and be missed —
+  // acceptable for diagnostics.)
+  for (const std::size_t i : victim_at) {
+    if (segments_[i].data->tree != nullptr) retired_tree_base_ += segments_[i].data->tree->stats();
+  }
   std::vector<SegmentView> survivors;
   survivors.reserve(segments_.size());
   for (std::size_t i = 0; i < segments_.size(); ++i) {
@@ -344,6 +415,7 @@ bool SegmentStore::install_compaction(const CompactionPlan& plan,
     survivors.push_back(make_clean_view(std::move(merged), next_segment_id_++));
   }
   segments_ = std::move(survivors);
+  store_metrics().compaction_installs.add();
   publish_locked();
   return true;
 }

@@ -137,6 +137,9 @@ struct CompactionConfig {
 class SegmentStore {
  public:
   explicit SegmentStore(std::size_t dim, ServeConfig config = {});
+  /// Withdraws this store's contribution from the process-wide obs
+  /// live/dead gauges so a torn-down store stops counting.
+  ~SegmentStore();
 
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] const ServeConfig& config() const { return config_; }
@@ -178,12 +181,17 @@ class SegmentStore {
   /// Tombstoned rows across all sealed segments.
   [[nodiscard]] std::uint64_t dead_rows() const;
 
-  /// Cumulative kd-hybrid traversal counters summed over the *currently
+  /// Cumulative kd-hybrid traversal counters: the sum over the *currently
   /// published* tree-carrying segments (brute segments and the delta
-  /// mirror contribute nothing).  Counters live on each segment's
-  /// KdRangeIndex, so a segment retired by compaction takes its history
-  /// with it — treat this as a per-stanza delta source (reset, run,
-  /// read) rather than a lifetime total.
+  /// mirror contribute nothing) plus a store-level base holding the
+  /// counters of every segment compaction has retired.  Counters live on
+  /// each segment's KdRangeIndex; install_compaction banks a victim's
+  /// totals into the base before dropping it, so this reads as a
+  /// monotone lifetime total across compactions (pinned by
+  /// tests/test_serve.cpp's compact-under-load case).  Traversals still
+  /// in flight on a *held* snapshot of a retired segment can land after
+  /// the banking and be missed — the counters are diagnostics, racy by
+  /// design, never answers.
   [[nodiscard]] TreeStats tree_stats() const;
   void reset_tree_stats() const;
 
@@ -249,6 +257,13 @@ class SegmentStore {
   bool delta_dirty_ = false;                             ///< mirror stale?
   std::uint64_t epoch_ = 0;
   std::uint64_t next_segment_id_ = 1;
+  /// Traversal counters of segments retired by compaction (guarded by
+  /// writer_mutex_; mutable so reset_tree_stats() can zero it).
+  mutable TreeStats retired_tree_base_;
+  /// Last values this store contributed to the obs live/dead gauges
+  /// (guarded by writer_mutex_; deltas keep multi-store sums correct).
+  std::int64_t obs_live_published_ = 0;
+  std::int64_t obs_dead_published_ = 0;
 
   /// The published snapshot.  Guarded by snapshot_mutex_ — a leaf lock
   /// covering only the pointer copy/swap, never any scoring or building.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dknn {
 namespace {
 
@@ -11,6 +14,22 @@ namespace {
 /// deque instead of bouncing it through another worker.
 thread_local const ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker = 0;
+
+struct PoolMetrics {
+  obs::Counter& tasks = obs::registry().counter(
+      "dknn_pool_tasks_total", "jobs submitted to any ThreadPool");
+  obs::Counter& steals = obs::registry().counter(
+      "dknn_pool_steals_total", "successful steal-half plunders");
+  obs::Gauge& queue_depth = obs::registry().gauge(
+      "dknn_pool_queue_depth", "jobs queued but not yet started, across all pools");
+  obs::Histogram& task_latency = obs::registry().histogram(
+      "dknn_pool_task_latency_ns", "job run time on a worker (excludes queueing)");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -51,6 +70,8 @@ void ThreadPool::submit(std::function<void()> job) {
   // be observed at zero while the job is live.
   unfinished_.fetch_add(1, std::memory_order_relaxed);
   queued_.fetch_add(1, std::memory_order_relaxed);
+  pool_metrics().tasks.add();
+  pool_metrics().queue_depth.add(1);
   {
     std::lock_guard lock(workers_[target]->mutex);
     workers_[target]->jobs.push_back(std::move(job));
@@ -78,6 +99,7 @@ bool ThreadPool::try_pop_local(std::size_t index, std::function<void()>& job) {
   job = std::move(self.jobs.back());  // LIFO: nested submissions run cache-hot
   self.jobs.pop_back();
   queued_.fetch_sub(1, std::memory_order_relaxed);
+  pool_metrics().queue_depth.sub(1);
   return true;
 }
 
@@ -104,6 +126,8 @@ bool ThreadPool::try_steal(std::size_t index, std::function<void()>& job) {
     }
     job = std::move(loot.front());
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    pool_metrics().queue_depth.sub(1);
+    pool_metrics().steals.add();
     if (loot.size() > 1) {
       std::lock_guard lock(self.mutex);
       for (std::size_t t = 1; t < loot.size(); ++t) self.jobs.push_back(std::move(loot[t]));
@@ -124,12 +148,17 @@ bool ThreadPool::try_steal(std::size_t index, std::function<void()>& job) {
 }
 
 void ThreadPool::run_job(std::function<void()>& job) {
+  // Clock reads only when metrics are live — disabled observability must
+  // cost this hot loop nothing but the branch.
+  const bool timed = obs::registry().enabled();
+  const std::uint64_t start_ns = timed ? obs::now_ns() : 0;
   try {
     job();
   } catch (...) {
     std::lock_guard lock(sleep_mutex_);
     if (first_error_ == nullptr) first_error_ = std::current_exception();
   }
+  if (timed) pool_metrics().task_latency.record(obs::now_ns() - start_ns);
   job = nullptr;  // drop closure state before declaring the job finished
   if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard lock(sleep_mutex_);

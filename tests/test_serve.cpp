@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -276,6 +278,69 @@ TEST(SegmentStoreDegenerate, FullyTombstonedTreeSegment) {
                      snapshot_top_ell(*store.snapshot(), query, 8, kind),
                      metric_kind_name(kind));
   }
+}
+
+// --- tree counters across compaction ----------------------------------------
+
+// Pins the ServiceStats::tree / SegmentStore::tree_stats contract: the
+// counters are a monotone lifetime total.  Compaction banks retired
+// segments' traversal counters into the store-level base before the
+// install unpublishes them, so totals never shrink — under concurrent
+// query load included.
+TEST(SegmentStoreCompaction, TreeStatsAreMonotoneAcrossInstalls) {
+  Rng rng(17);
+  SegmentStore store(3, ServeConfig{.seal_threshold = 32, .policy = ScoringPolicy::Tree,
+                                    .leaf_size = 8});
+  auto live = seed_store(store, 96, 3, 1, rng);  // three sealed tree segments
+  ASSERT_EQ(store.segment_count(), 3u);
+
+  const auto queries = uniform_points(16, 3, 50.0, rng);
+  const auto run_queries = [&] {
+    const SnapshotPtr snap = store.snapshot();
+    for (const PointD& q : queries) {
+      (void)snapshot_top_ell(*snap, q, 8, MetricKind::SquaredEuclidean);
+    }
+  };
+
+  run_queries();
+  const TreeStats before = store.tree_stats();
+  EXPECT_GT(before.queries, 0u);
+  EXPECT_GT(before.nodes_visited, 0u);
+
+  // Tombstone rows in every segment, then compact while a reader keeps
+  // traversing the published trees.
+  for (PointId id = 1; id <= 40; ++id) ASSERT_TRUE(store.erase(id).has_value());
+  ThreadPool pool(2);
+  Compactor compactor(store, pool,
+                      CompactionConfig{.max_dead_fraction = 0.1, .min_segment_points = 128});
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) run_queries();
+  });
+  ASSERT_TRUE(compactor.maybe_schedule());
+  compactor.drain();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  ASSERT_GE(compactor.stats().installed, 1u);
+
+  // The retired segments' counters were banked into the store base, so the
+  // lifetime totals kept every pre-compaction traversal.
+  const TreeStats after = store.tree_stats();
+  EXPECT_GE(after.queries, before.queries);
+  EXPECT_GE(after.nodes_visited, before.nodes_visited);
+  EXPECT_GE(after.leaves_scored, before.leaves_scored);
+  EXPECT_GE(after.points_scored, before.points_scored);
+
+  // Counters keep accumulating on top of the banked base afterwards.
+  run_queries();
+  const TreeStats later = store.tree_stats();
+  EXPECT_GT(later.queries, after.queries);
+
+  // reset_tree_stats zeroes the banked base too, not just live segments.
+  store.reset_tree_stats();
+  const TreeStats reset = store.tree_stats();
+  EXPECT_EQ(reset.queries, 0u);
+  EXPECT_EQ(reset.nodes_visited, 0u);
 }
 
 // --- the mutation fuzz (the subsystem's parity anchor) ----------------------
