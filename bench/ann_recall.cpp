@@ -1,0 +1,207 @@
+// bench_ann — recall@ℓ and speedup-vs-brute of the approximate tier.
+//
+// The measured contract behind ScoringPolicy::Approx (src/ann/): for each
+// (n, d) cell the driver builds one k-NN graph (NN-descent, timed), then
+// sweeps the beam width ef and reports, per row,
+//
+//   * recall@ℓ — |approx ∩ exact| / ℓ averaged over the query pool (the
+//     exact answer comes from the fused brute kernels on the same store),
+//   * speedup  — brute queries/sec vs graph-search queries/sec, measured
+//     on identical query pools (rerank cost included),
+//   * graph_build_ms and per-search hop/frontier telemetry.
+//
+// Exactly one row carries `"default": true` — the shipped operating point
+// (largest n, d = 8, the AnnConfig defaults' ef) whose recall ≥ 0.9 floor
+// bench/check_ann_schema.py enforces (exit 2 on violation).  The
+// checked-in BENCH_ann.json is this bench at the canonical sizes:
+//
+//   ./bench_ann --json=BENCH_ann.json          # n = 10000,100000; d = 8,64
+//   ./bench_ann --n=4000 --queries=64 ...      # CI / ctest smoke sizes
+//
+// Searches run single-threaded (RowScorer + exact rerank per query) so
+// speedup is per-core kernel economics, not pool scheduling.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ann/graph_search.hpp"
+#include "ann/knn_graph.hpp"
+#include "data/flat_store.hpp"
+#include "data/generators.hpp"
+#include "data/kernels.hpp"
+#include "data/key.hpp"
+#include "rng/rng.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace dknn;
+
+struct Row {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  std::size_t ef = 0;
+  std::size_t ell = 0;
+  double recall = 0.0;
+  double brute_qps = 0.0;
+  double ann_qps = 0.0;
+  double speedup = 0.0;
+  double graph_build_ms = 0.0;
+  double mean_hops = 0.0;
+  double mean_frontier = 0.0;
+  bool is_default = false;
+};
+
+double recall_of(const std::vector<Key>& answer, const std::vector<Key>& oracle) {
+  if (oracle.empty()) return 1.0;
+  std::unordered_set<PointId> truth;
+  for (const Key& k : oracle) truth.insert(k.id);
+  std::size_t hit = 0;
+  for (const Key& k : answer) hit += truth.count(k.id);
+  return static_cast<double>(hit) / static_cast<double>(oracle.size());
+}
+
+struct Config {
+  std::vector<std::uint64_t> ns;
+  std::vector<std::uint64_t> dims;
+  std::vector<std::uint64_t> efs;
+  std::size_t ell = 64;
+  std::size_t queries = 200;
+  std::uint64_t seed = 5;
+};
+
+std::vector<Row> run_matrix(const Config& cfg) {
+  std::vector<Row> rows;
+  const std::uint64_t max_n = *std::max_element(cfg.ns.begin(), cfg.ns.end());
+  const ann::AnnConfig defaults;
+  for (const std::uint64_t n64 : cfg.ns) {
+    const auto n = static_cast<std::size_t>(n64);
+    for (const std::uint64_t dim64 : cfg.dims) {
+      const auto dim = static_cast<std::size_t>(dim64);
+      Rng rng(cfg.seed);
+      const std::vector<PointD> points = uniform_points(n, dim, 100.0, rng);
+      std::vector<PointId> ids(n);
+      for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<PointId>(i + 1);
+      const FlatStore store(points, ids);
+      const std::vector<PointD> queries = uniform_points(cfg.queries, dim, 100.0, rng);
+
+      // One graph per cell, shared by the whole ef sweep (searching with a
+      // larger beam needs no rebuild).
+      ann::AnnConfig ann_config = defaults;
+      ann_config.min_points = 0;
+      WallTimer build_timer;
+      const ann::KnnGraph graph(store, ann_config);
+      const double graph_build_ms =
+          static_cast<double>(build_timer.elapsed_ns()) / 1e6;
+
+      // Brute baseline on the same pool (oracle + denominator of speedup).
+      std::vector<std::vector<Key>> exact(queries.size());
+      WallTimer brute_timer;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        exact[q] = fused_top_ell(store, queries[q], cfg.ell, ann_config.metric);
+      }
+      const double brute_sec = static_cast<double>(brute_timer.elapsed_ns()) / 1e9;
+      const double brute_qps = static_cast<double>(queries.size()) / brute_sec;
+
+      for (const std::uint64_t ef64 : cfg.efs) {
+        const auto ef = static_cast<std::size_t>(ef64);
+        ann::AnnSearchScratch scratch;
+        KernelScratch kernel_scratch;
+        ann::AnnSearchStats stats;
+        double recall_sum = 0.0;
+        WallTimer ann_timer;
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          std::vector<ann::AnnCandidate>& cands = scratch.hits;
+          ann::ann_search_candidates(graph, queries[q], std::max(ef, cfg.ell),
+                                     ann_config.metric, nullptr, cands, scratch, &stats);
+          std::vector<std::uint32_t>& rerank_rows = scratch.rows;
+          rerank_rows.clear();
+          for (const ann::AnnCandidate& c : cands) rerank_rows.push_back(c.row);
+          std::sort(rerank_rows.begin(), rerank_rows.end());
+          RangeTopEll scorer(store, queries[q], cfg.ell, ann_config.metric, kernel_scratch);
+          for (const std::uint32_t row : rerank_rows) scorer.score_range(row, row + 1);
+          std::vector<Key> keys;
+          scorer.finish(keys);
+          recall_sum += recall_of(keys, exact[q]);
+        }
+        const double ann_sec = static_cast<double>(ann_timer.elapsed_ns()) / 1e9;
+        Row row;
+        row.n = n;
+        row.dim = dim;
+        row.ef = ef;
+        row.ell = cfg.ell;
+        row.recall = recall_sum / static_cast<double>(queries.size());
+        row.brute_qps = brute_qps;
+        row.ann_qps = static_cast<double>(queries.size()) / ann_sec;
+        row.speedup = row.ann_qps / brute_qps;
+        row.graph_build_ms = graph_build_ms;
+        row.mean_hops =
+            static_cast<double>(stats.hops) / static_cast<double>(queries.size());
+        row.mean_frontier =
+            static_cast<double>(stats.frontier_points) / static_cast<double>(queries.size());
+        row.is_default = n == max_n && dim == 8 && ef == defaults.ef;
+        rows.push_back(row);
+        std::fprintf(stderr,
+                     "n=%zu d=%zu ef=%zu recall=%.4f speedup=%.2fx (ann %.0f q/s, "
+                     "brute %.0f q/s, build %.1f ms)\n",
+                     n, dim, ef, row.recall, row.speedup, row.ann_qps, row.brute_qps,
+                     graph_build_ms);
+      }
+    }
+  }
+  return rows;
+}
+
+int emit(const std::string& path, const Config& cfg, const std::vector<Row>& rows) {
+  std::FILE* out = path.empty() ? stdout : std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"ann\",\n  \"ell\": %zu,\n  \"queries\": %zu,\n",
+               cfg.ell, cfg.queries);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"dim\": %zu, \"ef\": %zu, \"ell\": %zu, "
+                 "\"recall\": %.4f, \"brute_qps\": %.1f, \"ann_qps\": %.1f, "
+                 "\"speedup\": %.3f, \"graph_build_ms\": %.2f, \"mean_hops\": %.1f, "
+                 "\"mean_frontier\": %.1f, \"default\": %s}%s\n",
+                 r.n, r.dim, r.ef, r.ell, r.recall, r.brute_qps, r.ann_qps, r.speedup,
+                 r.graph_build_ms, r.mean_hops, r.mean_frontier,
+                 r.is_default ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_flag("json", "write BENCH_ann.json to this path (empty = stdout)", "");
+  cli.add_flag("n", "resident-point sizes, comma-separated", "10000,100000");
+  cli.add_flag("dims", "dimensionalities, comma-separated", "8,64");
+  cli.add_flag("efs", "beam widths to sweep, comma-separated", "32,64,96,160");
+  cli.add_flag("ell", "neighbors per query", "64");
+  cli.add_flag("queries", "measured queries per cell", "200");
+  cli.add_flag("seed", "experiment seed", "5");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Config cfg;
+  cfg.ns = cli.get_uint_list("n");
+  cfg.dims = cli.get_uint_list("dims");
+  cfg.efs = cli.get_uint_list("efs");
+  cfg.ell = cli.get_uint("ell");
+  cfg.queries = cli.get_uint("queries");
+  cfg.seed = cli.get_uint("seed");
+
+  const std::vector<Row> rows = run_matrix(cfg);
+  return emit(cli.get("json"), cfg, rows);
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Schema + recall-floor check for bench_ann --json output.
+
+Run by the smoke_bench_ann_schema ctest leg (and CI) against the JSON the
+smoke sweep just emitted.  Two failure classes with distinct exit codes:
+
+  * exit 1 — structural: the file does not parse, rows are missing fields,
+    recalls fall outside [0, 1], or there is not exactly one default row;
+  * exit 2 — quality: the default operating point (the row the service
+    actually ships under ScoringPolicy::Approx) has recall@ell < 0.9.
+
+Exit 2 is the regression CI cares about most: the graph build or beam
+search changed in a way that broke the recall contract documented in
+src/ann/README.md, even though every byte of the schema is still in place.
+
+Usage: check_ann_schema.py <path-to-BENCH_ann.json>
+"""
+
+import json
+import sys
+
+ROW_FIELDS = ("n", "dim", "ef", "ell", "recall", "brute_qps", "ann_qps",
+              "speedup", "graph_build_ms", "mean_hops", "mean_frontier",
+              "default")
+RECALL_FLOOR = 0.9
+
+
+def fail(msg, code=1):
+    print(f"ann schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_ann_schema.py <BENCH_ann.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {sys.argv[1]}: {err}")
+
+    if doc.get("bench") != "ann":
+        fail("top-level 'bench' is not 'ann'")
+    for field in ("ell", "queries"):
+        if not isinstance(doc.get(field), int):
+            fail(f"top-level '{field}' missing or not an integer")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("'rows' missing, not a list, or empty")
+
+    defaults = []
+    for i, row in enumerate(rows):
+        for field in ROW_FIELDS:
+            if field not in row:
+                fail(f"row {i}: missing '{field}'")
+        for field in ("recall",):
+            if not 0.0 <= row[field] <= 1.0:
+                fail(f"row {i}: recall {row[field]} outside [0, 1]")
+        for field in ("brute_qps", "ann_qps", "graph_build_ms"):
+            if not (isinstance(row[field], (int, float)) and row[field] > 0):
+                fail(f"row {i}: '{field}' is not a positive number")
+        if row["ef"] < row["ell"] and row["mean_frontier"] == 0:
+            fail(f"row {i}: ef sweep produced an empty walk")
+        if row["default"]:
+            defaults.append(row)
+
+    if len(defaults) != 1:
+        fail(f"expected exactly one default row, found {len(defaults)}")
+
+    default = defaults[0]
+    if default["recall"] < RECALL_FLOOR:
+        fail(
+            f"default operating point (n={default['n']}, dim={default['dim']}, "
+            f"ef={default['ef']}) has recall {default['recall']:.4f} "
+            f"< {RECALL_FLOOR} — the approx tier's recall contract is broken",
+            code=2,
+        )
+
+    print(
+        f"ann schema check OK: {len(rows)} rows, default point "
+        f"n={default['n']} dim={default['dim']} ef={default['ef']} "
+        f"recall={default['recall']:.4f} speedup={default['speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

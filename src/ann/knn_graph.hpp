@@ -1,0 +1,189 @@
+#pragma once
+/// \file knn_graph.hpp
+/// \brief Per-machine directed k-NN graph over FlatStore rows (the
+///        approximate search tier's index structure).
+///
+/// A `KnnGraph` is a fixed out-degree (G) directed graph whose vertices are
+/// the rows of one immutable FlatStore and whose adjacency approximates
+/// "the G nearest other rows".  It is the structure behind
+/// `ScoringPolicy::Approx`: graph_search.hpp walks it greedily to collect a
+/// candidate set that is then *exact*-reranked through the fused top-ℓ
+/// kernels, so the answer Keys are bit-stable given the candidate set (see
+/// src/ann/README.md for the recall — not byte-parity — contract).
+///
+/// Construction is NN-descent (Dong et al.; the friend-of-a-friend
+/// refinement of Baron & Darling): start from random neighbor lists and
+/// repeatedly score each node against its neighbors-of-neighbors (forward
+/// and reverse), keeping the best G, until the per-iteration update rate
+/// drops below δ.  Online growth follows Debatty et al. ("Fast Online k-nn
+/// Graph Building"): a new row is beam-searched against the current graph
+/// and connected to the best G hits, which also gain reverse edges.
+/// Deletion is tombstone-based: a dead row is never *returned* but stays
+/// traversable so it cannot disconnect the graph.
+///
+/// Determinism contract: the graph built over a given (store, config) is a
+/// pure function of the store bytes and the config (all randomness flows
+/// from config.seed through the repo Rng; every loop visits rows in
+/// ascending order; distance ties break by row id), and frontier scoring
+/// goes through the SIMD dispatch table whose ISAs are byte-identical by
+/// contract — so graphs and searches reproduce across runs and ISA levels.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "data/flat_store.hpp"
+#include "data/metric_kind.hpp"
+#include "data/point.hpp"
+
+namespace dknn {
+
+namespace simd {
+struct KernelOps;  // data/simd/kernel_ops.hpp — resolved once per RowScorer bind
+}  // namespace simd
+
+namespace ann {
+
+/// Tuning knobs for graph construction and search.  Defaults are the
+/// bench_ann operating point (see BENCH_ann.json).
+struct AnnConfig {
+  std::size_t degree = 16;     ///< out-degree G of every graph row
+  std::size_t ef = 96;         ///< beam width: candidates kept during search
+  std::size_t seeds = 8;       ///< deterministic entry points per search
+  double delta = 0.02;         ///< NN-descent stop: update rate < δ
+  std::size_t max_iters = 12;  ///< NN-descent iteration cap
+  std::size_t min_points = 2048;  ///< smaller segments score exactly (no graph)
+  /// Metric the graph geometry is built under.  KnnServiceBuilder syncs it
+  /// to the service metric; searches may score frontiers under any query
+  /// metric (recall degrades gracefully on a mismatch).
+  MetricKind metric = MetricKind::SquaredEuclidean;
+  std::uint64_t seed = 0x5eed1e55u;  ///< root of all construction randomness
+};
+
+/// Batch raw-domain scorer: gathers arbitrary store rows into a padded
+/// column tile and scores them against one query through the SIMD dispatch
+/// table (kTilePad contract honored internally).  Raw domain means squared
+/// sums for the Euclidean family and direct values for L1/L∞ — a strictly
+/// monotone image of the metric, which is all graph construction and beam
+/// ordering need.  Buffers grow to the high-water mark; keep one per
+/// thread / call site.
+class RowScorer {
+ public:
+  RowScorer() = default;
+
+  /// Binds to a store and metric (resolves the ISA table once).  Rebinding
+  /// reuses the buffers.
+  void bind(const FlatStore& store, MetricKind kind);
+
+  /// Sets the query to an explicit point (dim must match the bound store).
+  void set_query(const PointD& query);
+  /// Sets the query to a gathered store row.
+  void set_query_row(std::uint32_t row);
+
+  /// Raw scores for rows[0..m) against the current query, written to
+  /// dist[0..m) (caller-sized; no padding required).
+  void score(std::span<const std::uint32_t> rows, double* dist);
+
+ private:
+  const FlatStore* store_ = nullptr;
+  MetricKind kind_ = MetricKind::SquaredEuclidean;
+  const simd::KernelOps* ops_ = nullptr;
+  std::vector<double> query_;
+  std::vector<double> tile_;      ///< d × chunk columns, gathered
+  std::vector<double> dist_pad_;  ///< kTilePad-padded tile output
+  std::vector<const double*> cols_;
+};
+
+class KnnGraph {
+ public:
+  /// Absent-edge sentinel: rows inserted while the graph held fewer than G
+  /// other rows carry these in their adjacency tail (sorted last).
+  static constexpr std::uint32_t kNoNeighbor = 0xFFFFFFFFu;
+
+  /// Bulk build: NN-descent over every row of `store`.  Borrows the store
+  /// (non-owning) for the graph's lifetime.
+  KnnGraph(const FlatStore& store, const AnnConfig& config);
+
+  /// Online build: an empty graph over `store` to be grown row by row with
+  /// insert() — the Debatty incremental mode, exercised by the churn tests.
+  enum class OnlineTag : std::uint8_t { Online };
+  KnnGraph(const FlatStore& store, const AnnConfig& config, OnlineTag);
+
+  /// Search-then-connect insert of the next uncovered row (rows must be
+  /// inserted in ascending order: row == covered()).  The new row links to
+  /// its best G search hits and they gain reverse edges back.
+  void insert(std::uint32_t row);
+
+  /// Tombstones a covered row: never returned by searches again, but still
+  /// traversable so the graph cannot disconnect.  Idempotent.
+  void erase(std::uint32_t row);
+
+  [[nodiscard]] const FlatStore& store() const { return *store_; }
+  [[nodiscard]] const AnnConfig& config() const { return config_; }
+  /// Rows [0, covered()) are in the graph (== store().size() after a bulk
+  /// build).
+  [[nodiscard]] std::size_t covered() const { return covered_; }
+  [[nodiscard]] std::size_t degree() const { return degree_; }
+  [[nodiscard]] bool is_dead(std::uint32_t row) const { return dead_[row] != 0; }
+  [[nodiscard]] std::size_t dead_count() const { return dead_count_; }
+  /// Out-edges of `row`, best-first; tail entries may be kNoNeighbor.
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t row) const {
+    return {adj_.data() + static_cast<std::size_t>(row) * degree_, degree_};
+  }
+  /// NN-descent iterations the bulk build ran (0 for online builds).
+  [[nodiscard]] std::size_t build_iterations() const { return build_iters_; }
+
+ private:
+  void bulk_build();
+  /// Inserts (cand, raw) into row u's sorted-best-G list; true iff it
+  /// displaced a worse entry.  Ties break by row id.
+  bool try_edge(std::uint32_t u, std::uint32_t cand, double raw);
+
+  const FlatStore* store_;
+  AnnConfig config_;
+  std::size_t degree_ = 0;   ///< effective G = min(config.degree, n − 1)
+  std::size_t covered_ = 0;  ///< rows [0, covered_) are in the graph
+  std::vector<std::uint32_t> adj_;  ///< covered_ × degree_, best-first
+  std::vector<double> raw_;         ///< raw distance per edge (sorted)
+  std::vector<std::uint8_t> dead_;  ///< tombstones, store().size() entries
+  std::size_t dead_count_ = 0;
+  std::size_t build_iters_ = 0;
+  RowScorer scorer_;  ///< build/insert-time scorer (writer-side only)
+};
+
+/// Lazily-built graph attached to a sealed segment or static shard.  The
+/// slot is created eagerly (cheap) wherever the policy asks for approx; the
+/// graph itself is built on first use under std::call_once, so sealing
+/// stays O(sort) and only queried segments ever pay the NN-descent cost.
+/// Compaction installs fresh slots on merged segments, which is exactly the
+/// "rebuild on compaction" hook.  The built graph is logically part of the
+/// immutable segment: it is a pure function of (store bytes, config), so
+/// sharing it across published snapshots is sound.
+class GraphSlot {
+ public:
+  explicit GraphSlot(const AnnConfig& config) : config_(config) {}
+
+  /// Returns the graph, building it on the first call (thread-safe; racing
+  /// readers block on the one builder).  Records dknn_ann_graph_* metrics.
+  const KnnGraph& get_or_build(const FlatStore& store);
+
+  /// The graph if already built, nullptr otherwise (never builds).
+  [[nodiscard]] const KnnGraph* peek() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const AnnConfig& config() const { return config_; }
+
+ private:
+  AnnConfig config_;
+  std::once_flag once_;
+  std::unique_ptr<const KnnGraph> graph_;
+  std::atomic<const KnnGraph*> published_{nullptr};
+};
+
+}  // namespace ann
+}  // namespace dknn

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "ann/graph_search.hpp"
 #include "core/binsearch.hpp"
 #include "core/saukas_song.hpp"
 #include "core/simple_knn.hpp"
@@ -235,7 +236,8 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
 }
 
 std::vector<ShardIndex> make_shard_indexes(const std::vector<VectorShard>& shards,
-                                           ScoringPolicy policy, std::size_t leaf_size) {
+                                           ScoringPolicy policy, std::size_t leaf_size,
+                                           const ann::AnnConfig& ann) {
   std::vector<ShardIndex> indexes(shards.size());
   for (std::size_t m = 0; m < shards.size(); ++m) {
     const auto& shard = shards[m];
@@ -251,6 +253,13 @@ std::vector<ShardIndex> make_shard_indexes(const std::vector<VectorShard>& shard
     } else {
       indexes[m].flat =
           FlatStore(std::span<const PointD>(shard.points), std::span<const PointId>(shard.ids));
+      // Approx shards keep the flat store (the graph's rerank and the
+      // exact fallback both need it) and lazily attach a k-NN graph.
+      // Shards below min_points stay graph-less and score exactly.
+      if (policy == ScoringPolicy::Approx &&
+          shard.points.size() >= std::max<std::size_t>(ann.min_points, 2)) {
+        indexes[m].ann = std::make_shared<ann::GraphSlot>(ann);
+      }
     }
   }
   return indexes;
@@ -272,16 +281,31 @@ void reset_tree_stats(const std::vector<ShardIndex>& indexes) {
 
 namespace {
 
-/// One (shard, query block) tile through the shard's policy path.
+/// One (shard, query block) tile through the shard's policy path.  With
+/// `approx` set and a graph slot attached, the beam search replaces the
+/// brute scan (recall semantics — see src/ann/README.md); graph-less
+/// shards ignore the flag and score exactly.
 void score_tile(const ShardIndex& index, std::span<const PointD> queries, std::uint64_t ell,
-                MetricKind kind, std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
+                MetricKind kind, bool approx, std::vector<std::vector<Key>>& keys,
+                KernelScratch& scratch) {
   if (index.has_tree()) {
     hybrid_top_ell_batch(*index.tree, queries, static_cast<std::size_t>(ell), kind, keys,
                          scratch);
-  } else {
-    fused_top_ell_batch(index.store(), queries, static_cast<std::size_t>(ell), kind, keys,
-                        scratch);
+    return;
   }
+  if (approx && index.ann != nullptr) {
+    const ann::KnnGraph& graph = index.ann->get_or_build(index.store());
+    const std::size_t ef = std::max<std::size_t>(index.ann->config().ef, ell);
+    ann::AnnSearchScratch ann_scratch;
+    keys.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ann::ann_top_ell(graph, queries[i], static_cast<std::size_t>(ell), ef, kind, nullptr,
+                       keys[i], ann_scratch, scratch);
+    }
+    return;
+  }
+  fused_top_ell_batch(index.store(), queries, static_cast<std::size_t>(ell), kind, keys,
+                      scratch);
 }
 
 /// Default BatchScoringConfig::shard_split_rows: big enough that the merge
@@ -425,14 +449,18 @@ std::vector<std::vector<std::vector<Key>>> score_vector_shards_batch(
     MetricKind kind, const BatchScoringConfig& config) {
   return score_tiled_grid(
       indexes.size(), queries, ell, config,
-      [&indexes, ell, kind](std::size_t m, std::span<const PointD> block,
-                            std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
-        score_tile(indexes[m], block, ell, kind, keys, scratch);
+      [&indexes, ell, kind, &config](std::size_t m, std::span<const PointD> block,
+                                     std::vector<std::vector<Key>>& keys,
+                                     KernelScratch& scratch) {
+        score_tile(indexes[m], block, ell, kind, config.approx, keys, scratch);
       },
       // Only brute-scanned shards split: a kd-tree shard's traversal is
-      // hierarchical, not a row scan.
-      [&indexes](std::size_t m) -> std::size_t {
-        return indexes[m].has_tree() ? 0 : indexes[m].store().size();
+      // hierarchical, not a row scan, and an approx shard's beam search
+      // walks the whole graph from fixed seeds.
+      [&indexes, &config](std::size_t m) -> std::size_t {
+        if (indexes[m].has_tree()) return 0;
+        if (config.approx && indexes[m].ann != nullptr) return 0;
+        return indexes[m].store().size();
       },
       [&indexes, ell, kind](std::size_t m, std::size_t lo, std::size_t hi,
                             std::span<const PointD> block, std::vector<std::vector<Key>>& keys,
@@ -457,10 +485,16 @@ std::vector<std::vector<std::vector<Key>>> score_serve_snapshots_batch(
   }
   return score_tiled_grid(
       snapshots.size(), queries, ell, config,
-      [&snapshots, ell, kind](std::size_t m, std::span<const PointD> block,
-                              std::vector<std::vector<Key>>& keys, KernelScratch& scratch) {
-        snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind,
-                               keys, scratch);
+      [&snapshots, ell, kind, &config](std::size_t m, std::span<const PointD> block,
+                                       std::vector<std::vector<Key>>& keys,
+                                       KernelScratch& scratch) {
+        if (config.approx) {
+          snapshot_approx_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell),
+                                        kind, keys, scratch);
+        } else {
+          snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind,
+                                 keys, scratch);
+        }
       },
       // Snapshots are opaque to the splitter: segmentation already bounds
       // scan length per segment, and compaction governs segment size.
@@ -511,18 +545,20 @@ GuardedScoreBatch score_vector_shards_batch_guarded(
   const std::vector<char> skip = guard_machines(health, indexes.size(), out.coverage);
   out.scored = score_tiled_grid(
       indexes.size(), queries, ell, config,
-      [&indexes, &skip, ell, kind](std::size_t m, std::span<const PointD> block,
-                                   std::vector<std::vector<Key>>& keys,
-                                   KernelScratch& scratch) {
+      [&indexes, &skip, ell, kind, &config](std::size_t m, std::span<const PointD> block,
+                                            std::vector<std::vector<Key>>& keys,
+                                            KernelScratch& scratch) {
         if (skip[m]) {
           keys.assign(block.size(), {});
           return;
         }
-        score_tile(indexes[m], block, ell, kind, keys, scratch);
+        score_tile(indexes[m], block, ell, kind, config.approx, keys, scratch);
       },
-      [&indexes, &skip](std::size_t m) -> std::size_t {
+      [&indexes, &skip, &config](std::size_t m) -> std::size_t {
         if (skip[m]) return 0;  // skipped machines never split
-        return indexes[m].has_tree() ? 0 : indexes[m].store().size();
+        if (indexes[m].has_tree()) return 0;
+        if (config.approx && indexes[m].ann != nullptr) return 0;
+        return indexes[m].store().size();
       },
       [&indexes, ell, kind](std::size_t m, std::size_t lo, std::size_t hi,
                             std::span<const PointD> block, std::vector<std::vector<Key>>& keys,
@@ -559,15 +595,20 @@ GuardedScoreBatch score_serve_snapshots_batch_guarded(
   if (missing_merged) std::sort(out.coverage.missing.begin(), out.coverage.missing.end());
   out.scored = score_tiled_grid(
       snapshots.size(), queries, ell, config,
-      [&snapshots, &skip, ell, kind](std::size_t m, std::span<const PointD> block,
-                                     std::vector<std::vector<Key>>& keys,
-                                     KernelScratch& scratch) {
+      [&snapshots, &skip, ell, kind, &config](std::size_t m, std::span<const PointD> block,
+                                              std::vector<std::vector<Key>>& keys,
+                                              KernelScratch& scratch) {
         if (skip[m]) {
           keys.assign(block.size(), {});
           return;
         }
-        snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind, keys,
-                               scratch);
+        if (config.approx) {
+          snapshot_approx_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell),
+                                        kind, keys, scratch);
+        } else {
+          snapshot_top_ell_batch(*snapshots[m], block, static_cast<std::size_t>(ell), kind,
+                                 keys, scratch);
+        }
       },
       [](std::size_t) -> std::size_t { return 0; },
       [](std::size_t, std::size_t, std::size_t, std::span<const PointD>,

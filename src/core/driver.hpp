@@ -167,10 +167,13 @@ template <MetricFor M>
     MetricKind kind = MetricKind::SquaredEuclidean);
 
 /// One shard's resident scoring structures: always an SoA store, plus the
-/// kd-tree when the policy selected the hybrid path for this shard.
+/// kd-tree when the policy selected the hybrid path for this shard, plus a
+/// lazily-built k-NN graph slot when the policy is Approx and the shard is
+/// large enough (see src/ann/README.md).
 struct ShardIndex {
   FlatStore flat;                      ///< engaged iff tree == nullptr
   std::unique_ptr<KdRangeIndex> tree;  ///< engaged iff the tree path won
+  std::shared_ptr<ann::GraphSlot> ann; ///< engaged iff ScoringPolicy::Approx applies
 
   [[nodiscard]] bool has_tree() const { return tree != nullptr; }
   /// The store brute scans: the tree's reordered mirror when present.
@@ -179,9 +182,11 @@ struct ShardIndex {
 
 /// Builds each shard's scoring structures once per resident dataset
 /// (replaces make_flat_stores when a policy other than Brute may run).
+/// `ann` supplies the graph knobs for ScoringPolicy::Approx (ignored
+/// otherwise).
 [[nodiscard]] std::vector<ShardIndex> make_shard_indexes(
     const std::vector<VectorShard>& shards, ScoringPolicy policy,
-    std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize);
+    std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize, const ann::AnnConfig& ann = {});
 
 /// Cumulative kd-hybrid traversal counters summed over every tree-indexed
 /// shard (brute shards contribute nothing).  Counters accumulate across
@@ -217,6 +222,15 @@ struct BatchScoringConfig {
   /// grid in tests/test_parity.cpp); only the serial path and tree-indexed
   /// shards stay whole (column streaming / hierarchical traversal).
   std::size_t shard_split_rows = 0;
+  /// Approximate routing (the ANN tier).  UNLIKE every other knob in this
+  /// struct, this one changes answer bytes: shards / serve segments that
+  /// carry a k-NN graph (ScoringPolicy::Approx builds) are beam-searched
+  /// and exact-reranked instead of exactly scanned — recall@ℓ semantics,
+  /// see src/ann/README.md.  Graph-less shards (including every delta
+  /// mirror and anything below AnnConfig::min_points) still score exactly,
+  /// so with no Approx structures built this flag is a no-op.  Approx
+  /// shards are never range-split (the graph walk is one unit of work).
+  bool approx = false;
 };
 
 /// Policy-aware, optionally parallel batched scoring.  Tiles the

@@ -56,6 +56,7 @@ struct KnnService::SeatSlot {
   KnnAlgo algo{};
   std::uint64_t ell = 0;
   MetricKind metric{};
+  bool approx = false;
   QueryResult result;
   std::exception_ptr error;
   bool done = false;
@@ -299,12 +300,20 @@ void validate_query_dims(std::size_t dim, std::span<const PointD> queries) {
   for (const PointD& query : queries) require_query_dim(dim, query.dim());
 }
 
+/// The mode-appropriate routing policy: live stores score by
+/// serve.policy (build() syncs it to policy unless live(ServeConfig)
+/// overrode it), static indexes by policy.  Approx defaults on exactly
+/// when the built structures carry graphs.
+[[nodiscard]] ScoringPolicy effective_policy(const ServiceConfig& config) {
+  return config.live ? config.serve.policy : config.policy;
+}
+
 }  // namespace
 
 BatchQueryResult KnnService::run_batch_core(State& state,
                                             const std::shared_ptr<const Snapshot>& snap,
                                             std::span<const PointD> queries, KnnAlgo algo,
-                                            std::uint64_t ell, MetricKind metric,
+                                            std::uint64_t ell, MetricKind metric, bool approx,
                                             const obs::TraceSink& sink) {
   BatchQueryResult out;
   out.epoch = snap->epoch;
@@ -346,10 +355,12 @@ BatchQueryResult KnnService::run_batch_core(State& state,
     } else {
       for (std::size_t q = 0; q < queries.size(); ++q) {
         auto bits = query_coord_bits(queries[q]);
-        // Per-call ℓ/metric ride in the key as two extra words, so an
-        // overridden answer can never collide with a canonical one.
+        // Per-call ℓ/metric/approx ride in the key as extra words, so an
+        // overridden (or approximate) answer can never collide with a
+        // canonical one.
         bits.push_back(ell);
         bits.push_back(static_cast<std::uint64_t>(metric));
+        bits.push_back(approx ? 1 : 0);
         if (auto cached = state.cache.lookup(bits, cache_epoch); cached.has_value()) {
           QueryResult& dst = out.per_query[q];
           dst.keys = std::move(*cached);
@@ -379,21 +390,31 @@ BatchQueryResult KnnService::run_batch_core(State& state,
     {
       obs::SinkScope span(sink, "shard_scoring");
       span.set_detail(snap->machine_count);
+      // Approx routing rides the scoring config: graph-carrying shards
+      // switch to the ann beam search, everything else (delta mirrors,
+      // small shards, exact-policy services) scores exactly.  Traced
+      // approximate batches get an extra ann_search span so the tier
+      // shows up in the timeline.
+      BatchScoringConfig scoring = state.scoring;
+      scoring.approx = approx;
+      const obs::TraceSink no_sink;
+      obs::SinkScope ann_span(approx ? sink : no_sink, "ann_search");
+      if (approx) ann_span.set_detail(miss_queries.size());
       if (fault_tolerant) {
         GuardedScoreBatch guarded =
             state.config.live
                 ? score_serve_snapshots_batch_guarded(snap->stores, miss_queries, ell, metric,
-                                                      *state.health, state.scoring)
+                                                      *state.health, scoring)
                 : score_vector_shards_batch_guarded(*snap->indexes, miss_queries, ell, metric,
-                                                    *state.health, state.scoring);
+                                                    *state.health, scoring);
         scored = std::move(guarded.scored);
         miss_coverage = std::move(guarded.coverage);
       } else {
         scored = state.config.live
                      ? score_serve_snapshots_batch(snap->stores, miss_queries, ell, metric,
-                                                   state.scoring)
+                                                   scoring)
                      : score_vector_shards_batch(*snap->indexes, miss_queries, ell, metric,
-                                                 state.scoring);
+                                                 scoring);
       }
     }
     // Global selection: every miss through one engine run.
@@ -456,6 +477,8 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
   require_positive_ell(ell);
   const KnnAlgo algo = options.algo.value_or(state.config.algo);
   const MetricKind metric = options.metric.value_or(state.config.metric);
+  const bool approx =
+      options.approx.value_or(effective_policy(state.config) == ScoringPolicy::Approx);
   validate_query_dims(state.dim, queries);
   // The whole batch traces as one unit when forced or sampled (it is one
   // snapshot + one scored run; per-member spans would all be identical).
@@ -468,7 +491,7 @@ BatchQueryResult KnnService::query_batch(std::span<const PointD> queries,
     out.epoch = snap->epoch;
     return out;
   }
-  BatchQueryResult out = run_batch_core(state, snap, queries, algo, ell, metric, sink);
+  BatchQueryResult out = run_batch_core(state, snap, queries, algo, ell, metric, approx, sink);
   if (trace != nullptr) state.tracer.finish(std::move(trace));
   return out;
 }
@@ -509,7 +532,7 @@ void KnnService::execute_seat(State& state, std::span<SeatSlot*> batch) {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   const auto key_of = [&](std::size_t i) {
     return std::make_tuple(static_cast<int>(batch[i]->algo), batch[i]->ell,
-                           static_cast<int>(batch[i]->metric));
+                           static_cast<int>(batch[i]->metric), batch[i]->approx);
   };
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) { return key_of(a) < key_of(b); });
@@ -526,8 +549,8 @@ void KnnService::execute_seat(State& state, std::span<SeatSlot*> batch) {
     obs::TraceSink group_sink;
     for (std::size_t i = start; i < stop; ++i) group_sink.attach(batch[order[i]]->trace);
     try {
-      BatchQueryResult result =
-          run_batch_core(state, snap, queries, lead.algo, lead.ell, lead.metric, group_sink);
+      BatchQueryResult result = run_batch_core(state, snap, queries, lead.algo, lead.ell,
+                                               lead.metric, lead.approx, group_sink);
       for (std::size_t i = start; i < stop; ++i) {
         batch[order[i]]->result = std::move(result.per_query[i - start]);
       }
@@ -562,6 +585,8 @@ QueryResult KnnService::query(const PointD& point, const QueryOptions& options) 
   slot.algo = options.algo.value_or(state.config.algo);
   slot.ell = ell;
   slot.metric = options.metric.value_or(state.config.metric);
+  slot.approx =
+      options.approx.value_or(effective_policy(state.config) == ScoringPolicy::Approx);
   // Observability: one branch each when disabled/unsampled.  The trace
   // builder rides the slot so the seat leader can fan batch-stage spans
   // into it; neither changes any answer byte.
@@ -1121,6 +1146,10 @@ KnnServiceBuilder& KnnServiceBuilder::leaf_size(std::size_t leaf_size) {
   config_.leaf_size = leaf_size;
   return *this;
 }
+KnnServiceBuilder& KnnServiceBuilder::ann(const ann::AnnConfig& ann) {
+  config_.ann = ann;
+  return *this;
+}
 KnnServiceBuilder& KnnServiceBuilder::partition(PartitionScheme scheme) {
   config_.partition = scheme;
   return *this;
@@ -1239,9 +1268,14 @@ KnnService KnnServiceBuilder::build() {
   // the same scoring structures the static ShardIndexes would — unless
   // the caller handed over explicit store knobs (live(ServeConfig) /
   // config()), which win verbatim.
+  // Graph geometry always matches the service's canonical metric — a
+  // per-call metric override still searches the built graph (recall
+  // degrades gracefully on mismatch, see src/ann/README.md).
+  state->config.ann.metric = config_.metric;
   if (!serve_explicit_) {
     state->config.serve.policy = config_.policy;
     state->config.serve.leaf_size = config_.leaf_size;
+    state->config.serve.ann = state->config.ann;
   }
 
   // Assemble shards + payload tables.
@@ -1353,7 +1387,7 @@ KnnService KnnServiceBuilder::build() {
     }
   } else {
     state->indexes = std::make_shared<const std::vector<ShardIndex>>(
-        make_shard_indexes(shards, config_.policy, config_.leaf_size));
+        make_shard_indexes(shards, config_.policy, config_.leaf_size, state->config.ann));
   }
 
   // Fault tolerance: the health registry gates scoring in both modes; the

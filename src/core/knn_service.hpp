@@ -122,8 +122,17 @@ struct ServiceConfig {
   KnnAlgo algo = KnnAlgo::DistKnn;
   /// Local scoring structure per machine (static mode) or per sealed
   /// segment (live mode, via `serve.policy` which build() syncs to this).
+  /// ScoringPolicy::Approx attaches a lazily-built k-NN graph (src/ann/)
+  /// to every large-enough shard/segment and answers queries by beam
+  /// search + exact rerank — recall semantics, NOT byte parity with the
+  /// exact paths (see src/ann/README.md).
   ScoringPolicy policy = ScoringPolicy::Auto;
   std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize;
+  /// Graph knobs of the Approx policy (degree / ef / build seed...).
+  /// build() syncs `ann.metric` to `metric` so graph geometry matches the
+  /// service's canonical distance, and copies the result into
+  /// `serve.ann` unless live(ServeConfig) supplied explicit knobs.
+  ann::AnnConfig ann{};
   /// How a flat dataset() shards over the machines.
   PartitionScheme partition = PartitionScheme::RoundRobin;
   /// Seed for id assignment + partitioning of a flat dataset().
@@ -186,6 +195,15 @@ struct QueryOptions {
   std::optional<std::uint64_t> ell;
   /// Distance metric for this call.
   std::optional<MetricKind> metric;
+  /// Per-call routing between the exact and the approximate tier:
+  /// `approx = true` scores graph-carrying shards with the ann beam
+  /// search even under an exact policy (a no-op when no graph was built —
+  /// graphs only exist under ScoringPolicy::Approx); `approx = false`
+  /// forces the exact scan on an Approx-policy service.  Unlike algo,
+  /// this CAN change answer bytes (recall semantics); approximate answers
+  /// are cached under their own key, so they never collide with exact
+  /// ones.
+  std::optional<bool> approx;
   /// Force a trace of this query() call into the recent-trace ring
   /// regardless of ServiceConfig::trace_sample_every.  Never changes the
   /// answer bytes.  Ignored by query_batch's whole-batch trace gate (the
@@ -453,7 +471,7 @@ class KnnService {
   static BatchQueryResult run_batch_core(State& state,
                                          const std::shared_ptr<const Snapshot>& snap,
                                          std::span<const PointD> queries, KnnAlgo algo,
-                                         std::uint64_t ell, MetricKind metric,
+                                         std::uint64_t ell, MetricKind metric, bool approx,
                                          const obs::TraceSink& sink);
   /// Leader body of the coalescing seat: groups `batch` by effective
   /// (algo, ℓ, metric) and runs each group through run_batch_core against
@@ -476,6 +494,8 @@ class KnnServiceBuilder {
   KnnServiceBuilder& algo(KnnAlgo algo);
   KnnServiceBuilder& policy(ScoringPolicy policy);
   KnnServiceBuilder& leaf_size(std::size_t leaf_size);
+  /// Graph knobs of ScoringPolicy::Approx (see ServiceConfig::ann).
+  KnnServiceBuilder& ann(const ann::AnnConfig& ann);
   KnnServiceBuilder& partition(PartitionScheme scheme);
   KnnServiceBuilder& seed(std::uint64_t seed);
   KnnServiceBuilder& scoring(const BatchScoringConfig& scoring);

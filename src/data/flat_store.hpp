@@ -14,8 +14,20 @@
 ///
 /// A store is immutable after construction: build it once per shard, score
 /// any number of queries against it.
+///
+/// Two storage modes share one read API:
+///   * owned — the constructors pack coordinates into a private buffer with
+///     column stride == n (the historical layout);
+///   * shared view — rows [0, n) of caller-provided capacity-strided
+///     buffers (column stride ≥ n).  The serve layer's incremental delta
+///     mirror appends row n+1 into the same buffers and publishes a new
+///     view with a bumped n; rows below any published n are frozen by
+///     contract, so readers of old views never observe a mutation.
+/// Every kernel walks columns via dim_coords(), which already carries the
+/// stride, so both modes score byte-identically.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -35,6 +47,15 @@ public:
   /// ids.  Empty `points` gives an empty store of dimension 0.
   FlatStore(std::span<const PointD> points, std::span<const PointId> ids);
 
+  /// Shared-view mode: rows [0, n) of capacity-strided column buffers
+  /// (`coords[j·stride + i]`, coords.size() ≥ dim·stride, ids.size() ≥ n,
+  /// stride ≥ n).  The store co-owns the buffers; the writer may keep
+  /// appending rows ≥ n into them (disjoint elements — no data race) but
+  /// must never touch rows below the largest published n.
+  FlatStore(std::shared_ptr<const std::vector<double>> coords,
+            std::shared_ptr<const std::vector<PointId>> ids, std::size_t n, std::size_t dim,
+            std::size_t stride);
+
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] std::size_t dim() const { return d_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }
@@ -42,28 +63,38 @@ public:
   /// Coordinate j of every point — one contiguous column of n doubles.
   [[nodiscard]] std::span<const double> dim_coords(std::size_t j) const {
     DKNN_ASSERT(j < d_, "FlatStore: dimension out of range");
-    return {coords_.data() + j * n_, n_};
+    return {coord_base() + j * stride_, n_};
   }
 
   [[nodiscard]] double coord(std::size_t i, std::size_t j) const {
     DKNN_ASSERT(i < n_ && j < d_, "FlatStore: index out of range");
-    return coords_[j * n_ + i];
+    return coord_base()[j * stride_ + i];
   }
 
-  [[nodiscard]] std::span<const PointId> ids() const { return ids_; }
+  [[nodiscard]] std::span<const PointId> ids() const { return {id_base(), n_}; }
   [[nodiscard]] PointId id(std::size_t i) const {
     DKNN_ASSERT(i < n_, "FlatStore: index out of range");
-    return ids_[i];
+    return id_base()[i];
   }
 
   /// Gathers point i back into AoS form (tests / debugging; O(d)).
   [[nodiscard]] PointD point(std::size_t i) const;
 
 private:
+  [[nodiscard]] const double* coord_base() const {
+    return shared_coords_ ? shared_coords_->data() : coords_.data();
+  }
+  [[nodiscard]] const PointId* id_base() const {
+    return shared_ids_ ? shared_ids_->data() : ids_.data();
+  }
+
   std::size_t n_ = 0;
   std::size_t d_ = 0;
-  std::vector<double> coords_;  ///< dimension-major: coords_[j * n_ + i]
+  std::size_t stride_ = 0;      ///< column stride; == n_ in owned mode
+  std::vector<double> coords_;  ///< owned mode: coords_[j * n_ + i]
   std::vector<PointId> ids_;
+  std::shared_ptr<const std::vector<double>> shared_coords_;  ///< view mode
+  std::shared_ptr<const std::vector<PointId>> shared_ids_;
 };
 
 }  // namespace dknn

@@ -1,10 +1,12 @@
 #include "serve/segment_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <unordered_set>
 #include <utility>
 
+#include "ann/graph_search.hpp"
 #include "data/validate.hpp"
 #include "obs/metrics.hpp"
 #include "seq/select.hpp"
@@ -37,11 +39,13 @@ StoreMetrics& store_metrics() {
   return m;
 }
 
-/// Seals an AoS point set into an immutable segment under `policy`.
+/// Seals an AoS point set into an immutable segment under `policy`
+/// (Approx segments stay flat and carry a lazily-built graph slot when
+/// large enough; config.ann supplies the graph knobs).
 std::shared_ptr<const SealedSegment> build_segment(std::span<const PointD> points,
                                                    std::span<const PointId> ids,
                                                    ScoringPolicy policy,
-                                                   std::size_t leaf_size) {
+                                                   const ServeConfig& config) {
   auto segment = std::make_shared<SealedSegment>();
   const std::size_t n = points.size();
   const std::size_t dim = n == 0 ? 0 : points[0].dim();
@@ -49,9 +53,12 @@ std::shared_ptr<const SealedSegment> build_segment(std::span<const PointD> point
                     (policy == ScoringPolicy::Tree ||
                      (policy == ScoringPolicy::Auto && tree_pays_off(n, dim)));
   if (tree) {
-    segment->tree = std::make_unique<KdRangeIndex>(points, ids, leaf_size);
+    segment->tree = std::make_unique<KdRangeIndex>(points, ids, config.leaf_size);
   } else {
     segment->flat = FlatStore(points, ids);
+  }
+  if (policy == ScoringPolicy::Approx && n >= std::max<std::size_t>(config.ann.min_points, 2)) {
+    segment->ann = std::make_shared<ann::GraphSlot>(config.ann);
   }
   const FlatStore& store = segment->store();
   segment->row_of.reserve(store.size());
@@ -97,8 +104,19 @@ SegmentView make_clean_view(std::shared_ptr<const SealedSegment> data,
 
 bool ServeSnapshot::contains(PointId id) const {
   for (const SegmentView& seg : segments) {
-    const auto it = seg.data->row_of.find(id);
-    if (it != seg.data->row_of.end() && (*seg.dead)[it->second] == 0) return true;
+    const SealedSegment& data = *seg.data;
+    if (data.row_of.empty() && !data.store().empty()) {
+      // Delta mirror: no id map (an O(delta) rebuild per publish would
+      // defeat the O(d) incremental mirror), so scan — the delta is
+      // bounded by seal_threshold and tombstone-free.
+      const FlatStore& store = data.store();
+      for (std::size_t i = 0; i < store.size(); ++i) {
+        if (store.id(i) == id) return true;
+      }
+      continue;
+    }
+    const auto it = data.row_of.find(id);
+    if (it != data.row_of.end() && (*seg.dead)[it->second] == 0) return true;
   }
   return false;
 }
@@ -171,6 +189,10 @@ std::optional<std::uint64_t> SegmentStore::erase(PointId id) {
     delta_ids_.pop_back();
     delta_rows_.erase(it);
     delta_dirty_ = true;
+    // The swap-remove rewrote a published mirror row in place, so the
+    // current mirror generation's frozen-prefix contract is void: the next
+    // publish starts a fresh generation (the rare O(delta·d) path).
+    mirror_fresh_needed_ = true;
     store_metrics().erases.add();
     return publish_locked();
   }
@@ -200,7 +222,7 @@ std::uint64_t SegmentStore::seal() {
 
 void SegmentStore::seal_locked() {
   if (delta_points_.empty()) return;
-  auto data = build_segment(delta_points_, delta_ids_, config_.policy, config_.leaf_size);
+  auto data = build_segment(delta_points_, delta_ids_, config_.policy, config_);
   segments_.push_back(make_clean_view(std::move(data), next_segment_id_++));
   delta_points_.clear();
   delta_ids_.clear();
@@ -211,12 +233,50 @@ void SegmentStore::seal_locked() {
 
 std::uint64_t SegmentStore::publish_locked() {
   if (delta_dirty_) {
-    // The mirror is a plain FlatStore: the delta is rebuilt per mutation,
-    // far too short-lived to amortize a tree build.
-    delta_mirror_ = delta_points_.empty()
-                        ? nullptr
-                        : build_segment(delta_points_, delta_ids_, ScoringPolicy::Brute,
-                                        config_.leaf_size);
+    // The mirror is a plain FlatStore over writer-owned capacity-strided
+    // column buffers (never a tree — the delta is far too short-lived to
+    // amortize one).  Inserts only *append* delta rows, so the rows a
+    // previous publish exposed are already in the buffers and frozen;
+    // syncing the tail costs O(d) per new row instead of the historical
+    // O(delta·d) rebuild.  A delta erase rewrites a published row
+    // (swap-remove), which voids the generation: a fresh buffer is
+    // allocated and fully recopied, while snapshots holding the old
+    // generation keep it alive untouched.
+    const std::size_t n = delta_points_.size();
+    if (n == 0) {
+      delta_mirror_ = nullptr;
+      mirror_coords_ = nullptr;
+      mirror_ids_ = nullptr;
+      mirror_zero_dead_ = nullptr;
+      mirror_cap_ = 0;
+      mirror_synced_ = 0;
+      mirror_fresh_needed_ = false;
+    } else {
+      if (mirror_fresh_needed_ || mirror_coords_ == nullptr || n > mirror_cap_) {
+        mirror_cap_ = std::max<std::size_t>(config_.seal_threshold, std::bit_ceil(n));
+        mirror_coords_ = std::make_shared<std::vector<double>>(dim_ * mirror_cap_);
+        mirror_ids_ = std::make_shared<std::vector<PointId>>(mirror_cap_);
+        mirror_zero_dead_ =
+            std::make_shared<const std::vector<std::uint8_t>>(mirror_cap_, std::uint8_t{0});
+        mirror_synced_ = 0;
+        mirror_fresh_needed_ = false;
+      }
+      for (std::size_t i = mirror_synced_; i < n; ++i) {
+        const PointD& p = delta_points_[i];
+        for (std::size_t j = 0; j < dim_; ++j) {
+          (*mirror_coords_)[j * mirror_cap_ + i] = p[j];
+        }
+        (*mirror_ids_)[i] = delta_ids_[i];
+      }
+      mirror_copied_bytes_ +=
+          static_cast<std::uint64_t>(n - mirror_synced_) * dim_ * sizeof(double);
+      mirror_synced_ = n;
+      auto mirror = std::make_shared<SealedSegment>();
+      mirror->flat = FlatStore(mirror_coords_, mirror_ids_, n, dim_, mirror_cap_);
+      // row_of deliberately left empty — ServeSnapshot::contains scans the
+      // mirror instead (see the fallback there).
+      delta_mirror_ = std::move(mirror);
+    }
     delta_dirty_ = false;
   }
   auto next = std::make_shared<ServeSnapshot>();
@@ -227,8 +287,18 @@ std::uint64_t SegmentStore::publish_locked() {
     // Present the delta as one more (tombstone-free) segment so queries
     // treat every point source uniformly.  Id 0 is reserved for it —
     // sealed segments start at 1 — so compaction can never mistake the
-    // mirror for a victim.
-    next->segments.push_back(make_clean_view(delta_mirror_, 0));
+    // mirror for a victim.  The view is hand-built (not make_clean_view)
+    // so the all-zero dead bitmap is shared per generation instead of
+    // allocated O(n) per publish.
+    SegmentView view;
+    view.data = delta_mirror_;
+    view.dead = mirror_zero_dead_;
+    view.dead_count = 0;
+    auto runs = std::make_shared<LiveRuns>();
+    runs->emplace_back(0, static_cast<std::uint32_t>(delta_mirror_->store().size()));
+    view.live_runs = std::move(runs);
+    view.segment_id = 0;
+    next->segments.push_back(std::move(view));
   }
   for (const SegmentView& seg : next->segments) next->live_points += seg.live();
   {
@@ -374,7 +444,12 @@ std::shared_ptr<const SealedSegment> SegmentStore::merge_segments(
     }
   }
   if (points.empty()) return nullptr;
-  return build_segment(points, ids, config.policy, config.leaf_size);
+  return build_segment(points, ids, config.policy, config);
+}
+
+std::uint64_t SegmentStore::mirror_copied_bytes() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return mirror_copied_bytes_;
 }
 
 bool SegmentStore::install_compaction(const CompactionPlan& plan,
@@ -422,9 +497,18 @@ bool SegmentStore::install_compaction(const CompactionPlan& plan,
 
 // --- snapshot scoring --------------------------------------------------------
 
-void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const PointD> queries,
-                            std::size_t ell, MetricKind kind,
-                            std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+namespace {
+
+/// Shared engine of the exact and approx snapshot scorers: accumulates
+/// every live segment's local top-ℓ into per-query candidate pools and
+/// merges.  With `approx`, graph-carrying segments are beam-searched and
+/// exact-reranked instead of scanned (the only place the two paths
+/// diverge); min(ℓ, live) of the pooled candidates is the global answer —
+/// exactly for the exact path, with per-segment recall semantics for the
+/// approx one.
+void snapshot_top_ell_impl(const ServeSnapshot& snapshot, std::span<const PointD> queries,
+                           std::size_t ell, MetricKind kind, bool approx,
+                           std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
   out.resize(queries.size());
   if (snapshot.live_points > 0) {
     for (const PointD& query : queries) require_query_dim(snapshot.dim, query.dim());
@@ -434,14 +518,26 @@ void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const Point
     return;
   }
 
-  // Per-query candidate pool: each live segment contributes its own local
-  // top-ℓ, and min(ℓ, live) of the pooled candidates is exactly the global
-  // answer (a point in the global top-ℓ is in its segment's top-ℓ).
   std::vector<std::vector<Key>> candidates(queries.size());
   std::vector<std::vector<Key>> segment_keys;
+  ann::AnnSearchScratch ann_scratch;
   for (const SegmentView& seg : snapshot.segments) {
     if (seg.live() == 0) continue;
-    if (seg.dead_count == 0) {
+    if (approx && seg.data->ann != nullptr) {
+      // Graph segment: seeded beam search for candidates, exact rerank for
+      // Keys.  The view's tombstones filter the results (the graph is
+      // shared across snapshots, so per-snapshot deadness lives here).
+      const ann::KnnGraph& graph = seg.data->ann->get_or_build(seg.data->store());
+      const std::size_t ef = std::max(seg.data->ann->config().ef, ell);
+      const std::uint8_t* dead = seg.dead_count == 0 ? nullptr : seg.dead->data();
+      segment_keys.resize(1);
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        ann::ann_top_ell(graph, queries[q], ell, ef, kind, dead, segment_keys[0], ann_scratch,
+                         scratch);
+        candidates[q].insert(candidates[q].end(), segment_keys[0].begin(),
+                             segment_keys[0].end());
+      }
+    } else if (seg.dead_count == 0) {
       // Clean segment: full-speed batch kernels (kd-hybrid when present).
       if (seg.data->tree != nullptr) {
         hybrid_top_ell_batch(*seg.data->tree, queries, ell, kind, segment_keys, scratch);
@@ -470,6 +566,21 @@ void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const Point
   for (std::size_t q = 0; q < queries.size(); ++q) {
     out[q] = top_ell_smallest(std::span<const Key>(candidates[q]), ell);
   }
+}
+
+}  // namespace
+
+void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const PointD> queries,
+                            std::size_t ell, MetricKind kind,
+                            std::vector<std::vector<Key>>& out, KernelScratch& scratch) {
+  snapshot_top_ell_impl(snapshot, queries, ell, kind, /*approx=*/false, out, scratch);
+}
+
+void snapshot_approx_top_ell_batch(const ServeSnapshot& snapshot,
+                                   std::span<const PointD> queries, std::size_t ell,
+                                   MetricKind kind, std::vector<std::vector<Key>>& out,
+                                   KernelScratch& scratch) {
+  snapshot_top_ell_impl(snapshot, queries, ell, kind, /*approx=*/true, out, scratch);
 }
 
 std::vector<Key> snapshot_top_ell(const ServeSnapshot& snapshot, const PointD& query,

@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ann/knn_graph.hpp"
 #include "data/flat_store.hpp"
 #include "data/kernels.hpp"
 #include "data/key.hpp"
@@ -63,10 +64,13 @@ struct ServeConfig {
   std::size_t seal_threshold = 1024;
   /// Scoring structure built per sealed segment (the delta mirror is
   /// always a plain FlatStore — it is rebuilt too often to amortize a
-  /// tree).  Auto applies tree_pays_off per segment.
+  /// tree).  Auto applies tree_pays_off per segment; Approx attaches a
+  /// lazily-built k-NN graph to segments of ≥ ann.min_points rows.
   ScoringPolicy policy = ScoringPolicy::Auto;
   /// Leaf size of per-segment KdRangeIndexes.
   std::size_t leaf_size = KdRangeIndex::kDefaultLeafSize;
+  /// Graph knobs for ScoringPolicy::Approx segments (ignored otherwise).
+  ann::AnnConfig ann{};
 };
 
 /// One sealed segment's heavy immutable payload.  Built once (at seal or
@@ -75,8 +79,18 @@ struct ServeConfig {
 struct SealedSegment {
   FlatStore flat;                      ///< engaged iff tree == nullptr
   std::unique_ptr<KdRangeIndex> tree;  ///< engaged iff the tree path won
-  /// id → row of store() — erase/contains lookups without scans.
+  /// id → row of store() — erase/contains lookups without scans.  Left
+  /// empty on the delta mirror (ServeSnapshot::contains scans it instead;
+  /// filling it would cost O(delta) per publish, defeating the O(d)
+  /// incremental mirror).
   std::unordered_map<PointId, std::uint32_t> row_of;
+  /// Lazily-built k-NN graph (ScoringPolicy::Approx segments of ≥
+  /// AnnConfig::min_points rows only; see src/ann/README.md).  The graph
+  /// is a pure function of (store bytes, slot config), so sharing the
+  /// built instance across every snapshot referencing this segment is
+  /// sound; compaction's merged segment gets a fresh slot, which is the
+  /// rebuild-on-compaction hook.
+  std::shared_ptr<ann::GraphSlot> ann;
 
   /// The store queries scan (the tree's reordered mirror when present).
   [[nodiscard]] const FlatStore& store() const { return tree ? tree->store() : flat; }
@@ -181,6 +195,12 @@ class SegmentStore {
   /// Tombstoned rows across all sealed segments.
   [[nodiscard]] std::uint64_t dead_rows() const;
 
+  /// Coordinate bytes copied into delta-mirror storage over this store's
+  /// lifetime — the cost the incremental mirror bounds.  Inserts append
+  /// exactly d·sizeof(double) each; only an erase (or capacity growth)
+  /// triggers an O(delta·d) regeneration.  Pinned by tests/test_serve.cpp.
+  [[nodiscard]] std::uint64_t mirror_copied_bytes() const;
+
   /// Cumulative kd-hybrid traversal counters: the sum over the *currently
   /// published* tree-carrying segments (brute segments and the delta
   /// mirror contribute nothing) plus a store-level base holding the
@@ -255,6 +275,22 @@ class SegmentStore {
   std::vector<SegmentView> segments_;                    ///< sealed segments
   std::shared_ptr<const SealedSegment> delta_mirror_;    ///< cached sealed view of the delta
   bool delta_dirty_ = false;                             ///< mirror stale?
+  // Incremental delta mirror: capacity-strided column buffers the writer
+  // appends into; each publish wraps rows [0, n) in a shared-view
+  // FlatStore (see flat_store.hpp).  Published rows are frozen by
+  // contract, so an insert costs O(d) — only an erase (which rewrites a
+  // published row via swap-remove) forces a fresh generation and a full
+  // O(delta·d) recopy; old generations stay alive inside the snapshots
+  // that reference them.
+  std::shared_ptr<std::vector<double>> mirror_coords_;   ///< dim × mirror_cap_
+  std::shared_ptr<std::vector<PointId>> mirror_ids_;     ///< mirror_cap_
+  /// All-zero tombstone bitmap shared by every publish of one generation
+  /// (the mirror is tombstone-free; sharing avoids an O(n) alloc/publish).
+  std::shared_ptr<const std::vector<std::uint8_t>> mirror_zero_dead_;
+  std::size_t mirror_cap_ = 0;
+  std::size_t mirror_synced_ = 0;          ///< delta rows present in the buffers
+  bool mirror_fresh_needed_ = false;       ///< prefix invalidated (delta erase)
+  std::uint64_t mirror_copied_bytes_ = 0;  ///< lifetime copy cost (test hook)
   std::uint64_t epoch_ = 0;
   std::uint64_t next_segment_id_ = 1;
   /// Traversal counters of segments retired by compaction (guarded by
@@ -287,5 +323,20 @@ void snapshot_top_ell_batch(const ServeSnapshot& snapshot, std::span<const Point
 [[nodiscard]] std::vector<Key> snapshot_top_ell(const ServeSnapshot& snapshot,
                                                 const PointD& query, std::size_t ell,
                                                 MetricKind kind);
+
+/// Approximate variant: graph-carrying segments (ScoringPolicy::Approx
+/// seals of ≥ AnnConfig::min_points rows) are beam-searched and
+/// exact-reranked (src/ann/graph_search.hpp); every other segment —
+/// including the delta mirror, so fresh inserts are never invisible —
+/// scores exactly as snapshot_top_ell_batch.  Tombstoned rows are filtered
+/// through the view's bitmap and can never be returned.  Every returned
+/// Key is the point's exact (rank, id); only *which* points surface is
+/// approximate (recall@ℓ — see src/ann/README.md; NOT byte-parity with the
+/// exact path).  On a snapshot with no graph-carrying segments this is the
+/// exact answer.
+void snapshot_approx_top_ell_batch(const ServeSnapshot& snapshot,
+                                   std::span<const PointD> queries, std::size_t ell,
+                                   MetricKind kind, std::vector<std::vector<Key>>& out,
+                                   KernelScratch& scratch);
 
 }  // namespace dknn

@@ -620,5 +620,55 @@ TEST(ServeMlapi, RegressServeBatchAveragesLiveTargets) {
   }
 }
 
+TEST(SegmentStoreTest, DeltaMirrorSyncsIncrementally) {
+  // The O(d)-per-insert contract of the incremental delta mirror: 1000
+  // inserts below the seal threshold copy exactly 1000·d·sizeof(double)
+  // coordinate bytes in total (one row each, never the whole delta), a
+  // delta erase triggers exactly one O(delta·d) regeneration, and
+  // subsequent inserts go back to one row each.
+  const std::size_t dim = 8;
+  ServeConfig config;
+  config.seal_threshold = 4096;  // everything stays in the delta
+  SegmentStore store(dim, config);
+  Rng rng(99);
+  const std::size_t n = 1000;
+  const std::vector<PointD> points = uniform_points(n, dim, 100.0, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.insert(points[i], static_cast<PointId>(i + 1));
+  }
+  const std::uint64_t row_bytes = dim * sizeof(double);
+  EXPECT_EQ(store.mirror_copied_bytes(), n * row_bytes);
+
+  // Reads see every delta row through the strided shared-view store.
+  {
+    const SnapshotPtr snap = store.snapshot();
+    ASSERT_EQ(snap->segments.size(), 1u);
+    EXPECT_EQ(snap->segments[0].data->store().size(), n);
+    const std::vector<Key> keys = snapshot_top_ell(*snap, points[0], 1,
+                                                   MetricKind::SquaredEuclidean);
+    ASSERT_EQ(keys.size(), 1u);
+    EXPECT_EQ(keys[0].id, 1u);
+  }
+
+  // A delta erase (swap-remove) invalidates the frozen prefix: one full
+  // regeneration of the surviving n−1 rows, not one per later publish.
+  ASSERT_TRUE(store.erase(1).has_value());
+  const std::uint64_t after_erase = store.mirror_copied_bytes();
+  EXPECT_EQ(after_erase, n * row_bytes + (n - 1) * row_bytes);
+
+  for (std::size_t i = 0; i < 10; ++i) {
+    store.insert(points[i], static_cast<PointId>(n + i + 1));
+  }
+  EXPECT_EQ(store.mirror_copied_bytes(), after_erase + 10 * row_bytes);
+
+  // The mirror stayed correct through the churn: id 1 is gone, the
+  // re-inserted copy of its point answers under the fresh id.
+  const std::vector<Key> keys =
+      snapshot_top_ell(*store.snapshot(), points[0], 1, MetricKind::SquaredEuclidean);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].id, static_cast<PointId>(n + 1));
+  EXPECT_EQ(keys[0].rank, 0u);
+}
+
 }  // namespace
 }  // namespace dknn
